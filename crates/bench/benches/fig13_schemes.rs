@@ -1,0 +1,43 @@
+//! Figure 13: comparing every DWS scheme and the adaptive-slip baselines,
+//! per benchmark, normalized to the conventional architecture.
+//!
+//! Series: DWS.BranchOnly, DWS.ReviveSplit.MemOnly, DWS.AggressSplit,
+//! DWS.LazySplit, DWS.ReviveSplit, Slip, Slip.BranchBypass; plus the
+//! harmonic mean across benchmarks.
+
+use dws_bench::{build, f2, hmean, run, Table};
+use dws_core::Policy;
+use dws_sim::{presets, SimConfig};
+
+fn main() {
+    let policies = presets::figure13_policies();
+    let mut headers = vec!["benchmark"];
+    headers.extend(policies.iter().map(|(n, _)| *n));
+    let mut t = Table::new("Figure 13 — speedup over Conv, per scheme", &headers);
+
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for bench in dws_bench::benchmarks() {
+        let spec = build(bench);
+        let base = run("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+        let mut cells = vec![bench.name().to_string()];
+        for (i, (name, policy)) in policies.iter().enumerate() {
+            let r = run(name, &SimConfig::paper(*policy), &spec);
+            let s = r.speedup_over(&base);
+            columns[i].push(s);
+            cells.push(f2(s));
+        }
+        t.row(cells);
+    }
+    let mut cells = vec!["h-mean".to_string()];
+    for col in &columns {
+        cells.push(f2(hmean(col)));
+    }
+    t.row(cells);
+    t.print();
+    println!(
+        "\npaper (Fig. 13): BranchOnly 1.13X, ReviveSplit.MemOnly 1.20X,\n\
+         AggressSplit/LazySplit below 1.0X, ReviveSplit 1.71X (h-means);\n\
+         Slip degrades many benchmarks, Slip.BranchBypass helps some but\n\
+         still harms KMeans/Short/FFT."
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 16: speedup vs L2 lookup latency (10 to 300 cycles — from an
+//! aggressive on-chip L2 to Tesla-like no-L2 systems). Both systems slow
+//! down with longer misses, but DWS's *relative* advantage grows: it
+//! manufactures extra scheduling entities exactly when more latency needs
+//! hiding.
+
+use dws_bench::{build, f2, hmean, run, Table};
+use dws_core::Policy;
+use dws_sim::SimConfig;
+
+fn main() {
+    let lats = [10u64, 30, 100, 300];
+    let mut headers = vec!["series".to_string()];
+    headers.extend(lats.iter().map(|l| format!("L2={l}")));
+    let mut t = Table::new(
+        "Figure 16 — performance vs L2 lookup latency (h-mean, norm. to Conv L2=10)",
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    let make = |policy: Policy, lat: u64| {
+        let mut cfg = SimConfig::paper(policy);
+        cfg.mem.l2.hit_latency = lat;
+        cfg
+    };
+    let mut conv_cols: Vec<Vec<f64>> = vec![Vec::new(); lats.len()];
+    let mut dws_cols: Vec<Vec<f64>> = vec![Vec::new(); lats.len()];
+    let mut ratio_cols: Vec<Vec<f64>> = vec![Vec::new(); lats.len()];
+    for bench in dws_bench::benchmarks() {
+        let spec = build(bench);
+        let mut base = None;
+        for (i, &lat) in lats.iter().enumerate() {
+            let c = run(
+                &format!("Conv L2={lat}"),
+                &make(Policy::conventional(), lat),
+                &spec,
+            );
+            let d = run(
+                &format!("DWS L2={lat}"),
+                &make(Policy::dws_revive(), lat),
+                &spec,
+            );
+            let b = *base.get_or_insert(c.cycles) as f64;
+            conv_cols[i].push(b / c.cycles as f64);
+            dws_cols[i].push(b / d.cycles as f64);
+            ratio_cols[i].push(c.cycles as f64 / d.cycles as f64);
+        }
+    }
+    t.row(
+        std::iter::once("Conv".to_string())
+            .chain(conv_cols.iter().map(|c| f2(hmean(c))))
+            .collect(),
+    );
+    t.row(
+        std::iter::once("DWS".to_string())
+            .chain(dws_cols.iter().map(|c| f2(hmean(c))))
+            .collect(),
+    );
+    t.row(
+        std::iter::once("DWS/Conv".to_string())
+            .chain(ratio_cols.iter().map(|c| f2(hmean(c))))
+            .collect(),
+    );
+    t.print();
+    println!(
+        "\npaper (Fig. 16): both degrade with latency; the DWS-over-Conv\n\
+         ratio *increases* with L2 latency."
+    );
+}

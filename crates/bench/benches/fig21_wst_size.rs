@@ -1,0 +1,49 @@
+//! Figure 21: DWS sensitivity to the warp-split table size (4 to 64
+//! entries, 64 threads per WPU, 8 scheduler slots). Once the WST holds
+//! about twice the scheduler's slots, growing it further stops helping —
+//! which is how the paper justifies a 16-entry WST (< 1% area).
+
+use dws_bench::{build, f2, hmean, run, Table};
+use dws_core::Policy;
+use dws_sim::SimConfig;
+
+fn main() {
+    let sizes = [4usize, 8, 16, 32, 64];
+    let mut headers = vec!["series".to_string()];
+    headers.extend(sizes.iter().map(|s| format!("WST={s}")));
+    let mut t = Table::new(
+        "Figure 21 — DWS speedup over Conv vs WST entries (h-mean, 8 slots)",
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    let mut slip_col = Vec::new();
+    for bench in dws_bench::benchmarks() {
+        let spec = build(bench);
+        let base = run("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+        for (i, &n) in sizes.iter().enumerate() {
+            let mut cfg = SimConfig::paper(Policy::dws_revive());
+            cfg.wst_entries = n;
+            let r = run(&format!("DWS wst={n}"), &cfg, &spec);
+            cols[i].push(r.speedup_over(&base));
+        }
+        let slip = run(
+            "Slip.BB",
+            &SimConfig::paper(Policy::slip_branch_bypass()),
+            &spec,
+        );
+        slip_col.push(slip.speedup_over(&base));
+    }
+    t.row(
+        std::iter::once("DWS".to_string())
+            .chain(cols.iter().map(|c| f2(hmean(c))))
+            .collect(),
+    );
+    let mut slip_row = vec!["Slip.BB (no WST)".to_string(), f2(hmean(&slip_col))];
+    slip_row.resize(headers.len(), String::new());
+    t.row(slip_row);
+    t.print();
+    println!(
+        "\npaper (Fig. 21): performance saturates once WST entries reach\n\
+         about twice the scheduler slots (16 for 8 slots)."
+    );
+}

@@ -1,0 +1,149 @@
+//! Criterion microbenchmarks of the simulator's core data structures —
+//! useful when optimizing the simulator itself (these measure *host*
+//! performance, not simulated performance).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dws_core::{Mask, Policy, Wpu, WpuConfig};
+use dws_engine::{Cycle, EventQueue};
+use dws_isa::{CondOp, KernelBuilder, Operand, VecMemory};
+use dws_mem::{
+    AccessKind, CacheArray, CacheConfig, LaneAccess, MemConfig, MemorySystem, MesiState,
+};
+use std::sync::Arc;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_probe_hit", |b| {
+        let mut cache = CacheArray::new(&CacheConfig::paper_l1d(16));
+        for line in 0..64 {
+            cache.fill(line, MesiState::Shared);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(cache.probe(i))
+        });
+    });
+    c.bench_function("cache_fill_evict", |b| {
+        let mut cache = CacheArray::new(&CacheConfig::paper_l1d(16));
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 1;
+            black_box(cache.fill(line, MesiState::Shared))
+        });
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop", |b| {
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            q.push(Cycle(t + 100), t);
+            black_box(q.pop_ready(Cycle(t)))
+        });
+    });
+}
+
+fn bench_mask(c: &mut Criterion) {
+    c.bench_function("mask_iter_union", |b| {
+        let m = Mask(0xF0F0_A5A5_F0F0_A5A5);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for lane in black_box(m).iter() {
+                acc += lane;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_postdom(c: &mut Criterion) {
+    c.bench_function("cfg_postdom_analysis", |b| {
+        b.iter(|| {
+            let mut k = KernelBuilder::new();
+            let i = k.reg();
+            let v = k.reg();
+            k.for_range(
+                i,
+                Operand::Imm(0),
+                Operand::Imm(100),
+                Operand::Imm(1),
+                |k| {
+                    k.if_then_else(
+                        CondOp::Lt,
+                        Operand::Reg(i),
+                        Operand::Imm(50),
+                        |k| k.add(v, Operand::Reg(v), Operand::Imm(1)),
+                        |k| k.sub(v, Operand::Reg(v), Operand::Imm(1)),
+                    );
+                },
+            );
+            k.halt();
+            black_box(k.build().unwrap())
+        });
+    });
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    c.bench_function("warp_access_16_lane_gather", |b| {
+        let mut mem = MemorySystem::new(MemConfig::paper(1, 16));
+        let mut base = 0u64;
+        let mut now = Cycle(0);
+        b.iter(|| {
+            base = base.wrapping_add(8 * 1024);
+            now += 1;
+            let accesses: Vec<LaneAccess> = (0..16)
+                .map(|l| LaneAccess {
+                    lane: l,
+                    addr: base + (l as u64) * 128,
+                    kind: AccessKind::Load,
+                })
+                .collect();
+            let out = mem.warp_access(now, 0, &accesses);
+            let done = mem.drain_completions(now + 1000);
+            black_box((out, done))
+        });
+    });
+}
+
+fn bench_wpu_tick(c: &mut Criterion) {
+    c.bench_function("wpu_tick_alu_loop", |b| {
+        // A pure-ALU kernel: measures the issue path of the WPU.
+        let mut k = KernelBuilder::new();
+        let i = k.reg();
+        let v = k.reg();
+        k.for_range(
+            i,
+            Operand::Imm(0),
+            Operand::Imm(1_000_000_000),
+            Operand::Imm(1),
+            |k| {
+                k.add(v, Operand::Reg(v), Operand::Imm(3));
+                k.xor(v, Operand::Reg(v), Operand::Reg(i));
+            },
+        );
+        k.halt();
+        let program = Arc::new(k.build().unwrap());
+        let mut wpu = Wpu::new(WpuConfig::paper(0, Policy::dws_revive()), program, 0, 64);
+        let mut mem = MemorySystem::new(MemConfig::paper(1, 16));
+        let mut data = VecMemory::new(4096);
+        let mut now = Cycle(0);
+        b.iter(|| {
+            now += 1;
+            black_box(wpu.tick(now, &mut mem, &mut data))
+        });
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(30);
+    targets = bench_cache,
+        bench_event_queue,
+        bench_mask,
+        bench_postdom,
+        bench_memory_system,
+        bench_wpu_tick
+);
+criterion_main!(micro);

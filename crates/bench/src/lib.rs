@@ -1,0 +1,139 @@
+//! Shared support for the figure-regeneration harness.
+//!
+//! Every bench target (`cargo bench -p dws-bench --bench figNN`) regenerates
+//! one table or figure from the paper's evaluation: the same rows/series,
+//! with speedups normalized the same way (per-benchmark `Conv` baselines,
+//! harmonic means across benchmarks).
+//!
+//! Environment knobs:
+//!
+//! * `DWS_SCALE` — `test` | `bench` (default) | `paper`: input sizes.
+//! * `DWS_BENCHMARKS` — comma-separated subset (e.g. `Merge,FFT`); default
+//!   is all eight.
+//! * `DWS_SEED` — workload seed (default 42).
+
+use dws_kernels::{Benchmark, KernelSpec, Scale};
+use dws_sim::{Machine, RunResult, SimConfig};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Input scale selected by `DWS_SCALE`.
+pub fn scale() -> Scale {
+    match std::env::var("DWS_SCALE").as_deref() {
+        Ok("test") => Scale::Test,
+        Ok("paper") => Scale::Paper,
+        _ => Scale::Bench,
+    }
+}
+
+/// Workload seed selected by `DWS_SEED`.
+pub fn seed() -> u64 {
+    std::env::var("DWS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Benchmark set selected by `DWS_BENCHMARKS`.
+pub fn benchmarks() -> Vec<Benchmark> {
+    match std::env::var("DWS_BENCHMARKS") {
+        Ok(list) => {
+            let wanted: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_ascii_lowercase())
+                .collect();
+            Benchmark::ALL
+                .into_iter()
+                .filter(|b| wanted.contains(&b.name().to_ascii_lowercase()))
+                .collect()
+        }
+        Err(_) => Benchmark::ALL.to_vec(),
+    }
+}
+
+/// Builds a benchmark at the harness scale/seed.
+pub fn build(bench: Benchmark) -> KernelSpec {
+    bench.build(scale(), seed())
+}
+
+/// Runs one configuration, verifying the result (a wrong answer is a
+/// harness bug, so it panics) and reporting progress on stderr.
+pub fn run(label: &str, cfg: &SimConfig, spec: &KernelSpec) -> RunResult {
+    let t0 = Instant::now();
+    let result = Machine::run(cfg, spec).unwrap_or_else(|e| panic!("{} / {label}: {e}", spec.name));
+    spec.verify(&result.memory)
+        .unwrap_or_else(|e| panic!("{} / {label}: wrong result: {e}", spec.name));
+    eprintln!(
+        "  [{:>8}] {:24} {:>12} cycles  ({:.1}s host)",
+        spec.name,
+        label,
+        result.cycles,
+        t0.elapsed().as_secs_f64()
+    );
+    let _ = std::io::stderr().flush();
+    result
+}
+
+/// Harmonic mean (the paper's reporting convention).
+pub fn hmean(values: &[f64]) -> f64 {
+    dws_engine::stats::harmonic_mean(values).unwrap_or(f64::NAN)
+}
+
+/// A fixed-width text table printed to stdout.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}

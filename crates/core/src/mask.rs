@@ -1,0 +1,204 @@
+//! Active-thread bit masks over a warp's lanes.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not, Sub};
+
+/// A set of lanes within a warp (bit *i* = lane *i* active). Warps of up to
+/// 64 lanes are supported; the paper evaluates widths 1–32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Mask(pub u64);
+
+impl Mask {
+    /// The empty mask.
+    pub const EMPTY: Mask = Mask(0);
+
+    /// A mask with lanes `0..width` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn full(width: usize) -> Mask {
+        assert!(width <= 64, "SIMD width > 64 unsupported");
+        if width == 64 {
+            Mask(u64::MAX)
+        } else {
+            Mask((1u64 << width) - 1)
+        }
+    }
+
+    /// A mask with only `lane` set.
+    pub fn lane(lane: usize) -> Mask {
+        assert!(lane < 64);
+        Mask(1 << lane)
+    }
+
+    /// Whether no lane is set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of set lanes.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether `lane` is set.
+    #[inline]
+    pub fn contains(self, lane: usize) -> bool {
+        self.0 & (1 << lane) != 0
+    }
+
+    /// Whether every lane of `other` is also in `self`.
+    #[inline]
+    pub fn contains_all(self, other: Mask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the two masks share no lane.
+    #[inline]
+    pub fn is_disjoint(self, other: Mask) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Sets `lane`.
+    #[inline]
+    pub fn set(&mut self, lane: usize) {
+        self.0 |= 1 << lane;
+    }
+
+    /// Clears `lane`.
+    #[inline]
+    pub fn clear(&mut self, lane: usize) {
+        self.0 &= !(1 << lane);
+    }
+
+    /// Iterates over set lane indices in ascending order.
+    pub fn iter(self) -> MaskIter {
+        MaskIter(self.0)
+    }
+
+    /// The lowest set lane, if any.
+    pub fn first(self) -> Option<usize> {
+        (self.0 != 0).then(|| self.0.trailing_zeros() as usize)
+    }
+}
+
+impl BitOr for Mask {
+    type Output = Mask;
+    #[inline]
+    fn bitor(self, rhs: Mask) -> Mask {
+        Mask(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Mask {
+    type Output = Mask;
+    #[inline]
+    fn bitand(self, rhs: Mask) -> Mask {
+        Mask(self.0 & rhs.0)
+    }
+}
+
+impl Sub for Mask {
+    type Output = Mask;
+    /// Set difference.
+    #[inline]
+    fn sub(self, rhs: Mask) -> Mask {
+        Mask(self.0 & !rhs.0)
+    }
+}
+
+impl Not for Mask {
+    type Output = Mask;
+    #[inline]
+    fn not(self) -> Mask {
+        Mask(!self.0)
+    }
+}
+
+impl fmt::Display for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:b}", self.0)
+    }
+}
+
+impl FromIterator<usize> for Mask {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Mask {
+        let mut m = Mask::EMPTY;
+        for lane in iter {
+            m.set(lane);
+        }
+        m
+    }
+}
+
+/// Iterator over set lanes, produced by [`Mask::iter`].
+#[derive(Debug, Clone)]
+pub struct MaskIter(u64);
+
+impl Iterator for MaskIter {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let lane = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(lane)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_masks() {
+        assert_eq!(Mask::full(0), Mask::EMPTY);
+        assert_eq!(Mask::full(4), Mask(0b1111));
+        assert_eq!(Mask::full(64), Mask(u64::MAX));
+        assert_eq!(Mask::full(16).count(), 16);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = Mask(0b1100);
+        let b = Mask(0b1010);
+        assert_eq!(a | b, Mask(0b1110));
+        assert_eq!(a & b, Mask(0b1000));
+        assert_eq!(a - b, Mask(0b0100));
+        assert!(Mask(0b11).is_disjoint(Mask(0b100)));
+        assert!(!a.is_disjoint(b));
+        assert!(Mask(0b111).contains_all(Mask(0b101)));
+        assert!(!Mask(0b101).contains_all(Mask(0b111)));
+    }
+
+    #[test]
+    fn lane_manipulation() {
+        let mut m = Mask::EMPTY;
+        assert!(m.is_empty());
+        m.set(3);
+        m.set(7);
+        assert!(m.contains(3) && m.contains(7) && !m.contains(4));
+        m.clear(3);
+        assert_eq!(m, Mask::lane(7));
+        assert_eq!(m.first(), Some(7));
+        assert_eq!(Mask::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn iteration_ascending() {
+        let m: Mask = [5usize, 1, 9].into_iter().collect();
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![1, 5, 9]);
+        assert_eq!(Mask::EMPTY.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn width_over_64_panics() {
+        Mask::full(65);
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-WPU statistics: everything the paper's tables and figures consume.
+
+use dws_engine::stats::{Counter, Distribution, Ratio};
+
+/// Statistics accumulated by one WPU over a run.
+#[derive(Debug, Clone, Default)]
+pub struct WpuStats {
+    /// Cycles in which a warp instruction issued.
+    pub busy_cycles: Counter,
+    /// Cycles stalled with at least one group waiting on memory and nothing
+    /// to issue — the paper's "time spent waiting for memory".
+    pub mem_stall_cycles: Counter,
+    /// Cycles with nothing to issue for any other reason (barriers,
+    /// re-convergence waits, drained work).
+    pub idle_cycles: Counter,
+
+    /// Warp-level instructions issued.
+    pub warp_insts: Counter,
+    /// Thread-level instructions executed (warp instruction x active lanes).
+    pub thread_insts: Counter,
+    /// (active lanes, instructions): mean = average SIMD width per issued
+    /// instruction (paper Sections 4.6 and 5.5).
+    pub simd_width: Ratio,
+
+    /// Conditional branches executed (warp level).
+    pub branches: Counter,
+    /// Branches whose outcome diverged within the executing group.
+    pub divergent_branches: Counter,
+    /// Warp-level D-cache accesses.
+    pub mem_accesses: Counter,
+    /// Accesses on which at least one lane missed.
+    pub mem_accesses_with_miss: Counter,
+    /// Miss accesses that were *divergent*: some lanes hit while others
+    /// missed, or the misses spanned several lines (different latencies).
+    pub divergent_mem_accesses: Counter,
+
+    /// Warp instructions between successive conditional branches (Table 1).
+    pub insts_between_branches: Distribution,
+    /// Warp instructions between successive miss events (Table 1).
+    pub insts_between_misses: Distribution,
+    /// Warp instructions between successive *divergent* misses (Table 1).
+    pub insts_between_div_misses: Distribution,
+
+    /// Splits created on branch divergence.
+    pub branch_splits: Counter,
+    /// Splits created on memory divergence at issue (Aggressive/Lazy).
+    pub mem_splits: Counter,
+    /// Splits created by ReviveSplit while the pipeline was stalled.
+    pub revive_splits: Counter,
+    /// Re-unions through PC match.
+    pub pc_merges: Counter,
+    /// Re-unions at stack post-dominators / BranchLimited barriers.
+    pub stack_merges: Counter,
+    /// Subdivisions suppressed because the WST was full.
+    pub wst_full_events: Counter,
+    /// Subdivisions suppressed by the Lazy condition (other work existed).
+    pub lazy_suppressed: Counter,
+    /// Subdivisions suppressed by the adaptive throttle extension.
+    pub throttle_suppressed: Counter,
+    /// Slip: divergences where threads were left behind.
+    pub slip_events: Counter,
+    /// Slip: re-unions on revisiting the divergent PC.
+    pub slip_merges: Counter,
+
+    /// Lane-level integer ALU operations (energy model).
+    pub int_ops: Counter,
+    /// Lane-level floating-point operations (energy model).
+    pub fp_ops: Counter,
+    /// Lane-level loads.
+    pub loads: Counter,
+    /// Lane-level stores.
+    pub stores: Counter,
+
+    /// Running counters used to sample the "instructions between" series.
+    pub(crate) insts_since_branch: u64,
+    pub(crate) insts_since_miss: u64,
+    pub(crate) insts_since_div_miss: u64,
+}
+
+impl WpuStats {
+    /// Records one issued warp instruction with `active` lanes.
+    pub(crate) fn on_issue(&mut self, active: u32) {
+        self.busy_cycles.incr();
+        self.warp_insts.incr();
+        self.thread_insts.add(active as u64);
+        self.simd_width.add(active as u64, 1);
+        self.insts_since_branch += 1;
+        self.insts_since_miss += 1;
+        self.insts_since_div_miss += 1;
+    }
+
+    /// Records a conditional branch (after `on_issue`).
+    pub(crate) fn on_branch(&mut self, divergent: bool) {
+        self.branches.incr();
+        if divergent {
+            self.divergent_branches.incr();
+        }
+        self.insts_between_branches
+            .record(self.insts_since_branch as f64);
+        self.insts_since_branch = 0;
+    }
+
+    /// Records a memory access outcome (after `on_issue`).
+    pub(crate) fn on_mem_access(&mut self, any_miss: bool, divergent: bool) {
+        self.mem_accesses.incr();
+        if any_miss {
+            self.mem_accesses_with_miss.incr();
+            self.insts_between_misses
+                .record(self.insts_since_miss as f64);
+            self.insts_since_miss = 0;
+            if divergent {
+                self.divergent_mem_accesses.incr();
+                self.insts_between_div_misses
+                    .record(self.insts_since_div_miss as f64);
+                self.insts_since_div_miss = 0;
+            }
+        }
+    }
+
+    /// Total cycles this WPU was observed (busy + stalled + idle).
+    pub fn total_cycles(&self) -> u64 {
+        self.busy_cycles.get() + self.mem_stall_cycles.get() + self.idle_cycles.get()
+    }
+
+    /// Fraction of time stalled on memory, if any cycles elapsed.
+    pub fn mem_stall_fraction(&self) -> Option<f64> {
+        let t = self.total_cycles();
+        (t > 0).then(|| self.mem_stall_cycles.get() as f64 / t as f64)
+    }
+
+    /// Percentage of branches that diverged.
+    pub fn divergent_branch_fraction(&self) -> Option<f64> {
+        let b = self.branches.get();
+        (b > 0).then(|| self.divergent_branches.get() as f64 / b as f64)
+    }
+
+    /// Fraction of miss-bearing accesses that were divergent (Table 1).
+    pub fn divergent_access_fraction(&self) -> Option<f64> {
+        let m = self.mem_accesses_with_miss.get();
+        (m > 0).then(|| self.divergent_mem_accesses.get() as f64 / m as f64)
+    }
+
+    /// Merges another WPU's statistics into this one (whole-machine view).
+    pub fn merge(&mut self, other: &WpuStats) {
+        self.busy_cycles.add(other.busy_cycles.get());
+        self.mem_stall_cycles.add(other.mem_stall_cycles.get());
+        self.idle_cycles.add(other.idle_cycles.get());
+        self.warp_insts.add(other.warp_insts.get());
+        self.thread_insts.add(other.thread_insts.get());
+        self.simd_width
+            .add(other.simd_width.numerator(), other.simd_width.denominator());
+        self.branches.add(other.branches.get());
+        self.divergent_branches.add(other.divergent_branches.get());
+        self.mem_accesses.add(other.mem_accesses.get());
+        self.mem_accesses_with_miss
+            .add(other.mem_accesses_with_miss.get());
+        self.divergent_mem_accesses
+            .add(other.divergent_mem_accesses.get());
+        self.insts_between_branches
+            .merge(&other.insts_between_branches);
+        self.insts_between_misses.merge(&other.insts_between_misses);
+        self.insts_between_div_misses
+            .merge(&other.insts_between_div_misses);
+        self.branch_splits.add(other.branch_splits.get());
+        self.mem_splits.add(other.mem_splits.get());
+        self.revive_splits.add(other.revive_splits.get());
+        self.pc_merges.add(other.pc_merges.get());
+        self.stack_merges.add(other.stack_merges.get());
+        self.wst_full_events.add(other.wst_full_events.get());
+        self.lazy_suppressed.add(other.lazy_suppressed.get());
+        self.throttle_suppressed
+            .add(other.throttle_suppressed.get());
+        self.slip_events.add(other.slip_events.get());
+        self.slip_merges.add(other.slip_merges.get());
+        self.int_ops.add(other.int_ops.get());
+        self.fp_ops.add(other.fp_ops.get());
+        self.loads.add(other.loads.get());
+        self.stores.add(other.stores.get());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_accounting() {
+        let mut s = WpuStats::default();
+        s.on_issue(16);
+        s.on_issue(4);
+        assert_eq!(s.warp_insts.get(), 2);
+        assert_eq!(s.thread_insts.get(), 20);
+        assert_eq!(s.simd_width.ratio(), Some(10.0));
+        assert_eq!(s.busy_cycles.get(), 2);
+    }
+
+    #[test]
+    fn branch_interval_sampling() {
+        let mut s = WpuStats::default();
+        for _ in 0..5 {
+            s.on_issue(8);
+        }
+        s.on_branch(false);
+        for _ in 0..3 {
+            s.on_issue(8);
+        }
+        s.on_branch(true);
+        assert_eq!(s.branches.get(), 2);
+        assert_eq!(s.divergent_branches.get(), 1);
+        assert_eq!(s.insts_between_branches.mean(), Some(4.0)); // (5 + 3) / 2
+        assert_eq!(s.divergent_branch_fraction(), Some(0.5));
+    }
+
+    #[test]
+    fn mem_interval_sampling() {
+        let mut s = WpuStats::default();
+        s.on_issue(8);
+        s.on_mem_access(false, false); // hit: no interval sample
+        s.on_issue(8);
+        s.on_mem_access(true, true); // divergent miss at distance 2
+        assert_eq!(s.mem_accesses.get(), 2);
+        assert_eq!(s.mem_accesses_with_miss.get(), 1);
+        assert_eq!(s.insts_between_misses.mean(), Some(2.0));
+        assert_eq!(s.insts_between_div_misses.mean(), Some(2.0));
+        assert_eq!(s.divergent_access_fraction(), Some(1.0));
+    }
+
+    #[test]
+    fn fractions_none_when_empty() {
+        let s = WpuStats::default();
+        assert_eq!(s.mem_stall_fraction(), None);
+        assert_eq!(s.divergent_branch_fraction(), None);
+        assert_eq!(s.divergent_access_fraction(), None);
+        assert_eq!(s.total_cycles(), 0);
+    }
+
+    #[test]
+    fn merge_adds_up() {
+        let mut a = WpuStats::default();
+        a.on_issue(8);
+        a.on_branch(true);
+        let mut b = WpuStats::default();
+        b.on_issue(4);
+        b.on_branch(false);
+        a.merge(&b);
+        assert_eq!(a.warp_insts.get(), 2);
+        assert_eq!(a.branches.get(), 2);
+        assert_eq!(a.divergent_branches.get(), 1);
+        assert_eq!(a.simd_width.ratio(), Some(6.0));
+    }
+}

@@ -1,0 +1,244 @@
+//! Optional divergence-event tracing.
+//!
+//! When enabled on a [`crate::Wpu`], every subdivision, re-convergence and
+//! barrier event is recorded into a bounded ring buffer — the execution
+//! story behind the aggregate counters, useful for debugging policies and
+//! for teaching (the trace of Figure 6's example can be read directly).
+//!
+//! Tracing is off by default and costs nothing when disabled.
+
+use crate::mask::Mask;
+use dws_engine::Cycle;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One recorded divergence event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A warp subdivided at a divergent branch.
+    BranchSplit {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Warp index.
+        warp: usize,
+        /// PC of the branch.
+        pc: usize,
+        /// Threads that kept executing.
+        run_mask: Mask,
+        /// Threads parked as the sibling split.
+        park_mask: Mask,
+    },
+    /// A warp subdivided at a memory divergence (at issue).
+    MemSplit {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Warp index.
+        warp: usize,
+        /// PC after the memory instruction.
+        pc: usize,
+        /// Lanes that hit and run ahead.
+        hit_mask: Mask,
+        /// Lanes left waiting on misses.
+        miss_mask: Mask,
+    },
+    /// ReviveSplit released arrived threads of a suspended group.
+    Revive {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Warp index.
+        warp: usize,
+        /// Resume PC.
+        pc: usize,
+        /// Threads revived to run ahead.
+        mask: Mask,
+    },
+    /// Two splits re-united on a PC match.
+    PcMerge {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Warp index.
+        warp: usize,
+        /// The common PC.
+        pc: usize,
+        /// Mask after the union.
+        mask: Mask,
+    },
+    /// Splits re-united at a stack post-dominator or BranchLimited barrier.
+    StackMerge {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Warp index.
+        warp: usize,
+        /// The re-convergence PC.
+        pc: usize,
+        /// Mask after the union.
+        mask: Mask,
+    },
+    /// All live threads arrived; the global barrier released.
+    BarrierRelease {
+        /// Cycle of the event.
+        cycle: Cycle,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle the event occurred.
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            TraceEvent::BranchSplit { cycle, .. }
+            | TraceEvent::MemSplit { cycle, .. }
+            | TraceEvent::Revive { cycle, .. }
+            | TraceEvent::PcMerge { cycle, .. }
+            | TraceEvent::StackMerge { cycle, .. }
+            | TraceEvent::BarrierRelease { cycle } => cycle,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::BranchSplit {
+                cycle,
+                warp,
+                pc,
+                run_mask,
+                park_mask,
+            } => write!(
+                f,
+                "[{cycle:>8}] warp {warp} branch-split @pc {pc}: run {run_mask} park {park_mask}"
+            ),
+            TraceEvent::MemSplit {
+                cycle,
+                warp,
+                pc,
+                hit_mask,
+                miss_mask,
+            } => write!(
+                f,
+                "[{cycle:>8}] warp {warp} mem-split    @pc {pc}: hits {hit_mask} miss {miss_mask}"
+            ),
+            TraceEvent::Revive {
+                cycle,
+                warp,
+                pc,
+                mask,
+            } => {
+                write!(f, "[{cycle:>8}] warp {warp} revive       @pc {pc}: {mask}")
+            }
+            TraceEvent::PcMerge {
+                cycle,
+                warp,
+                pc,
+                mask,
+            } => {
+                write!(f, "[{cycle:>8}] warp {warp} pc-merge     @pc {pc}: {mask}")
+            }
+            TraceEvent::StackMerge {
+                cycle,
+                warp,
+                pc,
+                mask,
+            } => {
+                write!(f, "[{cycle:>8}] warp {warp} stack-merge  @pc {pc}: {mask}")
+            }
+            TraceEvent::BarrierRelease { cycle } => {
+                write!(f, "[{cycle:>8}] barrier released")
+            }
+        }
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer that retains the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Tracer {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Tracer {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest when full.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(c: u64) -> TraceEvent {
+        TraceEvent::BarrierRelease { cycle: Cycle(c) }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Tracer::new(3);
+        for c in 0..5 {
+            t.record(ev(c));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle().raw()).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceEvent::MemSplit {
+            cycle: Cycle(42),
+            warp: 1,
+            pc: 7,
+            hit_mask: Mask(0b0011),
+            miss_mask: Mask(0b1100),
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("mem-split") && s.contains("7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        Tracer::new(0);
+    }
+}

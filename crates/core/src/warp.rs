@@ -1,0 +1,148 @@
+//! Warps: thread contexts, the re-convergence stack, and halt tracking.
+
+use crate::mask::Mask;
+use dws_isa::{Program, ThreadState};
+use dws_mem::RequestId;
+
+/// One frame of a re-convergence stack (Fung-style).
+///
+/// The executing entity corresponds to the top frame. On a divergent branch
+/// the top frame's `pc` is redirected to the re-convergence point, and one
+/// frame per path is pushed; when execution reaches the top frame's `rpc`
+/// the frame pops and the next path (or the re-converged continuation)
+/// resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Where this frame resumes execution.
+    pub pc: usize,
+    /// The re-convergence PC at which this frame pops, or `None` for the
+    /// root frame (threads run to termination).
+    pub rpc: Option<usize>,
+    /// Threads belonging to this frame.
+    pub mask: Mask,
+}
+
+/// Per-thread bookkeeping within a warp.
+#[derive(Debug)]
+pub struct ThreadSlot {
+    /// Architectural registers.
+    pub state: ThreadState,
+    /// Set once the thread executes `Halt`.
+    pub halted: bool,
+    /// The outstanding miss this thread is blocked on, if any.
+    pub pending: Option<RequestId>,
+    /// D-cache misses attributed to this thread (Figure 14's heat map).
+    pub miss_count: u64,
+}
+
+/// A warp: `width` threads, a re-convergence stack, and halt state.
+#[derive(Debug)]
+pub struct Warp {
+    /// Warp index within its WPU.
+    pub id: usize,
+    /// Thread contexts, one per lane.
+    pub threads: Vec<ThreadSlot>,
+    /// The architectural re-convergence stack.
+    pub stack: Vec<Frame>,
+    /// Lanes whose threads have terminated.
+    pub halted: Mask,
+    /// Number of live SIMD groups currently representing this warp.
+    pub group_count: usize,
+}
+
+impl Warp {
+    /// Creates a warp whose lane `l` runs global thread `base_tid + l`.
+    pub fn new(id: usize, width: usize, base_tid: u64, nthreads: u64, program: &Program) -> Self {
+        let threads = (0..width)
+            .map(|l| ThreadSlot {
+                state: ThreadState::new(program, base_tid + l as u64, nthreads),
+                halted: false,
+                pending: None,
+                miss_count: 0,
+            })
+            .collect();
+        Warp {
+            id,
+            threads,
+            stack: vec![Frame {
+                pc: 0,
+                rpc: None,
+                mask: Mask::full(width),
+            }],
+            halted: Mask::EMPTY,
+            group_count: 0,
+        }
+    }
+
+    /// The top re-convergence frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty (only possible after the warp retired).
+    pub fn tos(&self) -> &Frame {
+        self.stack.last().expect("live warp has a root frame")
+    }
+
+    /// The top frame's mask minus halted threads — the set every split of
+    /// the current region must account for when re-converging.
+    pub fn tos_live_mask(&self) -> Mask {
+        self.tos().mask - self.halted
+    }
+
+    /// Whether all threads have terminated.
+    pub fn all_halted(&self, width: usize) -> bool {
+        self.halted == Mask::full(width)
+    }
+
+    /// Lanes in `mask` that have no outstanding miss.
+    pub fn arrived_lanes(&self, mask: Mask) -> Mask {
+        mask.iter()
+            .filter(|&l| self.threads[l].pending.is_none())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_isa::KernelBuilder;
+
+    fn prog() -> Program {
+        let mut b = KernelBuilder::new();
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn new_warp_has_root_frame() {
+        let p = prog();
+        let w = Warp::new(1, 8, 16, 64, &p);
+        assert_eq!(w.stack.len(), 1);
+        assert_eq!(w.tos().mask, Mask::full(8));
+        assert_eq!(w.tos().rpc, None);
+        assert_eq!(w.tos().pc, 0);
+        assert!(!w.all_halted(8));
+        // Lane 3 runs global thread 19.
+        assert_eq!(w.threads[3].state.reg(dws_isa::Reg(0)), 19);
+        assert_eq!(w.threads[3].state.reg(dws_isa::Reg(1)), 64);
+    }
+
+    #[test]
+    fn live_mask_excludes_halted() {
+        let p = prog();
+        let mut w = Warp::new(0, 4, 0, 4, &p);
+        w.halted.set(1);
+        assert_eq!(w.tos_live_mask(), Mask(0b1101));
+        w.halted = Mask::full(4);
+        assert!(w.all_halted(4));
+    }
+
+    #[test]
+    fn arrived_lanes_follow_pending() {
+        let p = prog();
+        let mut w = Warp::new(0, 4, 0, 4, &p);
+        w.threads[2].pending = Some(RequestId(9));
+        assert_eq!(w.arrived_lanes(Mask::full(4)), Mask(0b1011));
+        assert_eq!(w.arrived_lanes(Mask::lane(2)), Mask::EMPTY);
+    }
+}

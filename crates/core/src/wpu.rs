@@ -1,0 +1,1644 @@
+//! The warp processing unit: cycle-level execution of kernel IR over the
+//! cache hierarchy under a configurable divergence policy.
+//!
+//! One [`Wpu::tick`] models one WPU clock: at most one warp instruction
+//! issues across the active lanes of the selected SIMD group. The scheduler
+//! switches groups on every D-cache access with zero switch cost (the
+//! paper's Section 3.3), groups stall on misses, and the configured
+//! [`Policy`] decides when warps subdivide and when splits re-converge.
+
+use crate::group::{Group, GroupId, GroupStatus};
+use crate::mask::Mask;
+use crate::policy::{BranchHandling, MemSplit, Policy, ReconvMode};
+use crate::stats::WpuStats;
+use crate::trace::{TraceEvent, Tracer};
+use crate::warp::{Frame, Warp};
+use crate::wst::WstAccounting;
+use dws_engine::Cycle;
+use dws_isa::cfg::RECONV_NONE;
+use dws_isa::{Inst, MemoryAccess, Program, StepOutcome};
+use dws_mem::{AccessKind, AccessOutcome, LaneAccess, MemorySystem, RequestId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Static configuration of one WPU.
+#[derive(Debug, Clone, Copy)]
+pub struct WpuConfig {
+    /// WPU index (also its L1 index in the memory system).
+    pub id: usize,
+    /// SIMD width (lanes per warp).
+    pub width: usize,
+    /// Warps per WPU (multi-threading depth).
+    pub n_warps: usize,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Scheduler slots; groups beyond this sit idle until a slot frees
+    /// (paper Section 6.6). The paper doubles the conventional count.
+    pub sched_slots: usize,
+    /// Warp-split table entries (paper Section 6.7; 16 by default).
+    pub wst_entries: usize,
+}
+
+impl WpuConfig {
+    /// The paper's Table 3 WPU: 16-wide, 4 warps, 8 scheduler slots,
+    /// 16 WST entries.
+    pub fn paper(id: usize, policy: Policy) -> Self {
+        WpuConfig {
+            id,
+            width: 16,
+            n_warps: 4,
+            policy,
+            sched_slots: 8,
+            wst_entries: 16,
+        }
+    }
+}
+
+/// What a WPU did in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickClass {
+    /// Issued (or structurally retried) an instruction.
+    Busy,
+    /// Stalled with at least one group waiting on memory.
+    StallMem,
+    /// Stalled for another reason (barrier, re-convergence, drained).
+    Idle,
+    /// All threads have terminated.
+    Done,
+}
+
+/// Effect of pre-issue bookkeeping on a candidate group.
+enum PreIssue {
+    /// Group may execute the instruction at its PC.
+    Execute,
+    /// A zero-cost state transition happened (stack pop / merge / wait);
+    /// pick another group this same cycle.
+    Redirect,
+}
+
+/// Adaptive-slip controller state.
+#[derive(Debug, Clone, Copy)]
+struct SlipCtl {
+    max_div: u32,
+    last_adapt: Cycle,
+    busy_snapshot: u64,
+    stall_snapshot: u64,
+}
+
+/// Adaptive subdivision throttle (the future-work extension): duty-cycle
+/// dueling. The controller alternates short probe intervals with
+/// subdivision enabled and disabled, measures actual progress (thread
+/// instructions retired per cycle) in each, then commits to the winner
+/// for several intervals before re-probing — the set-dueling idea applied
+/// to the subdivision decision the paper says needs "foreknowledge or
+/// speculation" (Section 5.2).
+#[derive(Debug, Clone, Copy)]
+struct ThrottleCtl {
+    split_enabled: bool,
+    phase: ThrottlePhase,
+    last_adapt: Cycle,
+    insts_snapshot: u64,
+    probe_on_ipc: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThrottlePhase {
+    /// Measuring progress with subdivision enabled.
+    ProbeOn,
+    /// Splits disabled, existing fragments re-merging; not measured.
+    DrainOff,
+    /// Measuring progress with subdivision disabled.
+    ProbeOff,
+    /// Committed to the winning setting for N more intervals.
+    Committed(u8),
+}
+
+/// Length of one probe/commit interval, in cycles.
+const THROTTLE_INTERVAL: u64 = 20_000;
+/// Number of intervals to stay committed before re-probing.
+const THROTTLE_COMMIT: u8 = 6;
+/// Hysteresis: the probe winner must beat the loser by this factor.
+const THROTTLE_MARGIN: f64 = 1.02;
+
+/// A warp processing unit.
+pub struct Wpu {
+    cfg: WpuConfig,
+    program: Arc<Program>,
+    warps: Vec<Warp>,
+    groups: Vec<Option<Group>>,
+    next_seq: u64,
+    wst: WstAccounting,
+    current: Option<GroupId>,
+    rr_cursor: usize,
+    req_map: HashMap<RequestId, (usize, usize)>,
+    live_threads: u64,
+    slip: SlipCtl,
+    throttle: ThrottleCtl,
+    tracer: Option<Tracer>,
+    /// Statistics for this WPU.
+    pub stats: WpuStats,
+}
+
+impl std::fmt::Debug for Wpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wpu")
+            .field("id", &self.cfg.id)
+            .field("live_threads", &self.live_threads)
+            .field("groups", &self.groups.iter().flatten().count())
+            .finish()
+    }
+}
+
+impl Wpu {
+    /// Creates a WPU whose warp `w`, lane `l` runs global thread
+    /// `base_tid + w * width + l`, out of `nthreads` total.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-width/zero-warp configuration.
+    pub fn new(cfg: WpuConfig, program: Arc<Program>, base_tid: u64, nthreads: u64) -> Self {
+        assert!(cfg.width >= 1 && cfg.n_warps >= 1);
+        let mut wpu = Wpu {
+            warps: Vec::new(),
+            groups: Vec::new(),
+            next_seq: 0,
+            wst: WstAccounting::new(cfg.n_warps, cfg.wst_entries),
+            current: None,
+            rr_cursor: 0,
+            req_map: HashMap::new(),
+            live_threads: (cfg.width * cfg.n_warps) as u64,
+            slip: SlipCtl {
+                max_div: cfg.width as u32,
+                last_adapt: Cycle::ZERO,
+                busy_snapshot: 0,
+                stall_snapshot: 0,
+            },
+            throttle: ThrottleCtl {
+                split_enabled: true,
+                phase: ThrottlePhase::ProbeOn,
+                last_adapt: Cycle::ZERO,
+                insts_snapshot: 0,
+                probe_on_ipc: 0.0,
+            },
+            tracer: None,
+            stats: WpuStats::default(),
+            program: Arc::clone(&program),
+            cfg,
+        };
+        for w in 0..cfg.n_warps {
+            wpu.warps.push(Warp::new(
+                w,
+                cfg.width,
+                base_tid + (w * cfg.width) as u64,
+                nthreads,
+                &program,
+            ));
+            let gid = wpu.spawn_group(w, 0, Mask::full(cfg.width));
+            wpu.try_slot(gid);
+        }
+        wpu
+    }
+
+    /// The WPU's configuration.
+    pub fn config(&self) -> &WpuConfig {
+        &self.cfg
+    }
+
+    /// Enables divergence-event tracing, retaining the most recent
+    /// `capacity` events (see [`crate::trace`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(Tracer::new(capacity));
+    }
+
+    /// The trace recorded so far, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    #[inline]
+    fn trace(&mut self, event: TraceEvent) {
+        if let Some(t) = &mut self.tracer {
+            t.record(event);
+        }
+    }
+
+    /// Whether every thread has terminated.
+    pub fn done(&self) -> bool {
+        self.live_threads == 0
+    }
+
+    /// Threads that have not yet halted.
+    pub fn live_threads(&self) -> u64 {
+        self.live_threads
+    }
+
+    /// Threads currently stalled at a global barrier.
+    pub fn barrier_waiting(&self) -> u64 {
+        self.groups
+            .iter()
+            .flatten()
+            .filter(|g| g.status == GroupStatus::WaitBarrier)
+            .map(|g| g.mask.count() as u64)
+            .sum()
+    }
+
+    /// Whether any thread is blocked on an outstanding memory request.
+    pub fn any_mem_pending(&self) -> bool {
+        !self.req_map.is_empty()
+    }
+
+    /// Live SIMD groups (full warps and splits).
+    pub fn groups_alive(&self) -> usize {
+        self.groups.iter().flatten().count()
+    }
+
+    /// Peak warp-split table occupancy observed.
+    pub fn wst_peak(&self) -> usize {
+        self.wst.peak()
+    }
+
+    /// The earliest future cycle at which a currently-ready group becomes
+    /// issuable, if any. Together with the memory system's next completion
+    /// time, this lets the run loop skip over fully-stalled stretches.
+    pub fn next_wake_at(&self, now: Cycle) -> Option<Cycle> {
+        self.groups
+            .iter()
+            .flatten()
+            .filter(|g| g.slotted && g.status == GroupStatus::Ready)
+            .map(|g| g.ready_at.max(now))
+            .min()
+    }
+
+    /// Accounts `n` additional stall cycles of the same class as the last
+    /// tick (used when the run loop skips ahead over a stalled stretch).
+    pub fn account_skipped_stall(&mut self, n: u64, class: TickClass) {
+        match class {
+            TickClass::StallMem => self.stats.mem_stall_cycles.add(n),
+            TickClass::Idle => self.stats.idle_cycles.add(n),
+            TickClass::Busy | TickClass::Done => {}
+        }
+    }
+
+    /// Per-thread D-cache miss counts, indexed `[warp][lane]` (Figure 14).
+    pub fn per_thread_misses(&self) -> Vec<Vec<u64>> {
+        self.warps
+            .iter()
+            .map(|w| w.threads.iter().map(|t| t.miss_count).collect())
+            .collect()
+    }
+
+    // ---- group slab ---------------------------------------------------------
+
+    fn spawn_group(&mut self, warp: usize, pc: usize, mask: Mask) -> GroupId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let g = Group::new(warp, pc, mask, seq);
+        self.wst.on_group_created(warp);
+        for (i, slot) in self.groups.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(g);
+                return GroupId(i);
+            }
+        }
+        self.groups.push(Some(g));
+        GroupId(self.groups.len() - 1)
+    }
+
+    fn kill_group(&mut self, gid: GroupId) {
+        let g = self.groups[gid.0].take().expect("kill of dead group");
+        self.wst.on_group_removed(g.warp);
+        if self.current == Some(gid) {
+            self.current = None;
+        }
+        if g.slotted {
+            self.promote_slot();
+        }
+        // A slip run-ahead stalled at a branch resumes once it is the last
+        // group standing (every fall-behind merged or terminated).
+        if self.wst.groups_of(g.warp) == 1 {
+            let last = self
+                .groups
+                .iter()
+                .enumerate()
+                .find(|(_, x)| {
+                    x.as_ref()
+                        .map(|x| x.warp == g.warp && x.status == GroupStatus::SlipStalledAtBranch)
+                        .unwrap_or(false)
+                })
+                .map(|(i, _)| GroupId(i));
+            if let Some(last) = last {
+                {
+                    let l = self.group_mut(last);
+                    l.status = GroupStatus::Ready;
+                    l.slip_catchup = false;
+                }
+                self.try_slot(last);
+            }
+        }
+    }
+
+    fn group(&self, gid: GroupId) -> &Group {
+        self.groups[gid.0].as_ref().expect("live group")
+    }
+
+    fn group_mut(&mut self, gid: GroupId) -> &mut Group {
+        self.groups[gid.0].as_mut().expect("live group")
+    }
+
+    fn slots_in_use(&self) -> usize {
+        self.groups.iter().flatten().filter(|g| g.slotted).count()
+    }
+
+    fn try_slot(&mut self, gid: GroupId) -> bool {
+        if self.group(gid).slotted {
+            return true;
+        }
+        if self.slots_in_use() < self.cfg.sched_slots {
+            self.group_mut(gid).slotted = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release_slot(&mut self, gid: GroupId) {
+        if self.group(gid).slotted {
+            self.group_mut(gid).slotted = false;
+            self.promote_slot();
+        }
+    }
+
+    /// Grants the freed slot to the oldest unslotted group that can use it.
+    /// Groups parked at synchronization points (barriers, re-convergence,
+    /// slip suspension) gave their slot up on purpose and re-acquire one
+    /// when they wake; promoting them would starve runnable groups.
+    fn promote_slot(&mut self) {
+        if self.slots_in_use() >= self.cfg.sched_slots {
+            return;
+        }
+        let candidate = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
+            .filter(|(_, g)| {
+                !g.slotted && matches!(g.status, GroupStatus::Ready | GroupStatus::WaitMem)
+            })
+            .min_by_key(|(_, g)| g.seq)
+            .map(|(i, _)| i);
+        if let Some(i) = candidate {
+            self.groups[i].as_mut().expect("live").slotted = true;
+        }
+    }
+
+    fn sibling_ids(&self, warp: usize, not: GroupId) -> Vec<GroupId> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
+            .filter(|&(i, g)| g.warp == warp && GroupId(i) != not)
+            .map(|(i, _)| GroupId(i))
+            .collect()
+    }
+
+    // ---- completions --------------------------------------------------------
+
+    /// Delivers a memory-request completion (routed by the simulator).
+    pub fn on_completion(&mut self, req: RequestId, at: Cycle) {
+        let Some((warp, lane)) = self.req_map.remove(&req) else {
+            panic!("completion for unknown request {req:?}");
+        };
+        self.warps[warp].threads[lane].pending = None;
+        // Find the group owning this lane and re-evaluate its wait.
+        let gid = self
+            .groups
+            .iter()
+            .enumerate()
+            .find(|(_, g)| {
+                g.as_ref()
+                    .map(|g| g.warp == warp && g.mask.contains(lane))
+                    .unwrap_or(false)
+            })
+            .map(|(i, _)| GroupId(i));
+        let Some(gid) = gid else {
+            // The thread's group vanished (e.g. it halted) — nothing to wake.
+            return;
+        };
+        let arrived = {
+            let g = self.group(gid);
+            self.warps[warp].arrived_lanes(g.mask) == g.mask
+        };
+        if !arrived {
+            return;
+        }
+        let status = self.group(gid).status;
+        match status {
+            GroupStatus::WaitMem => {
+                let g = self.group_mut(gid);
+                g.status = GroupStatus::Ready;
+                g.ready_at = at;
+                if self.dws_pc_based() {
+                    self.try_pc_merge_at(gid, at);
+                }
+            }
+            GroupStatus::SlipSuspended => {
+                if self.group(gid).slip_catchup {
+                    let g = self.group_mut(gid);
+                    g.status = GroupStatus::Ready;
+                    g.ready_at = at;
+                    g.slip_pc = None;
+                    let gid2 = gid;
+                    self.try_slot(gid2);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn dws_pc_based(&self) -> bool {
+        matches!(
+            self.cfg.policy,
+            Policy::Dws(c) if c.reconv == ReconvMode::PcBased
+        )
+    }
+
+    // ---- the cycle ----------------------------------------------------------
+
+    /// Advances the WPU by one cycle. `data` is the functional backing
+    /// store shared by all WPUs.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        data: &mut dyn MemoryAccess,
+    ) -> TickClass {
+        if self.done() {
+            return TickClass::Done;
+        }
+        self.adapt_slip(now);
+        self.adapt_throttle(now);
+
+        // Pre-issue transitions are zero-cost PC redirects; loop until an
+        // instruction issues or no candidate remains.
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            if guard >= 10_000 {
+                let dump: Vec<String> = self
+                    .groups
+                    .iter()
+                    .flatten()
+                    .map(|g| {
+                        format!(
+                            "warp={} pc={} mask={} status={:?} lrpc={:?} ldepth={} slot={}",
+                            g.warp,
+                            g.pc,
+                            g.mask,
+                            g.status,
+                            g.local_rpc,
+                            g.local_stack.len(),
+                            g.slotted
+                        )
+                    })
+                    .collect();
+                panic!(
+                    "pre-issue livelock at cycle {now}; groups:\n{}\nstacks: {:?}",
+                    dump.join("\n"),
+                    self.warps.iter().map(|w| &w.stack).collect::<Vec<_>>()
+                );
+            }
+            let gid = match self.current {
+                Some(gid)
+                    if self.groups[gid.0]
+                        .as_ref()
+                        .map(|g| g.issuable(now))
+                        .unwrap_or(false) =>
+                {
+                    gid
+                }
+                _ => {
+                    self.current = None;
+                    match self.pick_group(now) {
+                        Some(g) => g,
+                        None => break,
+                    }
+                }
+            };
+            self.current = Some(gid);
+            match self.pre_issue(gid, now) {
+                PreIssue::Redirect => {
+                    if self.current == Some(gid)
+                        && self.groups[gid.0]
+                            .as_ref()
+                            .map(|g| !g.issuable(now))
+                            .unwrap_or(true)
+                    {
+                        self.current = None;
+                    }
+                    continue;
+                }
+                PreIssue::Execute => {
+                    if self.execute(gid, now, mem, data) {
+                        return TickClass::Busy;
+                    }
+                    // Structural stall (MSHR-full or I-fetch miss): the
+                    // group was pushed back; try another this cycle.
+                    continue;
+                }
+            }
+        }
+
+        // Nothing issuable: ReviveSplit may create a run-ahead split.
+        if let Policy::Dws(c) = self.cfg.policy {
+            if c.mem_split == Some(MemSplit::Revive) && !self.any_slotted_ready() {
+                self.try_revive(now);
+            }
+        }
+        if self.done() {
+            TickClass::Done
+        } else if self
+            .groups
+            .iter()
+            .flatten()
+            .any(|g| g.status == GroupStatus::WaitMem || g.status == GroupStatus::SlipSuspended)
+        {
+            self.stats.mem_stall_cycles.incr();
+            TickClass::StallMem
+        } else {
+            self.stats.idle_cycles.incr();
+            TickClass::Idle
+        }
+    }
+
+    fn any_slotted_ready(&self) -> bool {
+        self.groups
+            .iter()
+            .flatten()
+            .any(|g| g.slotted && g.status == GroupStatus::Ready)
+    }
+
+    /// Round-robin over slotted ready groups.
+    fn pick_group(&mut self, now: Cycle) -> Option<GroupId> {
+        let n = self.groups.len();
+        if n == 0 {
+            return None;
+        }
+        for off in 0..n {
+            let i = (self.rr_cursor + off) % n;
+            if let Some(g) = &self.groups[i] {
+                if g.issuable(now) {
+                    self.rr_cursor = (i + 1) % n;
+                    return Some(GroupId(i));
+                }
+            }
+        }
+        None
+    }
+
+    /// Zero-cost bookkeeping before issuing at the group's PC: local-stack
+    /// pops, stack re-convergence, BranchLimited waits, slip interactions.
+    fn pre_issue(&mut self, gid: GroupId, now: Cycle) -> PreIssue {
+        // Innermost first: pop local serialization frames.
+        if let Some(r) = self.group(gid).local_rpc {
+            if self.group(gid).pc == r {
+                self.pop_local(gid);
+                return PreIssue::Redirect;
+            }
+        }
+
+        let warp = self.group(gid).warp;
+
+        // PC-based re-convergence: the running split re-unites with any
+        // ready sibling whose PC (and serialization context) matches —
+        // the WST's PC fields act as a small CAM. Checking at issue, not
+        // only after memory instructions, is what lets an empty-path
+        // branch split re-merge right after the short path finishes
+        // (Figure 6's "re-united naturally without stalling").
+        if self.dws_pc_based()
+            && matches!(self.cfg.policy, Policy::Dws(c) if c.issue_pc_cam)
+            && self.wst.groups_of(warp) > 1
+        {
+            let before = self.wst.groups_of(warp);
+            self.try_pc_merge_at(gid, now);
+            if self.wst.groups_of(warp) != before {
+                return PreIssue::Redirect;
+            }
+        }
+
+        // Slip catch-up: a group reaching the PC where its run-ahead
+        // stalled merges into it (checked before stack handling so the
+        // re-union happens even when that PC is a re-convergence point).
+        if matches!(self.cfg.policy, Policy::Slip(_)) && self.group(gid).slip_catchup {
+            if let Some(primary) = self.sibling_ids(warp, gid).into_iter().find(|&s| {
+                let sg = self.group(s);
+                sg.status == GroupStatus::SlipStalledAtBranch
+                    && sg.pc == self.group(gid).pc
+                    && sg.local_ctx_compatible(self.group(gid))
+            }) {
+                // kill_group (via merge_into) wakes the primary once it is
+                // the last group of the warp.
+                self.merge_into(primary, gid, now);
+                return PreIssue::Redirect;
+            }
+        }
+
+        // Warp-stack re-convergence point.
+        if self.group(gid).local_rpc.is_none() {
+            if let Some(rpc) = self.warps[warp].tos().rpc {
+                if self.group(gid).pc == rpc {
+                    if self.wst.groups_of(warp) == 1 {
+                        self.pop_warp_frame(gid);
+                    } else if matches!(self.cfg.policy, Policy::Slip(_)) {
+                        // Fall-behind threads can never arrive at the
+                        // post-dominator on their own; park the run-ahead
+                        // and let them catch up independently.
+                        self.group_mut(gid).status = GroupStatus::SlipStalledAtBranch;
+                        self.release_slot(gid);
+                        self.release_slip_catchups(warp, now);
+                    } else {
+                        self.group_mut(gid).status = GroupStatus::WaitReconv;
+                        self.release_slot(gid);
+                        self.try_stack_merge(warp, now);
+                    }
+                    return PreIssue::Redirect;
+                }
+            }
+        }
+
+        let inst = *self.program.inst(self.group(gid).pc);
+
+        // BranchLimited: splits must re-unite before any conditional branch.
+        if let Policy::Dws(c) = self.cfg.policy {
+            if c.branch_handling == BranchHandling::BranchLimited
+                && inst.is_branch()
+                && self.wst.groups_of(warp) > 1
+                && self.group(gid).local_rpc.is_none()
+            {
+                self.group_mut(gid).status = GroupStatus::WaitReconv;
+                self.release_slot(gid);
+                self.try_stack_merge(warp, now);
+                return PreIssue::Redirect;
+            }
+        }
+
+        if let Policy::Slip(sc) = self.cfg.policy {
+            // Fall-behind re-union: before the run-ahead executes a memory
+            // instruction, completed fall-behind threads suspended at this
+            // PC re-join it.
+            if inst.is_memory() && self.group(gid).slip_pc.is_none() {
+                self.slip_merge_at(gid);
+            }
+            // Plain slip: the run-ahead may not cross a conditional branch
+            // while threads are left behind.
+            if !sc.branch_bypass
+                && inst.is_branch()
+                && self.group(gid).slip_pc.is_none()
+                && !self.group(gid).slip_catchup
+                && self.has_slip_suspended(warp)
+            {
+                self.group_mut(gid).status = GroupStatus::SlipStalledAtBranch;
+                self.release_slot(gid);
+                self.release_slip_catchups(warp, now);
+                return PreIssue::Redirect;
+            }
+        }
+
+        PreIssue::Execute
+    }
+
+    /// Pops local serialization frames (conventional semantics) until a
+    /// frame with live threads is adopted. Frames whose threads all halted
+    /// — or were carved away by a memory-divergence split — are skipped.
+    fn pop_local(&mut self, gid: GroupId) {
+        let warp = self.group(gid).warp;
+        let halted = self.warps[warp].halted;
+        loop {
+            let g = self.group_mut(gid);
+            match g.local_stack.pop() {
+                Some(f) => {
+                    let live = f.mask - halted;
+                    if !live.is_empty() {
+                        g.pc = f.pc;
+                        g.local_rpc = f.rpc;
+                        g.mask = live;
+                        return;
+                    }
+                    // Empty path frame: skip it entirely.
+                }
+                None => {
+                    // Local context drained; continue at the join point
+                    // (the PC that matched the old local rpc) at the outer
+                    // level with the current mask.
+                    g.local_rpc = None;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Splits a group's local-frame ownership: threads in `child_mask` move
+    /// to the returned frame list; the input keeps the rest (including any
+    /// parked else-path threads). Keeps split halves from both resurrecting
+    /// the same parked threads when they pop their join frames.
+    fn partition_local_frames(frames: &mut [Frame], child_mask: Mask) -> Vec<Frame> {
+        let child = frames
+            .iter()
+            .map(|f| Frame {
+                pc: f.pc,
+                rpc: f.rpc,
+                mask: f.mask & child_mask,
+            })
+            .collect();
+        for f in frames.iter_mut() {
+            f.mask = f.mask - child_mask;
+        }
+        child
+    }
+
+    /// Conventional stack pop at the TOS re-convergence point (sole group).
+    fn pop_warp_frame(&mut self, gid: GroupId) {
+        let warp = self.group(gid).warp;
+        loop {
+            let w = &mut self.warps[warp];
+            assert!(w.stack.len() > 1, "pop of root frame");
+            w.stack.pop();
+            let tos = *w.tos();
+            let live = tos.mask - w.halted;
+            if !live.is_empty() {
+                let g = self.group_mut(gid);
+                g.pc = tos.pc;
+                g.mask = live;
+                return;
+            }
+            if w.stack.len() == 1 {
+                // Root drained: every thread halted under this frame.
+                self.kill_group(gid);
+                return;
+            }
+        }
+    }
+
+    /// Re-unites WaitReconv splits once they cover the TOS live mask.
+    fn try_stack_merge(&mut self, warp: usize, now: Cycle) {
+        let ids: Vec<GroupId> = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
+            .filter(|(_, g)| g.warp == warp && g.status == GroupStatus::WaitReconv)
+            .map(|(i, _)| GroupId(i))
+            .collect();
+        if ids.is_empty() {
+            return;
+        }
+        // All waiters must be at the same PC.
+        let pc = self.group(ids[0]).pc;
+        if ids.iter().any(|&i| self.group(i).pc != pc) {
+            return;
+        }
+        let union = ids.iter().fold(Mask::EMPTY, |m, &i| m | self.group(i).mask);
+        if union != self.warps[warp].tos_live_mask() {
+            return;
+        }
+        // Merge into the oldest.
+        let survivor = *ids
+            .iter()
+            .min_by_key(|&&i| self.group(i).seq)
+            .expect("nonempty");
+        for &i in &ids {
+            if i != survivor {
+                let mask = self.group(i).mask;
+                self.group_mut(survivor).mask = self.group(survivor).mask | mask;
+                self.kill_group(i);
+                self.stats.stack_merges.incr();
+            }
+        }
+        {
+            let g = self.group_mut(survivor);
+            g.status = GroupStatus::Ready;
+            g.ready_at = now;
+        }
+        let (spc, smask) = {
+            let g = self.group(survivor);
+            (g.pc, g.mask)
+        };
+        self.trace(TraceEvent::StackMerge {
+            cycle: now,
+            warp,
+            pc: spc,
+            mask: smask,
+        });
+        self.try_slot(survivor);
+        // If the union sits at the TOS rpc, the conventional pop happens on
+        // its next pre-issue; at a BranchLimited branch it just executes.
+    }
+
+    /// Attempts PC-based re-convergence of `gid` with ready siblings,
+    /// stamping trace events with `now`.
+    fn try_pc_merge_at(&mut self, gid: GroupId, now: Cycle) {
+        if self.group(gid).status != GroupStatus::Ready {
+            return;
+        }
+        let warp = self.group(gid).warp;
+        loop {
+            let partner = self
+                .sibling_ids(warp, gid)
+                .into_iter()
+                .find(|&s| self.group(gid).can_merge_with(self.group(s)));
+            match partner {
+                Some(p) => {
+                    // Keep the older as survivor for deterministic naming.
+                    let (survivor, victim) = if self.group(p).seq < self.group(gid).seq {
+                        (p, gid)
+                    } else {
+                        (gid, p)
+                    };
+                    self.merge_into(survivor, victim, self.group(survivor).ready_at);
+                    self.stats.pc_merges.incr();
+                    let (pc, mask) = {
+                        let g = self.group(survivor);
+                        (g.pc, g.mask)
+                    };
+                    self.trace(TraceEvent::PcMerge {
+                        cycle: now,
+                        warp,
+                        pc,
+                        mask,
+                    });
+                    if survivor != gid {
+                        return; // gid died
+                    }
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Merges `victim` into `survivor` (same warp, same PC, structurally
+    /// compatible local context). Frame masks union element-wise so each
+    /// group's parked-thread shares recombine.
+    fn merge_into(&mut self, survivor: GroupId, victim: GroupId, now: Cycle) {
+        debug_assert!(
+            self.group(survivor)
+                .local_ctx_compatible(self.group(victim)),
+            "merge of incompatible serialization contexts"
+        );
+        let vmask = self.group(victim).mask;
+        let vready = self.group(victim).ready_at;
+        let vframes = self.group(victim).local_stack.clone();
+        self.kill_group(victim);
+        let s = self.group_mut(survivor);
+        s.mask = s.mask | vmask;
+        s.ready_at = s.ready_at.max(vready).max(now);
+        for (sf, vf) in s.local_stack.iter_mut().zip(vframes) {
+            sf.mask = sf.mask | vf.mask;
+        }
+        if !self.group(survivor).slotted {
+            self.try_slot(survivor);
+        }
+    }
+
+    // ---- slip helpers -------------------------------------------------------
+
+    fn has_slip_suspended(&self, warp: usize) -> bool {
+        self.groups
+            .iter()
+            .flatten()
+            .any(|g| g.warp == warp && g.status == GroupStatus::SlipSuspended)
+    }
+
+    fn slip_suspended_count(&self, warp: usize) -> u32 {
+        self.groups
+            .iter()
+            .flatten()
+            .filter(|g| g.warp == warp && g.status == GroupStatus::SlipSuspended)
+            .map(|g| g.mask.count())
+            .sum()
+    }
+
+    /// Re-joins completed fall-behind threads suspended at `gid`'s PC.
+    fn slip_merge_at(&mut self, gid: GroupId) {
+        let warp = self.group(gid).warp;
+        let pc = self.group(gid).pc;
+        let ready: Vec<GroupId> = self
+            .sibling_ids(warp, gid)
+            .into_iter()
+            .filter(|&s| {
+                let sg = self.group(s);
+                sg.status == GroupStatus::SlipSuspended
+                    && sg.slip_pc == Some(pc)
+                    && self.warps[warp].arrived_lanes(sg.mask) == sg.mask
+                    && self.group(gid).local_ctx_compatible(sg)
+            })
+            .collect();
+        for s in ready {
+            self.merge_into(gid, s, Cycle::ZERO);
+            self.stats.slip_merges.incr();
+        }
+    }
+
+    /// Lets suspended fall-behind threads run independently (used when the
+    /// run-ahead can no longer revisit them: stalled at a branch, at a
+    /// barrier, or terminated).
+    fn release_slip_catchups(&mut self, warp: usize, now: Cycle) {
+        let ids: Vec<GroupId> = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
+            .filter(|(_, g)| g.warp == warp && g.status == GroupStatus::SlipSuspended)
+            .map(|(i, _)| GroupId(i))
+            .collect();
+        for gid in ids {
+            let arrived = {
+                let g = self.group(gid);
+                self.warps[warp].arrived_lanes(g.mask) == g.mask
+            };
+            let g = self.group_mut(gid);
+            g.slip_catchup = true;
+            if arrived {
+                g.status = GroupStatus::Ready;
+                g.ready_at = now;
+                g.slip_pc = None;
+                self.try_slot(gid);
+            }
+        }
+    }
+
+    /// Whether subdivision is currently permitted (always true unless the
+    /// adaptive-throttle extension is enabled and has tripped).
+    fn splits_allowed(&self) -> bool {
+        match self.cfg.policy {
+            Policy::Dws(c) if c.adaptive_throttle => self.throttle.split_enabled,
+            _ => true,
+        }
+    }
+
+    fn adapt_throttle(&mut self, now: Cycle) {
+        let Policy::Dws(c) = self.cfg.policy else {
+            return;
+        };
+        if !c.adaptive_throttle || now - self.throttle.last_adapt < THROTTLE_INTERVAL {
+            return;
+        }
+        let insts = self.stats.thread_insts.get();
+        let interval = (now - self.throttle.last_adapt) as f64;
+        let ipc = (insts - self.throttle.insts_snapshot) as f64 / interval;
+        match self.throttle.phase {
+            ThrottlePhase::ProbeOn => {
+                self.throttle.probe_on_ipc = ipc;
+                self.throttle.split_enabled = false;
+                self.throttle.phase = ThrottlePhase::DrainOff;
+            }
+            ThrottlePhase::DrainOff => {
+                // Fragments created before the switch have had an interval
+                // to re-merge; the next interval is a clean measurement.
+                self.throttle.phase = ThrottlePhase::ProbeOff;
+            }
+            ThrottlePhase::ProbeOff => {
+                // Commit to the winner; ties (within the margin) keep
+                // subdivision on, the paper's default behavior.
+                let on_wins = self.throttle.probe_on_ipc * THROTTLE_MARGIN >= ipc;
+                self.throttle.split_enabled = on_wins;
+                self.throttle.phase = ThrottlePhase::Committed(THROTTLE_COMMIT);
+            }
+            ThrottlePhase::Committed(n) => {
+                if n > 1 {
+                    self.throttle.phase = ThrottlePhase::Committed(n - 1);
+                } else {
+                    self.throttle.split_enabled = true;
+                    self.throttle.phase = ThrottlePhase::ProbeOn;
+                }
+            }
+        }
+        self.throttle.last_adapt = now;
+        self.throttle.insts_snapshot = insts;
+    }
+
+    fn adapt_slip(&mut self, now: Cycle) {
+        let Policy::Slip(sc) = self.cfg.policy else {
+            return;
+        };
+        if now - self.slip.last_adapt < sc.interval {
+            return;
+        }
+        let busy = self.stats.busy_cycles.get() - self.slip.busy_snapshot;
+        let stall = self.stats.mem_stall_cycles.get() - self.slip.stall_snapshot;
+        let interval = (now - self.slip.last_adapt) as f64;
+        let stall_frac = stall as f64 / interval;
+        let busy_frac = busy as f64 / interval;
+        if stall_frac > sc.raise_threshold {
+            self.slip.max_div = (self.slip.max_div + 1).min(self.cfg.width as u32);
+        } else if busy_frac > sc.lower_threshold {
+            self.slip.max_div = self.slip.max_div.saturating_sub(1);
+        }
+        self.slip.last_adapt = now;
+        self.slip.busy_snapshot = self.stats.busy_cycles.get();
+        self.slip.stall_snapshot = self.stats.mem_stall_cycles.get();
+    }
+
+    // ---- execution ----------------------------------------------------------
+
+    /// Executes the instruction at `gid`'s PC. Returns false on a
+    /// structural retry (the cycle is consumed either way).
+    fn execute(
+        &mut self,
+        gid: GroupId,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        data: &mut dyn MemoryAccess,
+    ) -> bool {
+        let pc = self.group(gid).pc;
+        let inst = *self.program.inst(pc);
+        let mask = self.group(gid).mask;
+        let warp = self.group(gid).warp;
+        debug_assert!(!mask.is_empty(), "issue with empty mask at pc {pc}");
+
+        // Instruction fetch (cold I-cache misses stall the group).
+        let fetch_ready = mem.icache_fetch(now, self.cfg.id, pc);
+        if fetch_ready > now + 1 {
+            // Anything beyond a 1-cycle hit: retry when the line arrives.
+            let g = self.group_mut(gid);
+            g.ready_at = fetch_ready;
+            self.current = None;
+            return false;
+        }
+
+        match inst {
+            Inst::Alu { .. } | Inst::Un { .. } | Inst::Set { .. } => {
+                self.stats.on_issue(mask.count());
+                let fp = is_fp_inst(&inst);
+                for lane in mask.iter() {
+                    let out = self.warps[warp].threads[lane].state.execute(&inst);
+                    debug_assert_eq!(out, StepOutcome::Next);
+                }
+                if fp {
+                    self.stats.fp_ops.add(mask.count() as u64);
+                } else {
+                    self.stats.int_ops.add(mask.count() as u64);
+                }
+                self.group_mut(gid).pc = pc + 1;
+                true
+            }
+            Inst::Jump { target } => {
+                self.stats.on_issue(mask.count());
+                self.stats.int_ops.add(mask.count() as u64);
+                self.group_mut(gid).pc = target;
+                true
+            }
+            Inst::Branch { .. } => {
+                self.stats.on_issue(mask.count());
+                self.stats.int_ops.add(mask.count() as u64);
+                self.exec_branch(gid, pc, &inst, now);
+                true
+            }
+            Inst::Load { .. } | Inst::Store { .. } => {
+                self.exec_memory(gid, pc, &inst, now, mem, data)
+            }
+            Inst::Barrier => {
+                self.stats.on_issue(mask.count());
+                let g = self.group_mut(gid);
+                g.status = GroupStatus::WaitBarrier;
+                self.release_slot(gid);
+                // Fall-behind slip threads must be able to reach the
+                // barrier on their own.
+                if matches!(self.cfg.policy, Policy::Slip(_)) {
+                    self.release_slip_catchups(warp, now);
+                }
+                self.current = None;
+                true
+            }
+            Inst::Halt => {
+                self.stats.on_issue(mask.count());
+                self.exec_halt(gid, now);
+                self.current = None;
+                true
+            }
+        }
+    }
+
+    fn exec_branch(&mut self, gid: GroupId, pc: usize, inst: &Inst, now: Cycle) {
+        let warp = self.group(gid).warp;
+        let mask = self.group(gid).mask;
+        let mut taken = Mask::EMPTY;
+        for lane in mask.iter() {
+            match self.warps[warp].threads[lane].state.execute(inst) {
+                StepOutcome::Jump(_) => taken.set(lane),
+                StepOutcome::Next => {}
+                other => unreachable!("branch produced {other:?}"),
+            }
+        }
+        let fallthrough = mask - taken;
+        let target = match *inst {
+            Inst::Branch { target, .. } => target,
+            _ => unreachable!("exec_branch on non-branch"),
+        };
+        let divergent = !taken.is_empty() && !fallthrough.is_empty();
+        self.stats.on_branch(divergent);
+
+        if !divergent {
+            self.group_mut(gid).pc = if fallthrough.is_empty() {
+                target
+            } else {
+                pc + 1
+            };
+            return;
+        }
+
+        let info = *self
+            .program
+            .branch_info(pc)
+            .expect("divergent conditional branch has metadata");
+
+        // DWS branch subdivision.
+        if let Policy::Dws(c) = self.cfg.policy {
+            if c.branch_split && info.subdividable && self.splits_allowed() {
+                if self.wst.can_split(warp) {
+                    // Keep executing the path that still has work before the
+                    // post-dominator; park the other as the sibling split.
+                    // When the taken edge jumps straight to the
+                    // post-dominator (`if` with no else), this lets the body
+                    // side catch up one instruction later and re-unite via
+                    // the PC match at essentially conventional cost.
+                    let (run_mask, run_pc, park_mask, park_pc) =
+                        if c.park_short_path && target == info.ipdom {
+                            (fallthrough, pc + 1, taken, target)
+                        } else {
+                            (taken, target, fallthrough, pc + 1)
+                        };
+                    let sib = self.spawn_group(warp, park_pc, park_mask);
+                    {
+                        // The sibling takes its threads' share of any
+                        // serialization context.
+                        let local = Self::partition_local_frames(
+                            &mut self.groups[gid.0].as_mut().expect("live").local_stack,
+                            park_mask,
+                        );
+                        let lrpc = self.group(gid).local_rpc;
+                        let s = self.group_mut(sib);
+                        s.local_stack = local;
+                        s.local_rpc = lrpc;
+                        s.ready_at = now;
+                    }
+                    self.try_slot(sib);
+                    let g = self.group_mut(gid);
+                    g.mask = run_mask;
+                    g.pc = run_pc;
+                    self.stats.branch_splits.incr();
+                    self.trace(TraceEvent::BranchSplit {
+                        cycle: now,
+                        warp,
+                        pc,
+                        run_mask,
+                        park_mask,
+                    });
+                    return;
+                }
+                self.stats.wst_full_events.incr();
+            }
+        }
+
+        // Conventional serialization: on the warp stack when this group is
+        // the entire current region, privately otherwise.
+        let sole_region = self.wst.groups_of(warp) == 1
+            && self.group(gid).local_rpc.is_none()
+            && self.group(gid).mask == self.warps[warp].tos_live_mask();
+        if sole_region && info.ipdom != RECONV_NONE {
+            let w = &mut self.warps[warp];
+            let tos = w.stack.last_mut().expect("root frame");
+            tos.pc = info.ipdom;
+            w.stack.push(Frame {
+                pc: pc + 1,
+                rpc: Some(info.ipdom),
+                mask: fallthrough,
+            });
+            w.stack.push(Frame {
+                pc: target,
+                rpc: Some(info.ipdom),
+                mask: taken,
+            });
+            let g = self.group_mut(gid);
+            g.mask = taken;
+            g.pc = target;
+        } else {
+            // Private serialization within the split.
+            let r = info.ipdom; // may be RECONV_NONE: frames then pop at Halt
+            let g = self.group_mut(gid);
+            g.local_stack.push(Frame {
+                pc: r,
+                rpc: g.local_rpc,
+                mask: g.mask,
+            });
+            g.local_stack.push(Frame {
+                pc: pc + 1,
+                rpc: Some(r),
+                mask: fallthrough,
+            });
+            g.local_rpc = Some(r);
+            g.mask = taken;
+            g.pc = target;
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_memory(
+        &mut self,
+        gid: GroupId,
+        pc: usize,
+        inst: &Inst,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        data: &mut dyn MemoryAccess,
+    ) -> bool {
+        let warp = self.group(gid).warp;
+        let mask = self.group(gid).mask;
+
+        // Decode per-lane addresses (no functional effect yet).
+        let mut ops: Vec<(usize, StepOutcome)> = Vec::with_capacity(mask.count() as usize);
+        for lane in mask.iter() {
+            let out = self.warps[warp].threads[lane].state.execute(inst);
+            ops.push((lane, out));
+        }
+        let accesses: Vec<LaneAccess> = ops
+            .iter()
+            .map(|&(lane, out)| match out {
+                StepOutcome::Load { addr, .. } => LaneAccess {
+                    lane,
+                    addr,
+                    kind: AccessKind::Load,
+                },
+                StepOutcome::Store { addr, .. } => LaneAccess {
+                    lane,
+                    addr,
+                    kind: AccessKind::Store,
+                },
+                other => unreachable!("memory inst produced {other:?}"),
+            })
+            .collect();
+
+        let Some(outcomes) = mem.warp_access(now, self.cfg.id, &accesses) else {
+            // MSHRs exhausted: structural stall; retry this group shortly
+            // while other groups issue.
+            let g = self.group_mut(gid);
+            g.ready_at = now + 1;
+            self.current = None;
+            return false;
+        };
+
+        self.stats.on_issue(mask.count());
+        match inst {
+            Inst::Load { .. } => self.stats.loads.add(mask.count() as u64),
+            _ => self.stats.stores.add(mask.count() as u64),
+        }
+
+        // Functional effects (data-race-free kernels make ordering benign).
+        for &(lane, out) in &ops {
+            match out {
+                StepOutcome::Load { addr, dst } => {
+                    let v = data.load_word(addr);
+                    self.warps[warp].threads[lane].state.set_reg(dst, v);
+                }
+                StepOutcome::Store { addr, value } => {
+                    data.store_word(addr, value);
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        // Classify outcomes.
+        let mut hit_mask = Mask::EMPTY;
+        let mut miss_mask = Mask::EMPTY;
+        let mut hit_ready = now;
+        let mut miss_lines: Vec<u64> = Vec::new();
+        for (o, a) in outcomes.iter().zip(&accesses) {
+            match o.outcome {
+                AccessOutcome::Hit { ready_at } => {
+                    hit_mask.set(o.lane);
+                    hit_ready = hit_ready.max(ready_at);
+                }
+                AccessOutcome::Miss { request } => {
+                    miss_mask.set(o.lane);
+                    self.warps[warp].threads[o.lane].pending = Some(request);
+                    self.warps[warp].threads[o.lane].miss_count += 1;
+                    self.req_map.insert(request, (warp, o.lane));
+                    let line = a.addr / 128;
+                    if !miss_lines.contains(&line) {
+                        miss_lines.push(line);
+                    }
+                }
+            }
+        }
+        let any_miss = !miss_mask.is_empty();
+        let divergent = (any_miss && !hit_mask.is_empty()) || miss_lines.len() > 1;
+        self.stats.on_mem_access(any_miss, divergent);
+
+        self.group_mut(gid).pc = pc + 1;
+
+        if !any_miss {
+            let g = self.group_mut(gid);
+            g.status = GroupStatus::Ready;
+            g.ready_at = hit_ready;
+            if self.dws_pc_based() {
+                self.try_pc_merge_at(gid, now);
+            }
+            self.current = None; // switch on every cache access
+            return true;
+        }
+
+        let mem_divergent = !hit_mask.is_empty();
+        match self.cfg.policy {
+            Policy::Dws(c) if c.mem_split.is_some() && mem_divergent => {
+                let scheme = c.mem_split.expect("checked");
+                let others_ready = self
+                    .groups
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
+                    .any(|(i, g)| GroupId(i) != gid && g.slotted && g.status == GroupStatus::Ready);
+                let split_now = match scheme {
+                    MemSplit::Aggressive => true,
+                    MemSplit::Lazy | MemSplit::Revive => !others_ready,
+                } && self.splits_allowed();
+                if !self.splits_allowed() {
+                    self.stats.throttle_suppressed.incr();
+                }
+                if split_now && self.wst.can_split(warp) {
+                    self.split_on_mem(gid, hit_mask, miss_mask, hit_ready, now);
+                    self.stats.mem_splits.incr();
+                } else {
+                    if split_now {
+                        self.stats.wst_full_events.incr();
+                    } else {
+                        self.stats.lazy_suppressed.incr();
+                    }
+                    self.group_mut(gid).status = GroupStatus::WaitMem;
+                }
+            }
+            Policy::Slip(_) if mem_divergent => {
+                let allowed = self.slip_suspended_count(warp) + miss_mask.count()
+                    <= self.slip.max_div
+                    && !self.group(gid).slip_catchup;
+                if allowed {
+                    // Fall-behind threads suspend *at* the memory PC; they
+                    // re-execute it (as hits) when re-united.
+                    let sib = self.spawn_group(warp, pc, miss_mask);
+                    {
+                        let local = Self::partition_local_frames(
+                            &mut self.groups[gid.0].as_mut().expect("live").local_stack,
+                            miss_mask,
+                        );
+                        let lrpc = self.group(gid).local_rpc;
+                        let s = self.group_mut(sib);
+                        s.status = GroupStatus::SlipSuspended;
+                        s.slip_pc = Some(pc);
+                        s.local_stack = local;
+                        s.local_rpc = lrpc;
+                        s.slotted = false;
+                    }
+                    let g = self.group_mut(gid);
+                    g.mask = hit_mask;
+                    g.status = GroupStatus::Ready;
+                    g.ready_at = hit_ready;
+                    self.stats.slip_events.incr();
+                } else {
+                    self.group_mut(gid).status = GroupStatus::WaitMem;
+                }
+            }
+            _ => {
+                // Conventional: the whole group waits for the slowest lane.
+                self.group_mut(gid).status = GroupStatus::WaitMem;
+            }
+        }
+        self.current = None; // switch on every cache access
+        true
+    }
+
+    /// Splits `gid` into a run-ahead (hit) group and the waiting remainder.
+    fn split_on_mem(
+        &mut self,
+        gid: GroupId,
+        hit_mask: Mask,
+        miss_mask: Mask,
+        hit_ready: Cycle,
+        now: Cycle,
+    ) {
+        let warp = self.group(gid).warp;
+        let pc = self.group(gid).pc;
+        let run_ahead = self.spawn_group(warp, pc, hit_mask);
+        {
+            let local = Self::partition_local_frames(
+                &mut self.groups[gid.0].as_mut().expect("live").local_stack,
+                hit_mask,
+            );
+            let lrpc = self.group(gid).local_rpc;
+            let s = self.group_mut(run_ahead);
+            s.local_stack = local;
+            s.local_rpc = lrpc;
+            s.ready_at = hit_ready;
+        }
+        self.try_slot(run_ahead);
+        let g = self.group_mut(gid);
+        g.mask = miss_mask;
+        g.status = GroupStatus::WaitMem;
+        self.trace(TraceEvent::MemSplit {
+            cycle: now,
+            warp,
+            pc,
+            hit_mask,
+            miss_mask,
+        });
+    }
+
+    /// ReviveSplit: when the pipeline stalls, let arrived threads of one
+    /// suspended group run ahead (paper Section 5.2).
+    fn try_revive(&mut self, now: Cycle) {
+        if !self.splits_allowed() || self.slots_in_use() >= self.cfg.sched_slots {
+            return;
+        }
+        let candidate = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
+            .filter(|(_, g)| g.status == GroupStatus::WaitMem)
+            .filter(|(_, g)| {
+                let arrived = self.warps[g.warp].arrived_lanes(g.mask);
+                !arrived.is_empty() && arrived != g.mask
+            })
+            .filter(|(_, g)| self.wst.can_split(g.warp))
+            .min_by_key(|(_, g)| g.seq)
+            .map(|(i, _)| GroupId(i));
+        let Some(gid) = candidate else {
+            return;
+        };
+        let warp = self.group(gid).warp;
+        let arrived = self.warps[warp].arrived_lanes(self.group(gid).mask);
+        let pc = self.group(gid).pc;
+        let run_ahead = self.spawn_group(warp, pc, arrived);
+        {
+            let local = Self::partition_local_frames(
+                &mut self.groups[gid.0].as_mut().expect("live").local_stack,
+                arrived,
+            );
+            let lrpc = self.group(gid).local_rpc;
+            let s = self.group_mut(run_ahead);
+            s.local_stack = local;
+            s.local_rpc = lrpc;
+            s.ready_at = now + 1;
+        }
+        self.try_slot(run_ahead);
+        let g = self.group_mut(gid);
+        g.mask = g.mask - arrived;
+        self.stats.revive_splits.incr();
+        self.trace(TraceEvent::Revive {
+            cycle: now,
+            warp,
+            pc,
+            mask: arrived,
+        });
+    }
+
+    fn exec_halt(&mut self, gid: GroupId, now: Cycle) {
+        let warp = self.group(gid).warp;
+        let mask = self.group(gid).mask;
+        for lane in mask.iter() {
+            if !self.warps[warp].threads[lane].halted {
+                self.warps[warp].threads[lane].halted = true;
+                self.live_threads -= 1;
+            }
+        }
+        self.warps[warp].halted = self.warps[warp].halted | mask;
+
+        // Resume any serialized local paths first.
+        if self.group(gid).local_rpc.is_some() || !self.group(gid).local_stack.is_empty() {
+            // Pop local frames until a live path emerges.
+            let halted = self.warps[warp].halted;
+            loop {
+                let g = self.group_mut(gid);
+                match g.local_stack.pop() {
+                    Some(f) => {
+                        let live = f.mask - halted;
+                        if !live.is_empty() {
+                            g.pc = f.pc;
+                            g.local_rpc = f.rpc;
+                            g.mask = live;
+                            g.status = GroupStatus::Ready;
+                            g.ready_at = now;
+                            return;
+                        }
+                    }
+                    None => {
+                        g.local_rpc = None;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Sole group: unwind the warp stack for any live parked paths.
+        if self.wst.groups_of(warp) == 1 {
+            while self.warps[warp].stack.len() > 1 {
+                self.warps[warp].stack.pop();
+                let tos = *self.warps[warp].tos();
+                let live = tos.mask - self.warps[warp].halted;
+                if !live.is_empty() {
+                    let g = self.group_mut(gid);
+                    g.pc = tos.pc;
+                    g.mask = live;
+                    g.status = GroupStatus::Ready;
+                    g.ready_at = now;
+                    return;
+                }
+            }
+        }
+
+        // Nothing live to resume in this group.
+        if matches!(self.cfg.policy, Policy::Slip(_)) {
+            self.release_slip_catchups(warp, now);
+        }
+        self.kill_group(gid);
+        // If siblings also ended (e.g. all waiting at a reconvergence that
+        // can now complete), the stack-merge path handles them on their own
+        // pre-issue; but their target mask shrank, so re-check now.
+        if self.wst.groups_of(warp) > 1 {
+            self.try_stack_merge(warp, now);
+        }
+    }
+
+    // ---- barrier ------------------------------------------------------------
+
+    /// Releases every group waiting at the global barrier (called by the
+    /// simulator once all live threads of the machine have arrived). Splits
+    /// of the same warp re-converge here, per Section 5.4.
+    pub fn release_barrier(&mut self, now: Cycle) {
+        self.trace(TraceEvent::BarrierRelease { cycle: now });
+        for warp in 0..self.cfg.n_warps {
+            let ids: Vec<GroupId> = self
+                .groups
+                .iter()
+                .enumerate()
+                .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
+                .filter(|(_, g)| g.warp == warp && g.status == GroupStatus::WaitBarrier)
+                .map(|(i, _)| GroupId(i))
+                .collect();
+            if ids.is_empty() {
+                continue;
+            }
+            let survivor = *ids
+                .iter()
+                .min_by_key(|&&i| self.group(i).seq)
+                .expect("nonempty");
+            for &i in &ids {
+                if i != survivor {
+                    let mask = self.group(i).mask;
+                    self.group_mut(survivor).mask = self.group(survivor).mask | mask;
+                    self.kill_group(i);
+                    self.stats.stack_merges.incr();
+                }
+            }
+            let g = self.group_mut(survivor);
+            g.status = GroupStatus::Ready;
+            g.ready_at = now;
+            g.pc += 1;
+            g.slip_catchup = false;
+            self.try_slot(survivor);
+        }
+    }
+}
+
+fn is_fp_inst(inst: &Inst) -> bool {
+    use dws_isa::{AluOp, UnOp};
+    match inst {
+        Inst::Alu { op, .. } => matches!(
+            op,
+            AluOp::FAdd | AluOp::FSub | AluOp::FMul | AluOp::FDiv | AluOp::FMin | AluOp::FMax
+        ),
+        Inst::Un { op, .. } => matches!(
+            op,
+            UnOp::FNeg | UnOp::FAbs | UnOp::FSqrt | UnOp::I2F | UnOp::F2I
+        ),
+        _ => false,
+    }
+}
+
+impl Wpu {
+    /// Debug helper: one line per live group (used by diagnostics and
+    /// deadlock reports).
+    pub fn dump_groups(&self) -> String {
+        let mut s = String::new();
+        for g in self.groups.iter().flatten() {
+            s.push_str(&format!(
+                "warp={} pc={} mask={} status={:?} ready_at={} lrpc={:?} ldepth={} slot={} catchup={} slip_pc={:?}\n",
+                g.warp, g.pc, g.mask, g.status, g.ready_at, g.local_rpc,
+                g.local_stack.len(), g.slotted, g.slip_catchup, g.slip_pc
+            ));
+        }
+        for w in &self.warps {
+            s.push_str(&format!(
+                "warp {} stack={:?} halted={}\n",
+                w.id, w.stack, w.halted
+            ));
+        }
+        s
+    }
+}

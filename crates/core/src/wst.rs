@@ -1,0 +1,134 @@
+//! Warp-split table accounting (paper Sections 4.4, 5.6, 6.7).
+//!
+//! The WST holds one entry per warp-split. A warp that has not been
+//! subdivided is tracked by the baseline scheduler and consumes no WST
+//! entry; the moment it splits, each of its groups needs one. When the
+//! table is full, subdivision is disabled ("warps are not able to be
+//! subdivided when the WST is already full"). The paper limits the WST to
+//! 16 entries at a cost of 84 bits each (< 1% of WPU storage area).
+
+/// Tracks WST occupancy across the warps of one WPU.
+#[derive(Debug, Clone)]
+pub struct WstAccounting {
+    capacity: usize,
+    /// Number of groups per warp.
+    groups_per_warp: Vec<usize>,
+    /// Peak occupancy observed (reported by the harness).
+    peak: usize,
+}
+
+impl WstAccounting {
+    /// Creates accounting for `n_warps` warps and `capacity` WST entries.
+    pub fn new(n_warps: usize, capacity: usize) -> Self {
+        WstAccounting {
+            capacity,
+            groups_per_warp: vec![0; n_warps],
+            peak: 0,
+        }
+    }
+
+    /// Current number of occupied entries: subdivided warps contribute one
+    /// entry per split; unsplit warps contribute none.
+    pub fn used(&self) -> usize {
+        self.groups_per_warp
+            .iter()
+            .map(|&g| if g > 1 { g } else { 0 })
+            .sum()
+    }
+
+    /// Entries that would be occupied if `warp` were split once more.
+    fn used_after_split(&self, warp: usize) -> usize {
+        let extra = if self.groups_per_warp[warp] == 1 {
+            2
+        } else {
+            1
+        };
+        self.used() + extra
+    }
+
+    /// Whether warp `warp` may be subdivided (one group becoming two).
+    pub fn can_split(&self, warp: usize) -> bool {
+        self.used_after_split(warp) <= self.capacity
+    }
+
+    /// Records that `warp` gained a group (spawn or split).
+    pub fn on_group_created(&mut self, warp: usize) {
+        self.groups_per_warp[warp] += 1;
+        let used = self.used();
+        if used > self.peak {
+            self.peak = used;
+        }
+    }
+
+    /// Records that `warp` lost a group (merge or death).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warp has no groups.
+    pub fn on_group_removed(&mut self, warp: usize) {
+        assert!(self.groups_per_warp[warp] > 0, "group underflow");
+        self.groups_per_warp[warp] -= 1;
+    }
+
+    /// Number of groups warp `warp` currently has.
+    pub fn groups_of(&self, warp: usize) -> usize {
+        self.groups_per_warp[warp]
+    }
+
+    /// Peak simultaneous WST occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsplit_warps_consume_nothing() {
+        let mut w = WstAccounting::new(4, 16);
+        for warp in 0..4 {
+            w.on_group_created(warp);
+        }
+        assert_eq!(w.used(), 0);
+        assert!(w.can_split(0));
+    }
+
+    #[test]
+    fn splitting_consumes_entries() {
+        let mut w = WstAccounting::new(2, 4);
+        w.on_group_created(0);
+        w.on_group_created(1);
+        // Split warp 0: 1 -> 2 groups, costs 2 entries.
+        assert!(w.can_split(0));
+        w.on_group_created(0);
+        assert_eq!(w.used(), 2);
+        // Split warp 0 again: 2 -> 3 groups, costs 1 entry.
+        assert!(w.can_split(0));
+        w.on_group_created(0);
+        assert_eq!(w.used(), 3);
+        // Splitting warp 1 (1 -> 2) needs 2 entries; only 1 free.
+        assert!(!w.can_split(1));
+        // Merging warp 0 back frees entries.
+        w.on_group_removed(0);
+        w.on_group_removed(0);
+        assert_eq!(w.used(), 0);
+        assert!(w.can_split(1));
+        assert_eq!(w.peak(), 3);
+        assert_eq!(w.capacity(), 4);
+        assert_eq!(w.groups_of(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn removing_from_empty_warp_panics() {
+        let mut w = WstAccounting::new(1, 4);
+        w.on_group_removed(0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based test: for *randomly generated* structured kernels, every
+//! scheduling policy — conventional, the full DWS matrix, adaptive slip —
+//! must produce memory contents identical to the timing-free reference
+//! runner. This is the strongest correctness property of the simulator:
+//! subdivision, re-convergence, slip and barrier logic may change timing,
+//! never results.
+
+use dws_core::{MemSplit, Policy, TickClass, Wpu, WpuConfig};
+use dws_engine::Cycle;
+use dws_isa::{CondOp, KernelBuilder, Operand, Program, ReferenceRunner, Reg, VecMemory};
+use dws_mem::{MemConfig, MemorySystem};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Words of scratch memory each generated kernel may touch.
+const MEM_WORDS: i64 = 512;
+
+/// A tiny structured-program AST we can generate and compile.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// dst_reg, src selector, immediate
+    Arith(u8, u8, i64),
+    /// value reg, address-selector immediate word index
+    Store(u8, i64),
+    /// dst reg, address word index offset by a register
+    Load(u8, u8),
+    /// condition on (reg cmp imm): then-branch, else-branch
+    If(u8, i64, Vec<Stmt>, Vec<Stmt>),
+    /// bounded loop: iterations 1..=4, body
+    Loop(u8, Vec<Stmt>),
+}
+
+fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (0u8..4, 0u8..4, -7i64..7).prop_map(|(d, s, i)| Stmt::Arith(d, s, i)),
+        (0u8..4, 0i64..MEM_WORDS / 2).prop_map(|(r, w)| Stmt::Store(r, w)),
+        (0u8..4, 0u8..4).prop_map(|(d, a)| Stmt::Load(d, a)),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            (
+                0u8..4,
+                -3i64..3,
+                prop::collection::vec(inner.clone(), 1..4),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(r, imm, t, e)| Stmt::If(r, imm, t, e)),
+            (1u8..4, prop::collection::vec(inner, 1..4)).prop_map(|(n, b)| Stmt::Loop(n, b)),
+        ]
+    })
+}
+
+/// Compiles the AST into a kernel. Every thread runs the same statements on
+/// thread-dependent data, then stores its registers to a thread-private
+/// output slice.
+fn compile(stmts: &[Stmt], nthreads: i64) -> Program {
+    let mut b = KernelBuilder::new();
+    let tid = b.tid();
+    let regs: Vec<Reg> = (0..4).map(|_| b.reg()).collect();
+    let addr = b.reg();
+    let tmp = b.reg();
+    // Seed registers from tid so threads diverge.
+    for (i, &r) in regs.iter().enumerate() {
+        b.mul(tmp, tid, Operand::Imm(i as i64 * 3 + 1));
+        b.add(regs[i], Operand::Reg(tmp), Operand::Imm(i as i64));
+        let _ = r;
+    }
+    emit(&mut b, stmts, &regs, addr, tmp, tid);
+    // Write out all registers to out[tid*4 + i].
+    for (i, &r) in regs.iter().enumerate() {
+        b.mul(addr, tid, Operand::Imm(4));
+        b.add(addr, Operand::Reg(addr), Operand::Imm(i as i64));
+        b.rem(addr, Operand::Reg(addr), Operand::Imm(MEM_WORDS / 2));
+        b.add(addr, Operand::Reg(addr), Operand::Imm(MEM_WORDS / 2));
+        b.mul(addr, Operand::Reg(addr), Operand::Imm(8));
+        b.store(Operand::Reg(r), addr, 0);
+    }
+    b.halt();
+    let _ = nthreads;
+    b.build().expect("generated kernel is well-formed")
+}
+
+fn emit(b: &mut KernelBuilder, stmts: &[Stmt], regs: &[Reg], addr: Reg, tmp: Reg, tid: Reg) {
+    for s in stmts {
+        match s {
+            Stmt::Arith(d, src, imm) => {
+                let d = regs[*d as usize % regs.len()];
+                let src = regs[*src as usize % regs.len()];
+                b.mul(tmp, Operand::Reg(src), Operand::Imm(3));
+                b.add(d, Operand::Reg(tmp), Operand::Imm(*imm));
+                b.rem(d, Operand::Reg(d), Operand::Imm(1009));
+            }
+            Stmt::Store(r, w) => {
+                // Strictly thread-private slot (16 words per thread):
+                // slot = tid*16 + (w mod 16). Cross-thread races would make
+                // results interleaving-dependent and the property unsound.
+                let r = regs[*r as usize % regs.len()];
+                b.mul(addr, tid, Operand::Imm(16));
+                b.add(addr, Operand::Reg(addr), Operand::Imm(*w % 16));
+                b.mul(addr, Operand::Reg(addr), Operand::Imm(8));
+                b.store(Operand::Reg(r), addr, 0);
+            }
+            Stmt::Load(d, a) => {
+                // Load from the thread's own 16-word window, index chosen
+                // by a register value (data-dependent, but race-free).
+                let d = regs[*d as usize % regs.len()];
+                let a = regs[*a as usize % regs.len()];
+                b.rem(addr, Operand::Reg(a), Operand::Imm(16));
+                b.if_then(CondOp::Lt, Operand::Reg(addr), Operand::Imm(0), |b| {
+                    b.add(addr, Operand::Reg(addr), Operand::Imm(16));
+                });
+                b.mul(tmp, tid, Operand::Imm(16));
+                b.add(addr, Operand::Reg(addr), Operand::Reg(tmp));
+                b.mul(addr, Operand::Reg(addr), Operand::Imm(8));
+                b.load(d, addr, 0);
+            }
+            Stmt::If(r, imm, t, e) => {
+                let r = regs[*r as usize % regs.len()];
+                let (t, e) = (t.clone(), e.clone());
+                let regs2 = regs.to_vec();
+                b.if_then_else(
+                    CondOp::Gt,
+                    Operand::Reg(r),
+                    Operand::Imm(*imm),
+                    |b| emit(b, &t, &regs2, addr, tmp, tid),
+                    |b| emit(b, &e, &regs2, addr, tmp, tid),
+                );
+            }
+            Stmt::Loop(n, body) => {
+                let i = b.reg();
+                let body = body.clone();
+                let regs2 = regs.to_vec();
+                b.for_range(
+                    i,
+                    Operand::Imm(0),
+                    Operand::Imm(*n as i64),
+                    Operand::Imm(1),
+                    |b| emit(b, &body, &regs2, addr, tmp, tid),
+                );
+            }
+        }
+    }
+}
+
+/// Runs the program on a 2-warp, 8-wide WPU under `policy`.
+fn run_policy(program: &Program, policy: Policy, mem0: &VecMemory) -> VecMemory {
+    let program = Arc::new(program.clone());
+    let mut cfg = WpuConfig::paper(0, policy);
+    cfg.n_warps = 2;
+    cfg.width = 8;
+    cfg.sched_slots = 4;
+    let mut wpu = Wpu::new(cfg, program, 0, 16);
+    let mut mem = MemorySystem::new(MemConfig::paper(1, 8));
+    let mut data = mem0.clone();
+    let mut now = Cycle(0);
+    loop {
+        for c in mem.drain_completions(now) {
+            wpu.on_completion(c.request, c.at);
+        }
+        match wpu.tick(now, &mut mem, &mut data) {
+            TickClass::Done => break,
+            _ => {}
+        }
+        let live = wpu.live_threads();
+        if live > 0 && wpu.barrier_waiting() == live {
+            wpu.release_barrier(now);
+        }
+        now += 1;
+        assert!(now.raw() < 20_000_000, "policy {policy:?} did not finish");
+    }
+    data
+}
+
+fn output_region(mem: &VecMemory) -> &[u64] {
+    &mem.words()[(MEM_WORDS / 2) as usize..]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_kernels_agree_across_policies(
+        stmts in prop::collection::vec(stmt_strategy(3), 1..8)
+    ) {
+        let program = compile(&stmts, 16);
+        let mem0 = VecMemory::new(MEM_WORDS as u64 * 8);
+        // Reference: lockstep-free execution.
+        let mut reference = mem0.clone();
+        ReferenceRunner::new(&program, 16)
+            .with_step_budget(10_000_000)
+            .run(&mut reference)
+            .expect("reference terminates");
+        for policy in [
+            Policy::conventional(),
+            Policy::dws_branch_stack(),
+            Policy::dws_branch_only(),
+            Policy::dws_mem_only(),
+            Policy::dws_aggress(),
+            Policy::dws_lazy(),
+            Policy::dws_revive(),
+            Policy::dws_revive_throttled(),
+            Policy::dws_branch_limited(MemSplit::Revive),
+            Policy::slip(),
+            Policy::slip_branch_bypass(),
+        ] {
+            let out = run_policy(&program, policy, &mem0);
+            prop_assert_eq!(
+                output_region(&out),
+                output_region(&reference),
+                "policy {} diverged from reference",
+                policy.paper_name()
+            );
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Event-count energy model in the style the paper uses (Section 3.3):
+//! Cacti 4.2 for cache read/write and leakage, Wattch for the pipeline
+//! (fetch/decode, integer ALUs, FP ALUs, register files, result bus, clock,
+//! leakage), Pullini et al. for the crossbar, and 220 nJ per physical
+//! memory access.
+//!
+//! Dynamic energy accrues per event; static energy (clock + leakage) grows
+//! linearly with runtime — which is why, at 65 nm, DWS's speedups turn
+//! into the paper's ~30% energy savings (Figure 19). Coefficients are
+//! order-of-magnitude 65 nm values; EXPERIMENTS.md reports shapes, not
+//! absolute joules.
+
+use dws_core::WpuStats;
+use dws_mem::MemStats;
+
+/// Per-event energy coefficients (joules) and static power (watts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Fetch + decode per warp instruction.
+    pub fetch_decode_j: f64,
+    /// Integer ALU op, per lane.
+    pub int_op_j: f64,
+    /// Floating-point op, per lane.
+    pub fp_op_j: f64,
+    /// Register-file energy per lane-instruction (2 reads + 1 write).
+    pub rf_j: f64,
+    /// Result-bus drive per lane-instruction.
+    pub result_bus_j: f64,
+    /// L1 I-cache fetch.
+    pub l1i_j: f64,
+    /// L1 D-cache line access.
+    pub l1d_j: f64,
+    /// L2 access.
+    pub l2_j: f64,
+    /// Crossbar energy per byte.
+    pub crossbar_per_byte_j: f64,
+    /// Physical memory access (the paper assumes 220 nJ).
+    pub dram_j: f64,
+    /// Clock distribution power per WPU (W).
+    pub clock_w: f64,
+    /// Leakage power per WPU including its L1s (W).
+    pub wpu_leak_w: f64,
+    /// Leakage power of the shared L2 (W).
+    pub l2_leak_w: f64,
+    /// Clock frequency (Hz) used to convert cycles to seconds.
+    pub freq_hz: f64,
+}
+
+impl EnergyModel {
+    /// 65 nm coefficients in the ballpark of Cacti 4.2 / Wattch at 1 GHz,
+    /// 0.9 V (Table 3).
+    pub fn paper_65nm() -> Self {
+        EnergyModel {
+            fetch_decode_j: 60e-12,
+            int_op_j: 25e-12,
+            fp_op_j: 80e-12,
+            rf_j: 15e-12,
+            result_bus_j: 8e-12,
+            l1i_j: 40e-12,
+            l1d_j: 90e-12,
+            l2_j: 1.2e-9,
+            crossbar_per_byte_j: 6e-12,
+            dram_j: 220e-9,
+            clock_w: 0.25,
+            wpu_leak_w: 0.45,
+            l2_leak_w: 1.6,
+            freq_hz: 1e9,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::paper_65nm()
+    }
+}
+
+/// Energy of one run, broken into the paper's seven pipeline parts plus
+/// the memory hierarchy (joules).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Fetch and decode.
+    pub fetch_decode: f64,
+    /// Integer ALUs.
+    pub int_alu: f64,
+    /// Floating-point ALUs.
+    pub fp_alu: f64,
+    /// Register files.
+    pub register_file: f64,
+    /// Result bus.
+    pub result_bus: f64,
+    /// Clock distribution.
+    pub clock: f64,
+    /// Leakage (WPUs + L1s + L2).
+    pub leakage: f64,
+    /// L1 instruction caches.
+    pub l1i: f64,
+    /// L1 data caches.
+    pub l1d: f64,
+    /// Shared L2.
+    pub l2: f64,
+    /// Crossbar switches and links.
+    pub crossbar: f64,
+    /// Off-chip DRAM.
+    pub dram: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.dynamic() + self.static_energy()
+    }
+
+    /// Dynamic (event-driven) energy.
+    pub fn dynamic(&self) -> f64 {
+        self.fetch_decode
+            + self.int_alu
+            + self.fp_alu
+            + self.register_file
+            + self.result_bus
+            + self.l1i
+            + self.l1d
+            + self.l2
+            + self.crossbar
+            + self.dram
+    }
+
+    /// Static energy (clock + leakage), linear in runtime.
+    pub fn static_energy(&self) -> f64 {
+        self.clock + self.leakage
+    }
+}
+
+/// Computes the energy of a run.
+///
+/// `wpu` is the machine-wide aggregate of per-WPU statistics, `mem` the
+/// memory-system counters, `cycles` the run length, and `n_wpus` the WPU
+/// count (for clock/leakage scaling).
+pub fn compute(
+    model: &EnergyModel,
+    wpu: &WpuStats,
+    mem: &MemStats,
+    cycles: u64,
+    n_wpus: usize,
+) -> EnergyBreakdown {
+    let lane_insts = wpu.thread_insts.get() as f64;
+    let seconds = cycles as f64 / model.freq_hz;
+    EnergyBreakdown {
+        fetch_decode: wpu.warp_insts.get() as f64 * model.fetch_decode_j,
+        int_alu: wpu.int_ops.get() as f64 * model.int_op_j,
+        fp_alu: wpu.fp_ops.get() as f64 * model.fp_op_j,
+        register_file: lane_insts * model.rf_j,
+        result_bus: lane_insts * model.result_bus_j,
+        clock: model.clock_w * n_wpus as f64 * seconds,
+        leakage: (model.wpu_leak_w * n_wpus as f64 + model.l2_leak_w) * seconds,
+        l1i: mem.l1i_fetches.get() as f64 * model.l1i_j,
+        l1d: mem.l1d_line_accesses.get() as f64 * model.l1d_j,
+        l2: mem.l2_accesses.get() as f64 * model.l2_j,
+        crossbar: mem.crossbar_bytes.get() as f64 * model.crossbar_per_byte_j,
+        dram: mem.dram_accesses.get() as f64 * model.dram_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> (WpuStats, MemStats) {
+        let mut w = WpuStats::default();
+        w.warp_insts.add(1000);
+        w.thread_insts.add(16_000);
+        w.int_ops.add(12_000);
+        w.fp_ops.add(4_000);
+        let mut m = MemStats::default();
+        m.l1d_line_accesses.add(2_000);
+        m.l1i_fetches.add(1_000);
+        m.l2_accesses.add(300);
+        m.dram_accesses.add(50);
+        m.crossbar_bytes.add(300 * 136);
+        (w, m)
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let (w, m) = sample_stats();
+        let e = compute(&EnergyModel::paper_65nm(), &w, &m, 100_000, 4);
+        assert!(e.total() > 0.0);
+        let parts = e.fetch_decode
+            + e.int_alu
+            + e.fp_alu
+            + e.register_file
+            + e.result_bus
+            + e.l1i
+            + e.l1d
+            + e.l2
+            + e.crossbar
+            + e.dram
+            + e.clock
+            + e.leakage;
+        assert!((e.total() - parts).abs() < 1e-15);
+        assert!((e.dynamic() + e.static_energy() - e.total()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn static_energy_scales_with_time() {
+        let (w, m) = sample_stats();
+        let model = EnergyModel::paper_65nm();
+        let fast = compute(&model, &w, &m, 100_000, 4);
+        let slow = compute(&model, &w, &m, 200_000, 4);
+        assert_eq!(fast.dynamic(), slow.dynamic());
+        assert!((slow.static_energy() / fast.static_energy() - 2.0).abs() < 1e-12);
+        assert!(slow.total() > fast.total());
+    }
+
+    #[test]
+    fn leakage_is_significant_at_65nm() {
+        // The paper's energy argument: at 65 nm, static energy is a large
+        // slice, so a 1.7X speedup yields ~30% energy savings. Check that
+        // static is at least a third of total for a memory-bound profile.
+        let (w, m) = sample_stats();
+        let e = compute(&EnergyModel::paper_65nm(), &w, &m, 500_000, 4);
+        assert!(
+            e.static_energy() / e.total() > 0.33,
+            "static fraction = {}",
+            e.static_energy() / e.total()
+        );
+    }
+
+    #[test]
+    fn dram_dominates_per_event_costs() {
+        let model = EnergyModel::paper_65nm();
+        assert!(model.dram_j > 100.0 * model.l2_j);
+        assert!(model.l2_j > model.l1d_j);
+    }
+}

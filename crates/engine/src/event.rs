@@ -1,0 +1,193 @@
+//! A deterministic future-event list.
+//!
+//! The memory hierarchy schedules request completions at absolute cycles;
+//! the top-level simulator drains events that have become ready at the start
+//! of every cycle. Events scheduled for the same cycle are delivered in
+//! insertion order (FIFO), which keeps whole-system simulation deterministic
+//! — a property the test suite relies on heavily.
+
+use crate::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A pending event: ready time, insertion sequence number, payload.
+struct Entry<T> {
+    at: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within a
+        // cycle, the first-inserted) entry is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list ordered by ready cycle, FIFO within a cycle.
+///
+/// # Example
+///
+/// ```
+/// use dws_engine::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(3), 'b');
+/// q.push(Cycle(3), 'c');
+/// q.push(Cycle(1), 'a');
+/// let drained: Vec<char> = q.drain_ready(Cycle(3)).map(|(_, p)| p).collect();
+/// assert_eq!(drained, vec!['a', 'b', 'c']);
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to become ready at cycle `at`.
+    pub fn push(&mut self, at: Cycle, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Pops the earliest event if it is ready at or before `now`.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<(Cycle, T)> {
+        if self.heap.peek().map(|e| e.at <= now).unwrap_or(false) {
+            let e = self.heap.pop().expect("peeked entry must exist");
+            Some((e.at, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Drains every event ready at or before `now`, in deterministic order.
+    pub fn drain_ready(&mut self, now: Cycle) -> DrainReady<'_, T> {
+        DrainReady { queue: self, now }
+    }
+
+    /// The ready time of the earliest pending event, if any.
+    ///
+    /// The top-level run loop uses this to skip ahead over cycles in which
+    /// every warp is stalled waiting for memory.
+    pub fn next_ready_at(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_ready_at", &self.next_ready_at())
+            .finish()
+    }
+}
+
+/// Iterator returned by [`EventQueue::drain_ready`].
+pub struct DrainReady<'a, T> {
+    queue: &'a mut EventQueue<T>,
+    now: Cycle,
+}
+
+impl<T> Iterator for DrainReady<'_, T> {
+    type Item = (Cycle, T);
+    fn next(&mut self) -> Option<Self::Item> {
+        self.queue.pop_ready(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), 3);
+        q.push(Cycle(10), 1);
+        q.push(Cycle(20), 2);
+        assert_eq!(q.pop_ready(Cycle(100)), Some((Cycle(10), 1)));
+        assert_eq!(q.pop_ready(Cycle(100)), Some((Cycle(20), 2)));
+        assert_eq!(q.pop_ready(Cycle(100)), Some((Cycle(30), 3)));
+        assert_eq!(q.pop_ready(Cycle(100)), None);
+    }
+
+    #[test]
+    fn fifo_within_a_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(7), i);
+        }
+        let out: Vec<i32> = q.drain_ready(Cycle(7)).map(|(_, p)| p).collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn not_ready_is_not_popped() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), ());
+        assert_eq!(q.pop_ready(Cycle(4)), None);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.next_ready_at(), Some(Cycle(5)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_is_deterministic() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(2), "a");
+        assert_eq!(q.pop_ready(Cycle(2)), Some((Cycle(2), "a")));
+        q.push(Cycle(2), "b");
+        q.push(Cycle(1), "c");
+        assert_eq!(q.pop_ready(Cycle(2)), Some((Cycle(1), "c")));
+        assert_eq!(q.pop_ready(Cycle(2)), Some((Cycle(2), "b")));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q: EventQueue<u8> = EventQueue::new();
+        assert!(!format!("{q:?}").is_empty());
+    }
+}

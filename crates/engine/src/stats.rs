@@ -1,0 +1,227 @@
+//! Statistics primitives: scalar counters, distributions, and ratio helpers.
+//!
+//! Every simulator component accumulates its measurements into these types;
+//! the `dws-sim` crate aggregates them into per-run `Metrics`. The paper
+//! reports harmonic means across benchmarks, so [`harmonic_mean`] lives here
+//! as the shared implementation.
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// An online accumulator for a stream of sample values (count/sum/min/max).
+///
+/// Used e.g. for "instructions between divergent misses" (Table 1) and MSHR
+/// occupancy distributions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Distribution {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Distribution {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Distribution {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &Distribution) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// Harmonic mean of a slice of positive values.
+///
+/// Returns `None` for an empty slice or when any value is non-positive
+/// (the harmonic mean is undefined there). All per-benchmark means reported
+/// by the paper — and therefore by the bench harness — are harmonic means.
+///
+/// # Example
+///
+/// ```
+/// let hm = dws_engine::stats::harmonic_mean(&[1.0, 4.0, 4.0]).unwrap();
+/// assert!((hm - 2.0).abs() < 1e-12);
+/// ```
+pub fn harmonic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let denom: f64 = values.iter().map(|v| 1.0 / v).sum();
+    Some(values.len() as f64 / denom)
+}
+
+/// A utilization ratio accumulated as (used, total) pairs.
+///
+/// Example: average SIMD width per issued instruction is accumulated as
+/// (active lanes, instructions) — `ratio()` then yields the mean width.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// Creates a zeroed ratio.
+    pub fn new() -> Self {
+        Ratio::default()
+    }
+
+    /// Adds `num` to the numerator and `den` to the denominator.
+    pub fn add(&mut self, num: u64, den: u64) {
+        self.num += num;
+        self.den += den;
+    }
+
+    /// Numerator so far.
+    pub fn numerator(&self) -> u64 {
+        self.num
+    }
+
+    /// Denominator so far.
+    pub fn denominator(&self) -> u64 {
+        self.den
+    }
+
+    /// Current value, or `None` if nothing has been recorded.
+    pub fn ratio(&self) -> Option<f64> {
+        (self.den > 0).then(|| self.num as f64 / self.den as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn distribution_tracks_moments() {
+        let mut d = Distribution::new();
+        assert_eq!(d.mean(), None);
+        for v in [2.0, 4.0, 6.0] {
+            d.record(v);
+        }
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.mean(), Some(4.0));
+        assert_eq!(d.min(), Some(2.0));
+        assert_eq!(d.max(), Some(6.0));
+        assert_eq!(d.sum(), 12.0);
+    }
+
+    #[test]
+    fn distribution_merge() {
+        let mut a = Distribution::new();
+        a.record(1.0);
+        let mut b = Distribution::new();
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(9.0));
+        // Merging an empty distribution is a no-op.
+        let empty = Distribution::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean(&[]), None);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), None);
+        assert_eq!(harmonic_mean(&[-1.0]), None);
+        let hm = harmonic_mean(&[2.0, 2.0]).unwrap();
+        assert!((hm - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_basics() {
+        let mut r = Ratio::new();
+        assert_eq!(r.ratio(), None);
+        r.add(3, 4);
+        r.add(1, 4);
+        assert_eq!(r.ratio(), Some(0.5));
+        assert_eq!(r.numerator(), 4);
+        assert_eq!(r.denominator(), 8);
+    }
+}

@@ -1,0 +1,40 @@
+//! Property tests: the event queue delivers exactly the pushed events, in
+//! time order, FIFO within a cycle.
+
+use dws_engine::{Cycle, EventQueue};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn delivers_all_events_in_stable_time_order(times in prop::collection::vec(0u64..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Cycle(t), i);
+        }
+        let drained: Vec<(Cycle, usize)> = q.drain_ready(Cycle(1000)).collect();
+        prop_assert_eq!(drained.len(), times.len());
+        // Expected: stable sort by time of (time, index).
+        let mut expect: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+        expect.sort_by_key(|&(t, _)| t);
+        for ((at, payload), (t, i)) in drained.iter().zip(expect) {
+            prop_assert_eq!(at.raw(), t);
+            prop_assert_eq!(*payload, i);
+        }
+    }
+
+    #[test]
+    fn pop_ready_never_returns_future_events(
+        times in prop::collection::vec(0u64..100, 1..100),
+        horizon in 0u64..100
+    ) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(Cycle(t), t);
+        }
+        let ready: Vec<u64> = q.drain_ready(Cycle(horizon)).map(|(_, p)| p).collect();
+        prop_assert!(ready.iter().all(|&t| t <= horizon));
+        let expected = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(ready.len(), expected);
+        prop_assert_eq!(q.len(), times.len() - expected);
+    }
+}

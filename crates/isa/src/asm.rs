@@ -1,0 +1,441 @@
+//! A textual assembly front-end for the kernel IR.
+//!
+//! Lets kernels be written as plain text instead of builder calls — handy
+//! for experiments, tests, and teaching. One instruction per line;
+//! `;` starts a comment; labels end with `:` and may share a line with an
+//! instruction. Registers are `r0`..`rN` (`r0` = thread id, `r1` = thread
+//! count). Memory operands are `[rB]` or `[rB+off]`/`[rB-off]` (bytes).
+//! Float immediates need a decimal point or exponent: `1.0`, `2.5e-3`.
+//!
+//! ```text
+//! ; out[tid] = sum of 0..tid
+//!         li   r2, 0        ; i
+//!         li   r3, 0        ; sum
+//! loop:   bge  r2, r0, end
+//!         add  r3, r3, r2
+//!         add  r2, r2, 1
+//!         jmp  loop
+//! end:    mul  r4, r0, 8
+//!         st   r3, [r4]
+//!         halt
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use dws_isa::asm::parse_asm;
+//! let program = parse_asm("
+//!     mul r2, r0, 8
+//!     li  r3, 7
+//!     st  r3, [r2]
+//!     halt
+//! ")?;
+//! assert_eq!(program.len(), 4);
+//! # Ok::<(), dws_isa::asm::AsmError>(())
+//! ```
+
+use crate::inst::{AluOp, CondOp, Inst, Operand, Reg, UnOp};
+use crate::program::Program;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly-parsing error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parsed operand token.
+enum Tok {
+    Op(Operand),
+    Mem(Reg, i64),
+    Label(String),
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    let rest = s
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, got '{s}'")))?;
+    let idx: u16 = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register '{s}'")))?;
+    Ok(Reg(idx))
+}
+
+fn parse_tok(s: &str, line: usize) -> Result<Tok, AsmError> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix('[').and_then(|x| x.strip_suffix(']')) {
+        // [rB], [rB+off], [rB-off]
+        let (reg_s, off) = if let Some(i) = inner.find(['+', '-']) {
+            let (r, o) = inner.split_at(i);
+            let off: i64 = o
+                .parse()
+                .map_err(|_| err(line, format!("bad offset '{o}'")))?;
+            (r.trim(), off)
+        } else {
+            (inner.trim(), 0)
+        };
+        return Ok(Tok::Mem(parse_reg(reg_s, line)?, off));
+    }
+    if s.starts_with('r') && s[1..].chars().all(|c| c.is_ascii_digit()) && s.len() > 1 {
+        return Ok(Tok::Op(Operand::Reg(parse_reg(s, line)?)));
+    }
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        if let Ok(f) = s.parse::<f64>() {
+            return Ok(Tok::Op(Operand::ImmF(f)));
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Tok::Op(Operand::Imm(i)));
+    }
+    if s.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.is_empty()
+    {
+        return Ok(Tok::Label(s.to_string()));
+    }
+    Err(err(line, format!("cannot parse operand '{s}'")))
+}
+
+fn want_op(t: Tok, line: usize) -> Result<Operand, AsmError> {
+    match t {
+        Tok::Op(o) => Ok(o),
+        Tok::Mem(..) => Err(err(line, "memory operand not allowed here")),
+        Tok::Label(l) => Err(err(line, format!("label '{l}' not allowed here"))),
+    }
+}
+
+fn want_reg(t: Tok, line: usize) -> Result<Reg, AsmError> {
+    match want_op(t, line)? {
+        Operand::Reg(r) => Ok(r),
+        _ => Err(err(line, "expected a register destination")),
+    }
+}
+
+fn alu_op(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "min" => AluOp::Min,
+        "max" => AluOp::Max,
+        "fadd" => AluOp::FAdd,
+        "fsub" => AluOp::FSub,
+        "fmul" => AluOp::FMul,
+        "fdiv" => AluOp::FDiv,
+        "fmin" => AluOp::FMin,
+        "fmax" => AluOp::FMax,
+        _ => return None,
+    })
+}
+
+fn un_op(m: &str) -> Option<UnOp> {
+    Some(match m {
+        "mov" | "li" | "lif" => UnOp::Mov,
+        "not" => UnOp::Not,
+        "neg" => UnOp::Neg,
+        "fneg" => UnOp::FNeg,
+        "fabs" => UnOp::FAbs,
+        "fsqrt" => UnOp::FSqrt,
+        "i2f" => UnOp::I2F,
+        "f2i" => UnOp::F2I,
+        _ => return None,
+    })
+}
+
+fn cond_op(m: &str) -> Option<CondOp> {
+    Some(match m {
+        "eq" => CondOp::Eq,
+        "ne" => CondOp::Ne,
+        "lt" => CondOp::Lt,
+        "le" => CondOp::Le,
+        "gt" => CondOp::Gt,
+        "ge" => CondOp::Ge,
+        "feq" => CondOp::FEq,
+        "fne" => CondOp::FNe,
+        "flt" => CondOp::FLt,
+        "fle" => CondOp::FLe,
+        "fgt" => CondOp::FGt,
+        "fge" => CondOp::FGe,
+        _ => return None,
+    })
+}
+
+/// One unresolved instruction (branch targets still symbolic).
+enum Pending {
+    Done(Inst),
+    Branch(CondOp, Operand, Operand, String, usize),
+    Jump(String, usize),
+}
+
+/// Parses assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with the offending line for syntax errors,
+/// unknown mnemonics, duplicate or undefined labels, or program-level
+/// validation failures (e.g. control falling off the end).
+pub fn parse_asm(text: &str) -> Result<Program, AsmError> {
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let mut src = raw;
+        if let Some(i) = src.find(';') {
+            src = &src[..i];
+        }
+        let mut src = src.trim();
+        // Labels (possibly several) before the instruction.
+        while let Some(i) = src.find(':') {
+            let (label, rest) = src.split_at(i);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(err(line, format!("bad label '{label}'")));
+            }
+            if labels.insert(label.to_string(), pending.len()).is_some() {
+                return Err(err(line, format!("duplicate label '{label}'")));
+            }
+            src = rest[1..].trim();
+        }
+        if src.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match src.find(char::is_whitespace) {
+            Some(i) => (&src[..i], src[i..].trim()),
+            None => (src, ""),
+        };
+        let m = mnemonic.to_ascii_lowercase();
+        let toks: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let n_args = toks.len();
+        let tok = |i: usize| -> Result<Tok, AsmError> {
+            parse_tok(
+                toks.get(i)
+                    .ok_or_else(|| err(line, format!("'{m}' needs more operands")))?,
+                line,
+            )
+        };
+
+        let inst = if let Some(op) = alu_op(&m) {
+            let dst = want_reg(tok(0)?, line)?;
+            let a = want_op(tok(1)?, line)?;
+            let b = want_op(tok(2)?, line)?;
+            Pending::Done(Inst::Alu { op, dst, a, b })
+        } else if let Some(op) = un_op(&m) {
+            let dst = want_reg(tok(0)?, line)?;
+            let a = want_op(tok(1)?, line)?;
+            Pending::Done(Inst::Un { op, dst, a })
+        } else if let Some(cond) = m.strip_prefix("set").and_then(cond_op) {
+            let dst = want_reg(tok(0)?, line)?;
+            let a = want_op(tok(1)?, line)?;
+            let b = want_op(tok(2)?, line)?;
+            Pending::Done(Inst::Set { cond, dst, a, b })
+        } else if let Some(cond) = m.strip_prefix('b').and_then(cond_op) {
+            let a = want_op(tok(0)?, line)?;
+            let b = want_op(tok(1)?, line)?;
+            let target = match tok(2)? {
+                Tok::Label(l) => l,
+                _ => return Err(err(line, "branch target must be a label")),
+            };
+            Pending::Branch(cond, a, b, target, line)
+        } else {
+            match m.as_str() {
+                "ld" => {
+                    let dst = want_reg(tok(0)?, line)?;
+                    match tok(1)? {
+                        Tok::Mem(base, offset) => Pending::Done(Inst::Load { dst, base, offset }),
+                        _ => return Err(err(line, "ld needs a [reg+off] source")),
+                    }
+                }
+                "st" => {
+                    let src_op = want_op(tok(0)?, line)?;
+                    match tok(1)? {
+                        Tok::Mem(base, offset) => Pending::Done(Inst::Store {
+                            src: src_op,
+                            base,
+                            offset,
+                        }),
+                        _ => return Err(err(line, "st needs a [reg+off] destination")),
+                    }
+                }
+                "jmp" => {
+                    if n_args != 1 {
+                        return Err(err(line, "jmp takes one label"));
+                    }
+                    match tok(0)? {
+                        Tok::Label(l) => Pending::Jump(l, line),
+                        _ => return Err(err(line, "jmp target must be a label")),
+                    }
+                }
+                "bar" | "barrier" => Pending::Done(Inst::Barrier),
+                "halt" => Pending::Done(Inst::Halt),
+                other => return Err(err(line, format!("unknown mnemonic '{other}'"))),
+            }
+        };
+        pending.push(inst);
+    }
+
+    let resolve = |name: &str, line: usize| -> Result<usize, AsmError> {
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined label '{name}'")))
+    };
+    let mut insts = Vec::with_capacity(pending.len());
+    for p in &pending {
+        insts.push(match p {
+            Pending::Done(i) => *i,
+            Pending::Branch(cond, a, b, target, line) => Inst::Branch {
+                cond: *cond,
+                a: *a,
+                b: *b,
+                target: resolve(target, *line)?,
+            },
+            Pending::Jump(target, line) => Inst::Jump {
+                target: resolve(target, *line)?,
+            },
+        });
+    }
+    Program::from_insts(insts).map_err(|m| err(0, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ReferenceRunner, VecMemory};
+
+    #[test]
+    fn parses_and_runs_a_loop() {
+        let p = parse_asm(
+            "
+            ; out[tid] = sum of 0..tid
+                    li   r2, 0
+                    li   r3, 0
+            loop:   bge  r2, r0, end
+                    add  r3, r3, r2
+                    add  r2, r2, 1
+                    jmp  loop
+            end:    mul  r4, r0, 8
+                    st   r3, [r4]
+                    halt
+            ",
+        )
+        .unwrap();
+        let mut mem = VecMemory::new(8 * 8);
+        ReferenceRunner::new(&p, 8).run(&mut mem).unwrap();
+        for t in 0..8i64 {
+            assert_eq!(mem.read_i64((t * 8) as u64), t * (t - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn float_and_memory_operands() {
+        let p = parse_asm(
+            "
+            mul r2, r0, 8
+            lif r3, 2.5
+            fmul r3, r3, 4.0
+            st  r3, [r2+0]
+            halt
+            ",
+        )
+        .unwrap();
+        let mut mem = VecMemory::new(64);
+        ReferenceRunner::new(&p, 2).run(&mut mem).unwrap();
+        assert_eq!(mem.read_f64(0), 10.0);
+        assert_eq!(mem.read_f64(8), 10.0);
+    }
+
+    #[test]
+    fn negative_offsets_and_set() {
+        let p = parse_asm(
+            "
+            li    r2, 16
+            li    r3, 42
+            st    r3, [r2-8]
+            seteq r4, r3, 42
+            st    r4, [r2]
+            halt
+            ",
+        )
+        .unwrap();
+        let mut mem = VecMemory::new(64);
+        ReferenceRunner::new(&p, 1).run(&mut mem).unwrap();
+        assert_eq!(mem.read_i64(8), 42);
+        assert_eq!(mem.read_i64(16), 1);
+    }
+
+    #[test]
+    fn branch_metadata_is_computed() {
+        let p = parse_asm(
+            "
+                    blt r0, 4, small
+                    li  r2, 100
+                    jmp join
+            small:  li  r2, 1
+            join:   halt
+            ",
+        )
+        .unwrap();
+        let (_, info) = p.branches().next().expect("one branch");
+        assert_eq!(p.inst(info.ipdom), &Inst::Halt);
+        assert!(info.subdividable);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = parse_asm("bogus r1, r2").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse_asm("jmp nowhere\nhalt").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+
+        let e = parse_asm("x: halt\nx: halt").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+
+        let e = parse_asm("add r1, r2").unwrap_err();
+        assert!(e.message.contains("more operands"));
+
+        let e = parse_asm("ld r2, r3\nhalt").unwrap_err();
+        assert!(e.message.contains("[reg+off]"));
+
+        let e = parse_asm("add r1, r2, r3").unwrap_err();
+        assert_eq!(e.line, 0, "program-level: falls off the end");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_asm("; nothing\n\n   halt   ; done\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,544 @@
+//! A structured assembler for the kernel IR.
+//!
+//! [`KernelBuilder`] plays the role of the paper's C-to-Alpha toolchain: the
+//! eight benchmarks in `dws-kernels` are written against it. Besides raw
+//! instruction emitters it offers structured control flow (`if_then`,
+//! `if_then_else`, `while_loop`, `for_range`) which keeps kernels readable
+//! and guarantees reducible control flow, so the post-dominator analysis
+//! always finds the re-convergence points the hardware needs.
+
+use crate::inst::{AluOp, CondOp, Inst, Operand, Reg, UnOp};
+use crate::program::Program;
+use std::fmt;
+
+/// A forward-referenceable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Error returned by [`KernelBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was created but never bound to a position.
+    UnboundLabel(usize),
+    /// The program failed validation (empty, bad target, fall-off-end).
+    Invalid(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(i) => write!(f, "label {i} was never bound"),
+            BuildError::Invalid(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Unresolved instruction: like [`Inst`] but with labels for targets.
+#[derive(Debug, Clone, Copy)]
+enum Tpl {
+    Done(Inst),
+    Branch {
+        cond: CondOp,
+        a: Operand,
+        b: Operand,
+        target: Label,
+    },
+    Jump {
+        target: Label,
+    },
+}
+
+/// Builds a [`Program`] instruction by instruction.
+///
+/// Register `r0` is the thread id and `r1` the total thread count; fresh
+/// registers are allocated by [`KernelBuilder::reg`]. See the crate-level
+/// example for a complete kernel.
+#[derive(Debug, Default)]
+pub struct KernelBuilder {
+    insts: Vec<Tpl>,
+    labels: Vec<Option<usize>>,
+    next_reg: u16,
+}
+
+impl KernelBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        KernelBuilder {
+            insts: Vec::new(),
+            labels: Vec::new(),
+            next_reg: 2,
+        }
+    }
+
+    /// The thread-id register (`r0`), preloaded at thread start.
+    pub fn tid(&self) -> Reg {
+        Reg(0)
+    }
+
+    /// The thread-count register (`r1`), preloaded at thread start.
+    pub fn ntid(&self) -> Reg {
+        Reg(1)
+    }
+
+    /// Allocates a fresh virtual register.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 65,534 allocations (far beyond any real kernel).
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("register space exhausted");
+        r
+    }
+
+    /// Creates an unbound label for forward references.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice at {}",
+            self.insts.len()
+        );
+        self.labels[label.0] = Some(self.insts.len());
+    }
+
+    /// Current instruction count (the PC the next emitted instruction gets).
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    // ---- raw emitters -----------------------------------------------------
+
+    /// Emits a binary ALU instruction.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.insts.push(Tpl::Done(Inst::Alu {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        }));
+    }
+
+    /// Emits a unary instruction.
+    pub fn un(&mut self, op: UnOp, dst: Reg, a: impl Into<Operand>) {
+        self.insts.push(Tpl::Done(Inst::Un {
+            op,
+            dst,
+            a: a.into(),
+        }));
+    }
+
+    /// `dst = a + b` (integer).
+    pub fn add(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::Add, dst, a, b);
+    }
+
+    /// `dst = a - b` (integer).
+    pub fn sub(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::Sub, dst, a, b);
+    }
+
+    /// `dst = a * b` (integer).
+    pub fn mul(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::Mul, dst, a, b);
+    }
+
+    /// `dst = a / b` (integer; 0 when b is 0).
+    pub fn div(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::Div, dst, a, b);
+    }
+
+    /// `dst = a % b` (integer; 0 when b is 0).
+    pub fn rem(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::Rem, dst, a, b);
+    }
+
+    /// `dst = a & b`.
+    pub fn and(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::And, dst, a, b);
+    }
+
+    /// `dst = a | b`.
+    pub fn or(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::Or, dst, a, b);
+    }
+
+    /// `dst = a ^ b`.
+    pub fn xor(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::Xor, dst, a, b);
+    }
+
+    /// `dst = a << b`.
+    pub fn shl(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::Shl, dst, a, b);
+    }
+
+    /// `dst = a >> b` (arithmetic).
+    pub fn shr(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::Shr, dst, a, b);
+    }
+
+    /// `dst = min(a, b)` (signed).
+    pub fn imin(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::Min, dst, a, b);
+    }
+
+    /// `dst = max(a, b)` (signed).
+    pub fn imax(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::Max, dst, a, b);
+    }
+
+    /// `dst = a + b` (float).
+    pub fn fadd(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::FAdd, dst, a, b);
+    }
+
+    /// `dst = a - b` (float).
+    pub fn fsub(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::FSub, dst, a, b);
+    }
+
+    /// `dst = a * b` (float).
+    pub fn fmul(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::FMul, dst, a, b);
+    }
+
+    /// `dst = a / b` (float).
+    pub fn fdiv(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::FDiv, dst, a, b);
+    }
+
+    /// `dst = min(a, b)` (float).
+    pub fn fmin(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::FMin, dst, a, b);
+    }
+
+    /// `dst = max(a, b)` (float).
+    pub fn fmax(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.alu(AluOp::FMax, dst, a, b);
+    }
+
+    /// `dst = v` (integer immediate).
+    pub fn li(&mut self, dst: Reg, v: i64) {
+        self.un(UnOp::Mov, dst, Operand::Imm(v));
+    }
+
+    /// `dst = v` (float immediate).
+    pub fn lif(&mut self, dst: Reg, v: f64) {
+        self.un(UnOp::Mov, dst, Operand::ImmF(v));
+    }
+
+    /// `dst = a` (copy).
+    pub fn mov(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(UnOp::Mov, dst, a);
+    }
+
+    /// `dst = sqrt(a)` (float).
+    pub fn fsqrt(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(UnOp::FSqrt, dst, a);
+    }
+
+    /// `dst = |a|` (float).
+    pub fn fabs(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(UnOp::FAbs, dst, a);
+    }
+
+    /// `dst = (f64) a`.
+    pub fn i2f(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(UnOp::I2F, dst, a);
+    }
+
+    /// `dst = (i64) a` (truncating).
+    pub fn f2i(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(UnOp::F2I, dst, a);
+    }
+
+    /// `dst = (a cond b) ? 1 : 0`.
+    pub fn set(&mut self, cond: CondOp, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.insts.push(Tpl::Done(Inst::Set {
+            cond,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        }));
+    }
+
+    /// `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) {
+        self.insts.push(Tpl::Done(Inst::Load { dst, base, offset }));
+    }
+
+    /// `mem[base + offset] = src`.
+    pub fn store(&mut self, src: impl Into<Operand>, base: Reg, offset: i64) {
+        self.insts.push(Tpl::Done(Inst::Store {
+            src: src.into(),
+            base,
+            offset,
+        }));
+    }
+
+    /// Conditional branch to `target` when `a cond b`.
+    pub fn br(
+        &mut self,
+        cond: CondOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        target: Label,
+    ) {
+        self.insts.push(Tpl::Branch {
+            cond,
+            a: a.into(),
+            b: b.into(),
+            target,
+        });
+    }
+
+    /// Unconditional jump to `target`.
+    pub fn jmp(&mut self, target: Label) {
+        self.insts.push(Tpl::Jump { target });
+    }
+
+    /// Global barrier across all live threads.
+    pub fn barrier(&mut self) {
+        self.insts.push(Tpl::Done(Inst::Barrier));
+    }
+
+    /// Thread termination.
+    pub fn halt(&mut self) {
+        self.insts.push(Tpl::Done(Inst::Halt));
+    }
+
+    // ---- structured control flow -------------------------------------------
+
+    /// `if (a cond b) { then }` — executes `then` when the condition holds.
+    pub fn if_then(
+        &mut self,
+        cond: CondOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        then: impl FnOnce(&mut Self),
+    ) {
+        let skip = self.label();
+        self.br(cond.negate(), a, b, skip);
+        then(self);
+        self.bind(skip);
+    }
+
+    /// `if (a cond b) { then } else { otherwise }`.
+    pub fn if_then_else(
+        &mut self,
+        cond: CondOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        then: impl FnOnce(&mut Self),
+        otherwise: impl FnOnce(&mut Self),
+    ) {
+        let else_l = self.label();
+        let end = self.label();
+        self.br(cond.negate(), a, b, else_l);
+        then(self);
+        self.jmp(end);
+        self.bind(else_l);
+        otherwise(self);
+        self.bind(end);
+    }
+
+    /// `while (a cond b) { body }`. Operands are re-evaluated each iteration.
+    pub fn while_loop(
+        &mut self,
+        cond: CondOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let head = self.label();
+        let exit = self.label();
+        self.bind(head);
+        self.br(cond.negate(), a, b, exit);
+        body(self);
+        self.jmp(head);
+        self.bind(exit);
+    }
+
+    /// `for (i = start; i < bound; i += step) { body }` over register `i`.
+    ///
+    /// The canonical grid-stride loop used by every kernel is
+    /// `for_range(i, tid, n, ntid, ...)`.
+    pub fn for_range(
+        &mut self,
+        i: Reg,
+        start: impl Into<Operand>,
+        bound: impl Into<Operand>,
+        step: impl Into<Operand>,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let bound = bound.into();
+        let step = step.into();
+        self.mov(i, start);
+        self.while_loop(CondOp::Lt, Operand::Reg(i), bound, |k| {
+            body(k);
+            k.add(i, Operand::Reg(i), step);
+        });
+    }
+
+    /// Computes `dst = base + index * scale` (address arithmetic; two ALU
+    /// instructions, matching what a compiler would emit).
+    pub fn addr(
+        &mut self,
+        dst: Reg,
+        base: impl Into<Operand>,
+        index: impl Into<Operand>,
+        scale: i64,
+    ) {
+        self.mul(dst, index, Operand::Imm(scale));
+        self.add(dst, Operand::Reg(dst), base);
+    }
+
+    /// Resolves labels, validates, and runs control-flow analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnboundLabel`] if any referenced label was never
+    /// bound, or [`BuildError::Invalid`] if program validation fails.
+    pub fn build(self) -> Result<Program, BuildError> {
+        let resolve = |l: Label| -> Result<usize, BuildError> {
+            self.labels[l.0].ok_or(BuildError::UnboundLabel(l.0))
+        };
+        let mut insts = Vec::with_capacity(self.insts.len());
+        for tpl in &self.insts {
+            let inst = match *tpl {
+                Tpl::Done(i) => i,
+                Tpl::Branch { cond, a, b, target } => Inst::Branch {
+                    cond,
+                    a,
+                    b,
+                    target: resolve(target)?,
+                },
+                Tpl::Jump { target } => Inst::Jump {
+                    target: resolve(target)?,
+                },
+            };
+            insts.push(inst);
+        }
+        // Labels may be bound at the very end (== insts.len()); that is only
+        // valid if nothing branches there, which resolution above catches by
+        // producing an out-of-range target that validation rejects.
+        Program::from_insts(insts).map_err(BuildError::Invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ReferenceRunner, VecMemory};
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = KernelBuilder::new();
+        let l = b.label();
+        b.jmp(l);
+        b.halt();
+        assert_eq!(b.build().unwrap_err(), BuildError::UnboundLabel(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = KernelBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BuildError::UnboundLabel(3).to_string().contains('3'));
+        assert!(BuildError::Invalid("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn structured_if_else_works() {
+        // out[tid] = tid % 2 == 0 ? 100 : 200
+        let mut b = KernelBuilder::new();
+        let tid = b.tid();
+        let parity = b.reg();
+        let val = b.reg();
+        let a = b.reg();
+        b.rem(parity, tid, Operand::Imm(2));
+        b.if_then_else(
+            CondOp::Eq,
+            Operand::Reg(parity),
+            Operand::Imm(0),
+            |k| k.li(val, 100),
+            |k| k.li(val, 200),
+        );
+        b.mul(a, tid, Operand::Imm(8));
+        b.store(Operand::Reg(val), a, 0);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let mut mem = VecMemory::new(4 * 8);
+        ReferenceRunner::new(&p, 4).run(&mut mem).unwrap();
+        assert_eq!(mem.read_i64(0), 100);
+        assert_eq!(mem.read_i64(8), 200);
+        assert_eq!(mem.read_i64(16), 100);
+        assert_eq!(mem.read_i64(24), 200);
+    }
+
+    #[test]
+    fn for_range_grid_stride() {
+        // Each thread doubles elements i = tid, tid + ntid, ... of a 10-array.
+        let mut b = KernelBuilder::new();
+        let (tid, ntid) = (b.tid(), b.ntid());
+        let i = b.reg();
+        let a = b.reg();
+        let v = b.reg();
+        b.for_range(i, tid, Operand::Imm(10), ntid, |k| {
+            k.addr(a, Operand::Imm(0), Operand::Reg(i), 8);
+            k.load(v, a, 0);
+            k.add(v, Operand::Reg(v), Operand::Reg(v));
+            k.store(Operand::Reg(v), a, 0);
+        });
+        b.halt();
+        let p = b.build().unwrap();
+
+        let mut mem = VecMemory::new(10 * 8);
+        for i in 0..10 {
+            mem.write_i64(i * 8, i as i64 + 1);
+        }
+        ReferenceRunner::new(&p, 3).run(&mut mem).unwrap();
+        for i in 0..10 {
+            assert_eq!(mem.read_i64(i * 8), 2 * (i as i64 + 1));
+        }
+    }
+
+    #[test]
+    fn loop_branch_has_ipdom_at_exit() {
+        let mut b = KernelBuilder::new();
+        let i = b.reg();
+        b.for_range(i, Operand::Imm(0), Operand::Imm(4), Operand::Imm(1), |k| {
+            k.add(i, Operand::Reg(i), Operand::Imm(0));
+        });
+        b.halt();
+        let p = b.build().unwrap();
+        let branches: Vec<_> = p.branches().collect();
+        assert_eq!(branches.len(), 1);
+        let (_pc, info) = branches[0];
+        // The loop-exit branch re-converges at the halt block.
+        assert_eq!(p.inst(info.ipdom), &Inst::Halt);
+    }
+}

@@ -1,0 +1,379 @@
+//! Instruction definitions for the kernel IR.
+//!
+//! Registers hold 64-bit raw values. Integer operations interpret them as
+//! two's-complement `i64`; floating-point operations reinterpret the bits as
+//! `f64`. Memory is byte-addressed; every access moves one 8-byte word, and
+//! addresses are expected to be 8-byte aligned (the functional store rounds
+//! down, matching a hardware word-select).
+
+use std::fmt;
+
+/// A virtual register index.
+///
+/// Registers `r0` and `r1` are preloaded with the thread id and thread count
+/// respectively (see [`crate::ThreadState::new`]); the builder allocates
+/// fresh registers from `r2` upward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A source operand: a register or an integer/float immediate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Read a register.
+    Reg(Reg),
+    /// A signed integer immediate.
+    Imm(i64),
+    /// A floating-point immediate.
+    ImmF(f64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+            Operand::ImmF(v) => write!(f, "{v}f"),
+        }
+    }
+}
+
+/// Binary ALU operations. Integer ops wrap; division by zero yields 0
+/// (kernels never rely on trapping semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Integer add.
+    Add,
+    /// Integer subtract.
+    Sub,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide (0 when the divisor is 0).
+    Div,
+    /// Integer remainder (0 when the divisor is 0).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 63).
+    Shl,
+    /// Arithmetic shift right (shift amount masked to 63).
+    Shr,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Floating add.
+    FAdd,
+    /// Floating subtract.
+    FSub,
+    /// Floating multiply.
+    FMul,
+    /// Floating divide.
+    FDiv,
+    /// Floating minimum.
+    FMin,
+    /// Floating maximum.
+    FMax,
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Copy.
+    Mov,
+    /// Bitwise not.
+    Not,
+    /// Integer negate.
+    Neg,
+    /// Floating negate.
+    FNeg,
+    /// Floating absolute value.
+    FAbs,
+    /// Floating square root.
+    FSqrt,
+    /// Convert signed integer to float.
+    I2F,
+    /// Convert float to signed integer (truncating; saturates at i64 range).
+    F2I,
+}
+
+/// Comparison conditions used by branches and `Set`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CondOp {
+    /// Signed integers equal.
+    Eq,
+    /// Signed integers not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Floats equal.
+    FEq,
+    /// Floats not equal.
+    FNe,
+    /// Float less-than.
+    FLt,
+    /// Float less-or-equal.
+    FLe,
+    /// Float greater-than.
+    FGt,
+    /// Float greater-or-equal.
+    FGe,
+}
+
+impl CondOp {
+    /// The condition that holds exactly when `self` does not.
+    pub fn negate(self) -> CondOp {
+        use CondOp::*;
+        match self {
+            Eq => Ne,
+            Ne => Eq,
+            Lt => Ge,
+            Le => Gt,
+            Gt => Le,
+            Ge => Lt,
+            FEq => FNe,
+            FNe => FEq,
+            FLt => FGe,
+            FLe => FGt,
+            FGt => FLe,
+            FGe => FLt,
+        }
+    }
+
+    /// Evaluates the condition on two raw 64-bit values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        use CondOp::*;
+        let (ia, ib) = (a as i64, b as i64);
+        let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+        match self {
+            Eq => ia == ib,
+            Ne => ia != ib,
+            Lt => ia < ib,
+            Le => ia <= ib,
+            Gt => ia > ib,
+            Ge => ia >= ib,
+            FEq => fa == fb,
+            FNe => fa != fb,
+            FLt => fa < fb,
+            FLe => fa <= fb,
+            FGt => fa > fb,
+            FGe => fa >= fb,
+        }
+    }
+}
+
+/// One IR instruction. Branch targets are absolute instruction indices
+/// (resolved by [`crate::KernelBuilder::build`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inst {
+    /// `dst = a <op> b` — one cycle on a lane.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = <op> a` — one cycle on a lane.
+    Un {
+        /// The operation.
+        op: UnOp,
+        /// Destination register.
+        dst: Reg,
+        /// Operand.
+        a: Operand,
+    },
+    /// `dst = (a <cond> b) ? 1 : 0` — one cycle on a lane.
+    Set {
+        /// The comparison.
+        cond: CondOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = mem[regs[base] + offset]` — timed through the cache hierarchy.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register (bytes).
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// `mem[regs[base] + offset] = src` — timed through the cache hierarchy.
+    Store {
+        /// Value to store.
+        src: Operand,
+        /// Base address register (bytes).
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Conditional branch: if `a <cond> b` jump to `target`, else fall
+    /// through. Divergence-capable; carries static metadata in the program.
+    Branch {
+        /// The comparison.
+        cond: CondOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Absolute instruction index of the taken path.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// Global barrier across all live threads of the launch. Warp-splits
+    /// re-converge here (paper Section 5.4).
+    Barrier,
+    /// Terminates the executing thread.
+    Halt,
+}
+
+impl Inst {
+    /// Whether the instruction accesses data memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+    }
+
+    /// Whether the instruction is a conditional branch.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// Whether control cannot fall through to the next instruction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Jump { .. } | Inst::Halt)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Alu { op, dst, a, b } => write!(f, "{dst} = {op:?}({a}, {b})"),
+            Inst::Un { op, dst, a } => write!(f, "{dst} = {op:?}({a})"),
+            Inst::Set { cond, dst, a, b } => write!(f, "{dst} = set{cond:?}({a}, {b})"),
+            Inst::Load { dst, base, offset } => write!(f, "{dst} = load [{base}+{offset}]"),
+            Inst::Store { src, base, offset } => write!(f, "store [{base}+{offset}] = {src}"),
+            Inst::Branch { cond, a, b, target } => {
+                write!(f, "br{cond:?} {a}, {b} -> @{target}")
+            }
+            Inst::Jump { target } => write!(f, "jmp @{target}"),
+            Inst::Barrier => write!(f, "barrier"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        use CondOp::*;
+        for c in [Eq, Ne, Lt, Le, Gt, Ge, FEq, FNe, FLt, FLe, FGt, FGe] {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn cond_negation_flips_outcome() {
+        use CondOp::*;
+        let int_samples: [(u64, u64); 3] = [(0, 0), (5, 3), ((-7i64) as u64, 2)];
+        for c in [Eq, Ne, Lt, Le, Gt, Ge] {
+            for &(a, b) in &int_samples {
+                assert_eq!(c.eval(a, b), !c.negate().eval(a, b), "{c:?} {a} {b}");
+            }
+        }
+        // Float negation flips for non-NaN values (NaN makes both sides
+        // false, which is IEEE-correct and why kernels avoid NaN data).
+        let float_samples = [(1.5f64, 2.5f64), (2.0, 2.0), (-3.0, 1.0)];
+        for c in [FEq, FNe, FLt, FLe, FGt, FGe] {
+            for &(a, b) in &float_samples {
+                let (a, b) = (a.to_bits(), b.to_bits());
+                assert_eq!(c.eval(a, b), !c.negate().eval(a, b), "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn int_conditions() {
+        assert!(CondOp::Lt.eval((-1i64) as u64, 0));
+        assert!(CondOp::Ge.eval(0, (-1i64) as u64));
+        assert!(CondOp::Eq.eval(42, 42));
+    }
+
+    #[test]
+    fn float_conditions() {
+        let a = 1.25f64.to_bits();
+        let b = 2.5f64.to_bits();
+        assert!(CondOp::FLt.eval(a, b));
+        assert!(CondOp::FNe.eval(a, b));
+        assert!(!CondOp::FGe.eval(a, b));
+        // NaN compares false with everything except FNe.
+        let nan = f64::NAN.to_bits();
+        assert!(!CondOp::FEq.eval(nan, nan));
+        assert!(CondOp::FNe.eval(nan, nan));
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let ld = Inst::Load {
+            dst: Reg(2),
+            base: Reg(3),
+            offset: 0,
+        };
+        assert!(ld.is_memory());
+        assert!(!ld.is_branch());
+        assert!(!ld.is_terminator());
+        assert!(Inst::Halt.is_terminator());
+        assert!(Inst::Jump { target: 0 }.is_terminator());
+        let br = Inst::Branch {
+            cond: CondOp::Eq,
+            a: Operand::Imm(0),
+            b: Operand::Imm(0),
+            target: 0,
+        };
+        assert!(br.is_branch());
+        assert!(!br.is_terminator());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Reg(4).to_string(), "r4");
+        assert_eq!(Operand::Imm(-3).to_string(), "-3");
+        assert_eq!(Operand::from(Reg(1)).to_string(), "r1");
+        assert!(Inst::Barrier.to_string().contains("barrier"));
+    }
+}

@@ -1,0 +1,455 @@
+//! Functional (value-level) semantics of the IR.
+//!
+//! The timing simulator in `dws-core` and the lockstep-free
+//! [`ReferenceRunner`] share these semantics, which is what lets the test
+//! suite assert that *every* scheduling policy — conventional, every DWS
+//! variant, adaptive slip — produces bit-identical memory contents.
+
+use crate::inst::{AluOp, Inst, Operand, Reg, UnOp};
+use crate::program::Program;
+
+/// Evaluates a binary ALU operation on raw 64-bit values.
+pub fn eval_alu(op: AluOp, a: u64, b: u64) -> u64 {
+    use AluOp::*;
+    let (ia, ib) = (a as i64, b as i64);
+    let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+    match op {
+        Add => ia.wrapping_add(ib) as u64,
+        Sub => ia.wrapping_sub(ib) as u64,
+        Mul => ia.wrapping_mul(ib) as u64,
+        Div => {
+            if ib == 0 {
+                0
+            } else {
+                ia.wrapping_div(ib) as u64
+            }
+        }
+        Rem => {
+            if ib == 0 {
+                0
+            } else {
+                ia.wrapping_rem(ib) as u64
+            }
+        }
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Shl => ia.wrapping_shl((b & 63) as u32) as u64,
+        Shr => ia.wrapping_shr((b & 63) as u32) as u64,
+        Min => ia.min(ib) as u64,
+        Max => ia.max(ib) as u64,
+        FAdd => (fa + fb).to_bits(),
+        FSub => (fa - fb).to_bits(),
+        FMul => (fa * fb).to_bits(),
+        FDiv => (fa / fb).to_bits(),
+        FMin => fa.min(fb).to_bits(),
+        FMax => fa.max(fb).to_bits(),
+    }
+}
+
+/// Evaluates a unary operation on a raw 64-bit value.
+pub fn eval_un(op: UnOp, a: u64) -> u64 {
+    use UnOp::*;
+    let ia = a as i64;
+    let fa = f64::from_bits(a);
+    match op {
+        Mov => a,
+        Not => !a,
+        Neg => ia.wrapping_neg() as u64,
+        FNeg => (-fa).to_bits(),
+        FAbs => fa.abs().to_bits(),
+        FSqrt => fa.sqrt().to_bits(),
+        I2F => (ia as f64).to_bits(),
+        F2I => {
+            // Truncating, saturating conversion; NaN maps to 0 like Rust's
+            // `as` cast.
+            (fa as i64) as u64
+        }
+    }
+}
+
+/// Access to the functional backing store, one 8-byte word per access.
+///
+/// Addresses are byte addresses; implementations align down to the word.
+pub trait MemoryAccess {
+    /// Reads the word containing byte address `addr`.
+    fn load_word(&mut self, addr: u64) -> u64;
+    /// Writes the word containing byte address `addr`.
+    fn store_word(&mut self, addr: u64, value: u64);
+}
+
+/// A flat, zero-initialized word-granular memory.
+///
+/// # Example
+///
+/// ```
+/// use dws_isa::{MemoryAccess, VecMemory};
+/// let mut m = VecMemory::new(64);
+/// m.write_f64(8, 2.5);
+/// assert_eq!(m.read_f64(8), 2.5);
+/// assert_eq!(m.load_word(12), 2.5f64.to_bits()); // same word, aligned down
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VecMemory {
+    words: Vec<u64>,
+}
+
+impl VecMemory {
+    /// Creates a memory of `bytes` bytes (rounded up to whole words), all 0.
+    pub fn new(bytes: u64) -> Self {
+        VecMemory {
+            words: vec![0; bytes.div_ceil(8) as usize],
+        }
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+
+    /// Reads the word at `addr` as a signed integer.
+    pub fn read_i64(&self, addr: u64) -> i64 {
+        self.words[(addr / 8) as usize] as i64
+    }
+
+    /// Writes a signed integer word at `addr`.
+    pub fn write_i64(&mut self, addr: u64, v: i64) {
+        self.words[(addr / 8) as usize] = v as u64;
+    }
+
+    /// Reads the word at `addr` as a float.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.words[(addr / 8) as usize])
+    }
+
+    /// Writes a float word at `addr`.
+    pub fn write_f64(&mut self, addr: u64, v: f64) {
+        self.words[(addr / 8) as usize] = v.to_bits();
+    }
+
+    /// Raw word slice (used by equivalence tests).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl MemoryAccess for VecMemory {
+    fn load_word(&mut self, addr: u64) -> u64 {
+        self.words[(addr / 8) as usize]
+    }
+    fn store_word(&mut self, addr: u64, value: u64) {
+        self.words[(addr / 8) as usize] = value;
+    }
+}
+
+/// The architectural state of one thread: its registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadState {
+    regs: Vec<u64>,
+}
+
+impl ThreadState {
+    /// Creates a thread context for `program`, preloading `r0 = tid` and
+    /// `r1 = nthreads`.
+    pub fn new(program: &Program, tid: u64, nthreads: u64) -> Self {
+        let mut regs = vec![0u64; program.num_regs() as usize];
+        regs[0] = tid;
+        if regs.len() > 1 {
+            regs[1] = nthreads;
+        }
+        ThreadState { regs }
+    }
+
+    /// Reads a register.
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.0 as usize]
+    }
+
+    /// Writes a register.
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.0 as usize] = v;
+    }
+
+    /// Evaluates an operand against this thread's registers.
+    #[inline]
+    pub fn operand(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v as u64,
+            Operand::ImmF(v) => v.to_bits(),
+        }
+    }
+
+    /// Executes one instruction's non-memory effects and classifies it.
+    ///
+    /// Compute instructions mutate registers and return
+    /// [`StepOutcome::Next`]; branches are evaluated (but the PC is owned by
+    /// the caller); memory instructions return their resolved byte address
+    /// without touching memory — the caller performs the access (in the
+    /// timing simulator, after the cache model resolves it) and, for loads,
+    /// calls [`ThreadState::set_reg`] with the loaded value.
+    pub fn execute(&mut self, inst: &Inst) -> StepOutcome {
+        match *inst {
+            Inst::Alu { op, dst, a, b } => {
+                let v = eval_alu(op, self.operand(a), self.operand(b));
+                self.set_reg(dst, v);
+                StepOutcome::Next
+            }
+            Inst::Un { op, dst, a } => {
+                let v = eval_un(op, self.operand(a));
+                self.set_reg(dst, v);
+                StepOutcome::Next
+            }
+            Inst::Set { cond, dst, a, b } => {
+                let v = cond.eval(self.operand(a), self.operand(b)) as u64;
+                self.set_reg(dst, v);
+                StepOutcome::Next
+            }
+            Inst::Load { dst, base, offset } => StepOutcome::Load {
+                addr: self.reg(base).wrapping_add(offset as u64),
+                dst,
+            },
+            Inst::Store { src, base, offset } => StepOutcome::Store {
+                addr: self.reg(base).wrapping_add(offset as u64),
+                value: self.operand(src),
+            },
+            Inst::Branch { cond, a, b, target } => {
+                if cond.eval(self.operand(a), self.operand(b)) {
+                    StepOutcome::Jump(target)
+                } else {
+                    StepOutcome::Next
+                }
+            }
+            Inst::Jump { target } => StepOutcome::Jump(target),
+            Inst::Barrier => StepOutcome::Barrier,
+            Inst::Halt => StepOutcome::Halt,
+        }
+    }
+}
+
+/// Classification of one executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Fall through to `pc + 1`.
+    Next,
+    /// Control transfers to the given PC.
+    Jump(usize),
+    /// A load of the word at `addr` into `dst`; the caller performs it.
+    Load {
+        /// Byte address.
+        addr: u64,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// A store of `value` to `addr`; the caller performs it.
+    Store {
+        /// Byte address.
+        addr: u64,
+        /// Value to write.
+        value: u64,
+    },
+    /// The thread reached a global barrier.
+    Barrier,
+    /// The thread terminated.
+    Halt,
+}
+
+/// A timing-free reference executor.
+///
+/// Runs `nthreads` threads over a program with correct global-barrier
+/// semantics: each thread runs until its next barrier (or halt), then the
+/// whole gang advances. For data-race-free kernels — all eight benchmarks —
+/// the final memory contents are uniquely defined, making this the oracle
+/// against which every scheduling policy is validated.
+#[derive(Debug)]
+pub struct ReferenceRunner<'p> {
+    program: &'p Program,
+    nthreads: u64,
+    max_steps_per_thread: u64,
+}
+
+impl<'p> ReferenceRunner<'p> {
+    /// Creates a runner for `nthreads` threads.
+    pub fn new(program: &'p Program, nthreads: u64) -> Self {
+        ReferenceRunner {
+            program,
+            nthreads,
+            max_steps_per_thread: 200_000_000,
+        }
+    }
+
+    /// Overrides the per-thread dynamic instruction budget (default 2e8).
+    pub fn with_step_budget(mut self, steps: u64) -> Self {
+        self.max_steps_per_thread = steps;
+        self
+    }
+
+    /// Runs all threads to completion against `mem`.
+    ///
+    /// Returns the total number of dynamic instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any thread exceeds the step budget (runaway
+    /// loop) — programs are expected to terminate.
+    pub fn run<M: MemoryAccess>(&self, mem: &mut M) -> Result<u64, String> {
+        let n = self.nthreads as usize;
+        let mut states: Vec<ThreadState> = (0..n)
+            .map(|t| ThreadState::new(self.program, t as u64, self.nthreads))
+            .collect();
+        let mut pcs = vec![0usize; n];
+        let mut done = vec![false; n];
+        let mut steps_left = vec![self.max_steps_per_thread; n];
+        let mut total_steps: u64 = 0;
+
+        loop {
+            let mut any_running = false;
+            // Run every unfinished thread to its next barrier or halt.
+            for t in 0..n {
+                if done[t] {
+                    continue;
+                }
+                any_running = true;
+                loop {
+                    let inst = self.program.inst(pcs[t]);
+                    if steps_left[t] == 0 {
+                        return Err(format!("thread {t} exceeded step budget at pc {}", pcs[t]));
+                    }
+                    steps_left[t] -= 1;
+                    total_steps += 1;
+                    match states[t].execute(inst) {
+                        StepOutcome::Next => pcs[t] += 1,
+                        StepOutcome::Jump(target) => pcs[t] = target,
+                        StepOutcome::Load { addr, dst } => {
+                            let v = mem.load_word(addr);
+                            states[t].set_reg(dst, v);
+                            pcs[t] += 1;
+                        }
+                        StepOutcome::Store { addr, value } => {
+                            mem.store_word(addr, value);
+                            pcs[t] += 1;
+                        }
+                        StepOutcome::Barrier => {
+                            pcs[t] += 1;
+                            break; // wait for the gang
+                        }
+                        StepOutcome::Halt => {
+                            done[t] = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !any_running {
+                return Ok(total_steps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(eval_alu(AluOp::Add, 3, (-5i64) as u64) as i64, -2);
+        assert_eq!(eval_alu(AluOp::Div, 7, 2) as i64, 3);
+        assert_eq!(eval_alu(AluOp::Div, 7, 0), 0);
+        assert_eq!(eval_alu(AluOp::Rem, 7, 0), 0);
+        assert_eq!(eval_alu(AluOp::Rem, (-7i64) as u64, 4) as i64, -3);
+        assert_eq!(eval_alu(AluOp::Shl, 1, 65) as i64, 2, "shift masked to 63");
+        assert_eq!(eval_alu(AluOp::Shr, (-8i64) as u64, 1) as i64, -4);
+        assert_eq!(eval_alu(AluOp::Min, (-2i64) as u64, 1) as i64, -2);
+        assert_eq!(eval_alu(AluOp::Max, (-2i64) as u64, 1) as i64, 1);
+        let f = |x: f64| x.to_bits();
+        assert_eq!(eval_alu(AluOp::FAdd, f(1.5), f(2.0)), f(3.5));
+        assert_eq!(eval_alu(AluOp::FMin, f(1.5), f(2.0)), f(1.5));
+        assert_eq!(eval_alu(AluOp::FMax, f(1.5), f(2.0)), f(2.0));
+        assert_eq!(eval_alu(AluOp::FDiv, f(1.0), f(4.0)), f(0.25));
+    }
+
+    #[test]
+    fn un_semantics() {
+        let f = |x: f64| x.to_bits();
+        assert_eq!(eval_un(UnOp::Neg, 5) as i64, -5);
+        assert_eq!(eval_un(UnOp::Not, 0), u64::MAX);
+        assert_eq!(eval_un(UnOp::FNeg, f(2.0)), f(-2.0));
+        assert_eq!(eval_un(UnOp::FAbs, f(-2.0)), f(2.0));
+        assert_eq!(eval_un(UnOp::FSqrt, f(9.0)), f(3.0));
+        assert_eq!(eval_un(UnOp::I2F, (-3i64) as u64), f(-3.0));
+        assert_eq!(eval_un(UnOp::F2I, f(-3.9)) as i64, -3);
+        assert_eq!(eval_un(UnOp::F2I, f64::NAN.to_bits()), 0);
+    }
+
+    #[test]
+    fn vec_memory_word_aligns() {
+        let mut m = VecMemory::new(17); // rounds to 24 bytes
+        assert_eq!(m.size_bytes(), 24);
+        m.store_word(9, 42);
+        assert_eq!(m.load_word(8), 42);
+        assert_eq!(m.read_i64(8), 42);
+        assert_eq!(m.words()[1], 42);
+    }
+
+    #[test]
+    fn thread_state_preloads_tid() {
+        let mut b = KernelBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        let t = ThreadState::new(&p, 3, 8);
+        assert_eq!(t.reg(Reg(0)), 3);
+        assert_eq!(t.reg(Reg(1)), 8);
+    }
+
+    #[test]
+    fn reference_runner_detects_runaway() {
+        let mut b = KernelBuilder::new();
+        let head = b.label();
+        b.bind(head);
+        b.jmp(head);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = VecMemory::new(8);
+        let err = ReferenceRunner::new(&p, 1)
+            .with_step_budget(100)
+            .run(&mut mem)
+            .unwrap_err();
+        assert!(err.contains("step budget"));
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        // Phase 1: thread t writes a[t] = t + 1.
+        // Phase 2: thread t reads a[(t+1) % n] — correct only if the barrier
+        // really separated the phases — and writes b[t] = that value * 10.
+        let n = 4i64;
+        let mut b = KernelBuilder::new();
+        let tid = b.tid();
+        let a = b.reg();
+        let v = b.reg();
+        let idx = b.reg();
+        b.addr(a, Operand::Imm(0), Operand::Reg(tid), 8);
+        b.add(v, tid, Operand::Imm(1));
+        b.store(Operand::Reg(v), a, 0);
+        b.barrier();
+        b.add(idx, tid, Operand::Imm(1));
+        b.rem(idx, Operand::Reg(idx), Operand::Imm(n));
+        b.addr(a, Operand::Imm(0), Operand::Reg(idx), 8);
+        b.load(v, a, 0);
+        b.mul(v, Operand::Reg(v), Operand::Imm(10));
+        b.addr(a, Operand::Imm(n * 8), Operand::Reg(tid), 8);
+        b.store(Operand::Reg(v), a, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut mem = VecMemory::new(2 * n as u64 * 8);
+        ReferenceRunner::new(&p, n as u64).run(&mut mem).unwrap();
+        for t in 0..n {
+            let expect = (((t + 1) % n) + 1) * 10;
+            assert_eq!(mem.read_i64((n + t) as u64 * 8), expect);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The compiled kernel program: instructions plus static branch metadata.
+
+use crate::cfg::{BranchInfo, Cfg};
+use crate::inst::{Inst, Operand, Reg};
+use std::fmt;
+
+/// A validated, analyzed kernel program.
+///
+/// Created by [`crate::KernelBuilder::build`]. Beyond the instruction list,
+/// it carries per-branch static metadata: the immediate post-dominator PC
+/// (the hardware re-convergence point) and whether the paper's heuristic
+/// allows dynamic warp subdivision at that branch (Section 4.3: the basic
+/// block at the post-dominator must be at most 50 instructions long).
+#[derive(Debug, Clone)]
+pub struct Program {
+    insts: Vec<Inst>,
+    /// Indexed by pc; `None` for non-branch instructions.
+    branch_info: Vec<Option<BranchInfo>>,
+    num_regs: u16,
+}
+
+impl Program {
+    /// Assembles a program from raw instructions, running CFG analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the program is empty, a branch target is out of
+    /// range, or the last instruction can fall off the end.
+    pub fn from_insts(insts: Vec<Inst>) -> Result<Program, String> {
+        if insts.is_empty() {
+            return Err("program has no instructions".to_string());
+        }
+        let n = insts.len();
+        for (pc, inst) in insts.iter().enumerate() {
+            match *inst {
+                Inst::Branch { target, .. } | Inst::Jump { target } => {
+                    if target >= n {
+                        return Err(format!("pc {pc}: branch target @{target} out of range"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !insts[n - 1].is_terminator() {
+            return Err("control can fall off the end of the program".to_string());
+        }
+        let cfg = Cfg::build(&insts);
+        let branch_info = cfg.analyze_branches(&insts);
+        let num_regs = max_reg(&insts) + 1;
+        Ok(Program {
+            insts,
+            branch_info,
+            num_regs,
+        })
+    }
+
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn inst(&self, pc: usize) -> &Inst {
+        &self.insts[pc]
+    }
+
+    /// All instructions in order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty (never true for a built program).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Static metadata for the conditional branch at `pc`, if any.
+    #[inline]
+    pub fn branch_info(&self, pc: usize) -> Option<&BranchInfo> {
+        self.branch_info.get(pc).and_then(|b| b.as_ref())
+    }
+
+    /// Number of architectural registers each thread context needs.
+    pub fn num_regs(&self) -> u16 {
+        self.num_regs
+    }
+
+    /// Returns a copy whose branches are re-classified with a different
+    /// Section 4.3 subdivision threshold (`usize::MAX` allows every branch,
+    /// `0` none). Used by the subdivision-threshold ablation bench.
+    pub fn with_subdiv_threshold(&self, max_block: usize) -> Program {
+        let cfg = Cfg::build(&self.insts);
+        Program {
+            insts: self.insts.clone(),
+            branch_info: cfg.analyze_branches_with(&self.insts, max_block),
+            num_regs: self.num_regs,
+        }
+    }
+
+    /// Iterator over `(pc, info)` for every conditional branch.
+    pub fn branches(&self) -> impl Iterator<Item = (usize, &BranchInfo)> + '_ {
+        self.branch_info
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, b)| b.as_ref().map(|info| (pc, info)))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, inst) in self.insts.iter().enumerate() {
+            write!(f, "{pc:4}: {inst}")?;
+            if let Some(info) = self.branch_info(pc) {
+                write!(
+                    f,
+                    "   ; ipdom=@{} {}",
+                    info.ipdom,
+                    if info.subdividable {
+                        "subdiv"
+                    } else {
+                        "no-subdiv"
+                    }
+                )?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn op_reg(op: &Operand) -> Option<Reg> {
+    match op {
+        Operand::Reg(r) => Some(*r),
+        _ => None,
+    }
+}
+
+fn max_reg(insts: &[Inst]) -> u16 {
+    let mut m = 1; // r0/r1 always exist (tid, ntid)
+    let mut see = |r: Option<Reg>| {
+        if let Some(Reg(i)) = r {
+            if i > m {
+                m = i;
+            }
+        }
+    };
+    for inst in insts {
+        match inst {
+            Inst::Alu { dst, a, b, .. } | Inst::Set { dst, a, b, .. } => {
+                see(Some(*dst));
+                see(op_reg(a));
+                see(op_reg(b));
+            }
+            Inst::Un { dst, a, .. } => {
+                see(Some(*dst));
+                see(op_reg(a));
+            }
+            Inst::Load { dst, base, .. } => {
+                see(Some(*dst));
+                see(Some(*base));
+            }
+            Inst::Store { src, base, .. } => {
+                see(op_reg(src));
+                see(Some(*base));
+            }
+            Inst::Branch { a, b, .. } => {
+                see(op_reg(a));
+                see(op_reg(b));
+            }
+            Inst::Jump { .. } | Inst::Barrier | Inst::Halt => {}
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, CondOp};
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Program::from_insts(vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_fallthrough_end() {
+        let insts = vec![Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg(2),
+            a: Operand::Imm(1),
+            b: Operand::Imm(2),
+        }];
+        assert!(Program::from_insts(insts).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let insts = vec![Inst::Jump { target: 5 }, Inst::Halt];
+        assert!(Program::from_insts(insts).is_err());
+    }
+
+    #[test]
+    fn computes_reg_count() {
+        let insts = vec![
+            Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg(7),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(1),
+            },
+            Inst::Halt,
+        ];
+        let p = Program::from_insts(insts).unwrap();
+        assert_eq!(p.num_regs(), 8);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn branch_metadata_exposed() {
+        // 0: br -> 2 ; 1: add ; 2: halt — diamond degenerate
+        let insts = vec![
+            Inst::Branch {
+                cond: CondOp::Eq,
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(0),
+                target: 2,
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg(2),
+                a: Operand::Imm(1),
+                b: Operand::Imm(2),
+            },
+            Inst::Halt,
+        ];
+        let p = Program::from_insts(insts).unwrap();
+        let info = p.branch_info(0).expect("branch info");
+        assert_eq!(info.ipdom, 2);
+        assert_eq!(p.branches().count(), 1);
+        assert!(p.branch_info(1).is_none());
+        let text = p.to_string();
+        assert!(text.contains("ipdom=@2"));
+    }
+}

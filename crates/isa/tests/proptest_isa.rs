@@ -1,0 +1,95 @@
+//! Property tests of the IR semantics and CFG analysis.
+
+use dws_isa::cfg::RECONV_NONE;
+use dws_isa::interp::{eval_alu, eval_un};
+use dws_isa::{AluOp, CondOp, KernelBuilder, Operand, UnOp};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn add_sub_round_trip(a in any::<i64>(), b in any::<i64>()) {
+        let sum = eval_alu(AluOp::Add, a as u64, b as u64);
+        let back = eval_alu(AluOp::Sub, sum, b as u64);
+        prop_assert_eq!(back as i64, a);
+    }
+
+    #[test]
+    fn div_rem_identity(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        prop_assume!(!(a == i64::MIN && b == -1)); // wrapping edge
+        let q = eval_alu(AluOp::Div, a as u64, b as u64) as i64;
+        let r = eval_alu(AluOp::Rem, a as u64, b as u64) as i64;
+        prop_assert_eq!(q * b + r, a);
+    }
+
+    #[test]
+    fn division_by_zero_is_total(a in any::<i64>()) {
+        prop_assert_eq!(eval_alu(AluOp::Div, a as u64, 0), 0);
+        prop_assert_eq!(eval_alu(AluOp::Rem, a as u64, 0), 0);
+    }
+
+    #[test]
+    fn min_max_partition(a in any::<i64>(), b in any::<i64>()) {
+        let lo = eval_alu(AluOp::Min, a as u64, b as u64) as i64;
+        let hi = eval_alu(AluOp::Max, a as u64, b as u64) as i64;
+        prop_assert!(lo <= hi);
+        prop_assert!((lo == a && hi == b) || (lo == b && hi == a));
+    }
+
+    #[test]
+    fn float_ops_match_host(a in -1e12f64..1e12, b in -1e12f64..1e12) {
+        let fa = a.to_bits();
+        let fb = b.to_bits();
+        prop_assert_eq!(f64::from_bits(eval_alu(AluOp::FAdd, fa, fb)), a + b);
+        prop_assert_eq!(f64::from_bits(eval_alu(AluOp::FMul, fa, fb)), a * b);
+        prop_assert_eq!(f64::from_bits(eval_un(UnOp::FNeg, fa)), -a);
+        prop_assert_eq!(f64::from_bits(eval_un(UnOp::FAbs, fa)), a.abs());
+    }
+
+    #[test]
+    fn not_is_involutive(a in any::<u64>()) {
+        prop_assert_eq!(eval_un(UnOp::Not, eval_un(UnOp::Not, a)), a);
+    }
+
+    #[test]
+    fn cond_trichotomy(a in any::<i64>(), b in any::<i64>()) {
+        let (ua, ub) = (a as u64, b as u64);
+        let lt = CondOp::Lt.eval(ua, ub);
+        let eq = CondOp::Eq.eval(ua, ub);
+        let gt = CondOp::Gt.eval(ua, ub);
+        prop_assert_eq!(lt as u8 + eq as u8 + gt as u8, 1, "exactly one holds");
+        prop_assert_eq!(CondOp::Le.eval(ua, ub), lt || eq);
+        prop_assert_eq!(CondOp::Ge.eval(ua, ub), gt || eq);
+        prop_assert_eq!(CondOp::Ne.eval(ua, ub), !eq);
+    }
+
+    /// Structured control flow always yields branches with a real
+    /// re-convergence PC strictly after the branch.
+    #[test]
+    fn structured_branches_reconverge(
+        n_ifs in 1usize..6,
+        loop_trips in 1i64..5,
+    ) {
+        let mut b = KernelBuilder::new();
+        let v = b.reg();
+        let i = b.reg();
+        b.for_range(i, Operand::Imm(0), Operand::Imm(loop_trips), Operand::Imm(1), |b| {
+            for k in 0..n_ifs {
+                b.if_then_else(
+                    CondOp::Gt,
+                    Operand::Reg(v),
+                    Operand::Imm(k as i64),
+                    |b| b.add(v, Operand::Reg(v), Operand::Imm(1)),
+                    |b| b.sub(v, Operand::Reg(v), Operand::Imm(1)),
+                );
+            }
+        });
+        b.halt();
+        let p = b.build().unwrap();
+        for (pc, info) in p.branches() {
+            prop_assert_ne!(info.ipdom, RECONV_NONE, "branch at {} has no ipdom", pc);
+            prop_assert!(info.ipdom > pc || info.taken <= pc,
+                "forward branch at {} must reconverge later (ipdom {})", pc, info.ipdom);
+        }
+    }
+}

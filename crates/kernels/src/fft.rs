@@ -1,0 +1,324 @@
+//! FFT (Splash2): radix-2 iterative Cooley–Tukey over complex doubles.
+//!
+//! Phase 1 bit-reverses the input into a working buffer; then `log2(n)`
+//! barrier-separated butterfly stages run in place. Twiddle factors are a
+//! precomputed table (as in the Splash2 code), gathered with a
+//! stage-dependent stride — the butterfly's strided gathers are what makes
+//! FFT memory-divergent on a SIMD machine (Table 1: 92% of its miss-bearing
+//! accesses are divergent).
+//!
+//! Memory layout (all f64 words):
+//!
+//! ```text
+//! RE  [0,      n)   input real
+//! IM  [n,     2n)   input imaginary
+//! BRE [2n,    3n)   working/output real
+//! BIM [3n,    4n)   working/output imaginary
+//! WRE [4n, 4n+n/2)  twiddle real
+//! WIM [5n, 5n+n/2)  twiddle imaginary
+//! ```
+
+use crate::spec::{close, KernelSpec, Scale};
+use dws_isa::{KernelBuilder, Operand, Program, VecMemory};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Problem size per scale (must be a power of two).
+pub fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 256,
+        Scale::Bench => 8192,
+        Scale::Paper => 65536, // Table 2: 2^16 points
+    }
+}
+
+/// Builds the FFT benchmark.
+///
+/// # Panics
+///
+/// Panics if the scale's size is not a power of two (it always is).
+pub fn build(scale: Scale, seed: u64) -> KernelSpec {
+    let n = size(scale);
+    assert!(n.is_power_of_two());
+    let program = program(n);
+    let memory = init_memory(n, seed);
+
+    let mut expect_re: Vec<f64> = (0..n).map(|i| memory.read_f64((i * 8) as u64)).collect();
+    let mut expect_im: Vec<f64> = (0..n)
+        .map(|i| memory.read_f64(((n + i) * 8) as u64))
+        .collect();
+    host_fft(&mut expect_re, &mut expect_im);
+
+    KernelSpec::new("FFT", program, memory, move |mem| {
+        for i in 0..n {
+            let re = mem.read_f64(((2 * n + i) * 8) as u64);
+            let im = mem.read_f64(((3 * n + i) * 8) as u64);
+            if !close(re, expect_re[i], 1e-9) || !close(im, expect_im[i], 1e-9) {
+                return Err(format!(
+                    "FFT[{i}] = ({re}, {im}), expected ({}, {})",
+                    expect_re[i], expect_im[i]
+                ));
+            }
+        }
+        Ok(())
+    })
+}
+
+fn init_memory(n: usize, seed: u64) -> VecMemory {
+    let mut m = VecMemory::new((6 * n * 8) as u64);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..n {
+        m.write_f64((i * 8) as u64, rng.gen_range(-1.0..1.0));
+        m.write_f64(((n + i) * 8) as u64, rng.gen_range(-1.0..1.0));
+    }
+    for k in 0..n / 2 {
+        let ang = -2.0 * PI * k as f64 / n as f64;
+        m.write_f64(((4 * n + k) * 8) as u64, ang.cos());
+        m.write_f64(((5 * n + k) * 8) as u64, ang.sin());
+    }
+    m
+}
+
+/// The same algorithm on the host, for verification.
+pub fn host_fft(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    let logn = n.trailing_zeros();
+    let mut bre = vec![0.0; n];
+    let mut bim = vec![0.0; n];
+    for i in 0..n {
+        let mut j = 0usize;
+        let mut x = i;
+        for _ in 0..logn {
+            j = (j << 1) | (x & 1);
+            x >>= 1;
+        }
+        bre[j] = re[i];
+        bim[j] = im[i];
+    }
+    for s in 1..=logn {
+        let m = 1usize << s;
+        let half = m >> 1;
+        let step = n >> s;
+        for q in 0..n / 2 {
+            let blk = q >> (s - 1);
+            let j = q & (half - 1);
+            let i1 = blk * m + j;
+            let i2 = i1 + half;
+            let widx = j * step;
+            let ang = -2.0 * PI * widx as f64 / n as f64;
+            let (wr, wi) = (ang.cos(), ang.sin());
+            let tr = wr * bre[i2] - wi * bim[i2];
+            let ti = wr * bim[i2] + wi * bre[i2];
+            let (r1, i1v) = (bre[i1], bim[i1]);
+            bre[i2] = r1 - tr;
+            bim[i2] = i1v - ti;
+            bre[i1] = r1 + tr;
+            bim[i1] = i1v + ti;
+        }
+    }
+    re.copy_from_slice(&bre);
+    im.copy_from_slice(&bim);
+}
+
+/// Emits the FFT kernel program for `n` points.
+pub fn program(n: usize) -> Program {
+    let ni = n as i64;
+    let logn = n.trailing_zeros() as i64;
+    let re = 0i64;
+    let im = ni * 8;
+    let bre = 2 * ni * 8;
+    let bim = 3 * ni * 8;
+    let wre = 4 * ni * 8;
+    let wim = 5 * ni * 8;
+
+    let mut b = KernelBuilder::new();
+    let (tid, ntid) = (b.tid(), b.ntid());
+    let i = b.reg();
+    let j = b.reg();
+    let x = b.reg();
+    let bc = b.reg();
+    let t = b.reg();
+    let a1 = b.reg();
+    let a2 = b.reg();
+    let v1 = b.reg();
+    let v2 = b.reg();
+
+    // Phase 1: bit-reverse scatter RE/IM -> BRE/BIM.
+    b.for_range(i, tid, Operand::Imm(ni), ntid, |b| {
+        b.li(j, 0);
+        b.mov(x, Operand::Reg(i));
+        b.for_range(
+            bc,
+            Operand::Imm(0),
+            Operand::Imm(logn),
+            Operand::Imm(1),
+            |b| {
+                b.shl(j, Operand::Reg(j), Operand::Imm(1));
+                b.and(t, Operand::Reg(x), Operand::Imm(1));
+                b.or(j, Operand::Reg(j), Operand::Reg(t));
+                b.shr(x, Operand::Reg(x), Operand::Imm(1));
+            },
+        );
+        b.addr(a1, Operand::Imm(re), Operand::Reg(i), 8);
+        b.load(v1, a1, 0);
+        b.addr(a1, Operand::Imm(im), Operand::Reg(i), 8);
+        b.load(v2, a1, 0);
+        b.addr(a2, Operand::Imm(bre), Operand::Reg(j), 8);
+        b.store(Operand::Reg(v1), a2, 0);
+        b.addr(a2, Operand::Imm(bim), Operand::Reg(j), 8);
+        b.store(Operand::Reg(v2), a2, 0);
+    });
+    b.barrier();
+
+    // Butterfly stages.
+    let s = b.reg();
+    let m = b.reg();
+    let half = b.reg();
+    let sm1 = b.reg();
+    let hm1 = b.reg();
+    let step = b.reg();
+    let q = b.reg();
+    let blk = b.reg();
+    let i1 = b.reg();
+    let i2 = b.reg();
+    let widx = b.reg();
+    let wr = b.reg();
+    let wi = b.reg();
+    let br2 = b.reg();
+    let bi2 = b.reg();
+    let tr = b.reg();
+    let ti = b.reg();
+    let br1 = b.reg();
+    let bi1 = b.reg();
+    let tmp = b.reg();
+    let ad1r = b.reg();
+    let ad1i = b.reg();
+    let ad2r = b.reg();
+    let ad2i = b.reg();
+
+    b.for_range(
+        s,
+        Operand::Imm(1),
+        Operand::Imm(logn + 1),
+        Operand::Imm(1),
+        |b| {
+            b.shl(m, Operand::Imm(1), Operand::Reg(s));
+            b.shr(half, Operand::Reg(m), Operand::Imm(1));
+            b.sub(sm1, Operand::Reg(s), Operand::Imm(1));
+            b.sub(hm1, Operand::Reg(half), Operand::Imm(1));
+            b.shr(step, Operand::Imm(ni), Operand::Reg(s));
+            b.for_range(q, tid, Operand::Imm(ni / 2), ntid, |b| {
+                b.shr(blk, Operand::Reg(q), Operand::Reg(sm1));
+                b.and(j, Operand::Reg(q), Operand::Reg(hm1));
+                b.mul(i1, Operand::Reg(blk), Operand::Reg(m));
+                b.add(i1, Operand::Reg(i1), Operand::Reg(j));
+                b.add(i2, Operand::Reg(i1), Operand::Reg(half));
+                b.mul(widx, Operand::Reg(j), Operand::Reg(step));
+                // twiddle
+                b.addr(a1, Operand::Imm(wre), Operand::Reg(widx), 8);
+                b.load(wr, a1, 0);
+                b.addr(a1, Operand::Imm(wim), Operand::Reg(widx), 8);
+                b.load(wi, a1, 0);
+                // operand addresses
+                b.addr(ad1r, Operand::Imm(bre), Operand::Reg(i1), 8);
+                b.addr(ad1i, Operand::Imm(bim), Operand::Reg(i1), 8);
+                b.addr(ad2r, Operand::Imm(bre), Operand::Reg(i2), 8);
+                b.addr(ad2i, Operand::Imm(bim), Operand::Reg(i2), 8);
+                b.load(br2, ad2r, 0);
+                b.load(bi2, ad2i, 0);
+                // t = w * b[i2]
+                b.fmul(tr, Operand::Reg(wr), Operand::Reg(br2));
+                b.fmul(tmp, Operand::Reg(wi), Operand::Reg(bi2));
+                b.fsub(tr, Operand::Reg(tr), Operand::Reg(tmp));
+                b.fmul(ti, Operand::Reg(wr), Operand::Reg(bi2));
+                b.fmul(tmp, Operand::Reg(wi), Operand::Reg(br2));
+                b.fadd(ti, Operand::Reg(ti), Operand::Reg(tmp));
+                // butterfly
+                b.load(br1, ad1r, 0);
+                b.load(bi1, ad1i, 0);
+                b.fsub(tmp, Operand::Reg(br1), Operand::Reg(tr));
+                b.store(Operand::Reg(tmp), ad2r, 0);
+                b.fsub(tmp, Operand::Reg(bi1), Operand::Reg(ti));
+                b.store(Operand::Reg(tmp), ad2i, 0);
+                b.fadd(tmp, Operand::Reg(br1), Operand::Reg(tr));
+                b.store(Operand::Reg(tmp), ad1r, 0);
+                b.fadd(tmp, Operand::Reg(bi1), Operand::Reg(ti));
+                b.store(Operand::Reg(tmp), ad1i, 0);
+            });
+            b.barrier();
+        },
+    );
+    b.halt();
+    b.build().expect("FFT kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_isa::ReferenceRunner;
+
+    #[test]
+    fn kernel_matches_host_fft() {
+        let spec = build(Scale::Test, 42);
+        let mut mem = spec.memory.clone();
+        ReferenceRunner::new(&spec.program, 32)
+            .run(&mut mem)
+            .unwrap();
+        spec.verify(&mem).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_corrupted_output() {
+        let spec = build(Scale::Test, 42);
+        let mut mem = spec.memory.clone();
+        ReferenceRunner::new(&spec.program, 8)
+            .run(&mut mem)
+            .unwrap();
+        let n = size(Scale::Test);
+        mem.write_f64((2 * n * 8) as u64, 1e9);
+        assert!(spec.verify(&mem).is_err());
+    }
+
+    #[test]
+    fn host_fft_of_impulse_is_flat() {
+        // FFT of a unit impulse is all-ones.
+        let n = 64;
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        re[0] = 1.0;
+        host_fft(&mut re, &mut im);
+        for i in 0..n {
+            assert!((re[i] - 1.0).abs() < 1e-12, "re[{i}] = {}", re[i]);
+            assert!(im[i].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn host_fft_parseval() {
+        // Energy is preserved up to the scale factor n.
+        let n = 128;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let orig: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut re = orig.clone();
+        let mut im = vec![0.0; n];
+        host_fft(&mut re, &mut im);
+        let time: f64 = orig.iter().map(|x| x * x).sum();
+        let freq: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum();
+        assert!(
+            (freq - time * n as f64).abs() < 1e-6 * freq.abs(),
+            "parseval: {freq} vs {}",
+            time * n as f64
+        );
+    }
+
+    #[test]
+    fn works_with_odd_thread_counts() {
+        let spec = build(Scale::Test, 3);
+        let mut mem = spec.memory.clone();
+        ReferenceRunner::new(&spec.program, 13)
+            .run(&mut mem)
+            .unwrap();
+        spec.verify(&mem).unwrap();
+    }
+}

@@ -1,0 +1,177 @@
+//! Filter: edge detection of an input image by 3x3 convolution.
+//!
+//! Each thread computes output pixels in a grid-stride loop, gathering the
+//! 3x3 neighborhood (three image rows — three widely separated cache
+//! lines, hence memory divergence) and applying a Laplacian edge-detection
+//! stencil. Border pixels take a short divergent branch and write zero.
+//!
+//! Layout: input image `W*H` f64 at word 0; output at word `W*H`.
+
+use crate::spec::{close, KernelSpec, Scale};
+use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Image dimensions per scale.
+pub fn size(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (32, 24),
+        Scale::Bench => (256, 192),
+        Scale::Paper => (500, 500), // Table 2
+    }
+}
+
+/// The Laplacian stencil applied to the 3x3 neighborhood.
+const STENCIL: [[f64; 3]; 3] = [[-1.0, -1.0, -1.0], [-1.0, 8.0, -1.0], [-1.0, -1.0, -1.0]];
+
+/// Builds the Filter benchmark.
+pub fn build(scale: Scale, seed: u64) -> KernelSpec {
+    let (w, h) = size(scale);
+    let program = program(w, h);
+    let memory = init_memory(w, h, seed);
+    let img: Vec<f64> = (0..w * h)
+        .map(|i| memory.read_f64((i * 8) as u64))
+        .collect();
+    let expect = host_filter(&img, w, h);
+    KernelSpec::new("Filter", program, memory, move |mem| {
+        for p in 0..w * h {
+            let got = mem.read_f64(((w * h + p) * 8) as u64);
+            if !close(got, expect[p], 1e-9) {
+                return Err(format!("Filter out[{p}] = {got}, expected {}", expect[p]));
+            }
+        }
+        Ok(())
+    })
+}
+
+fn init_memory(w: usize, h: usize, seed: u64) -> VecMemory {
+    let mut m = VecMemory::new((2 * w * h * 8) as u64);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..w * h {
+        m.write_f64((i * 8) as u64, rng.gen_range(0.0..255.0));
+    }
+    m
+}
+
+/// Host reference convolution.
+pub fn host_filter(img: &[f64], w: usize, h: usize) -> Vec<f64> {
+    let mut out = vec![0.0; w * h];
+    for r in 1..h - 1 {
+        for c in 1..w - 1 {
+            let mut acc = 0.0;
+            for (dr, row) in STENCIL.iter().enumerate() {
+                for (dc, &coef) in row.iter().enumerate() {
+                    acc += coef * img[(r + dr - 1) * w + (c + dc - 1)];
+                }
+            }
+            out[r * w + c] = acc;
+        }
+    }
+    out
+}
+
+/// Emits the Filter kernel for a `w x h` image.
+pub fn program(w: usize, h: usize) -> Program {
+    let (wi, hi) = (w as i64, h as i64);
+    let out_base = wi * hi * 8;
+    let mut b = KernelBuilder::new();
+    let (tid, ntid) = (b.tid(), b.ntid());
+    let p = b.reg();
+    let r = b.reg();
+    let c = b.reg();
+    let border = b.reg();
+    let t = b.reg();
+    let acc = b.reg();
+    let v = b.reg();
+    let idx = b.reg();
+    let a = b.reg();
+    b.for_range(p, tid, Operand::Imm(wi * hi), ntid, |b| {
+        b.div(r, Operand::Reg(p), Operand::Imm(wi));
+        b.rem(c, Operand::Reg(p), Operand::Imm(wi));
+        // border = r == 0 | r == h-1 | c == 0 | c == w-1
+        b.set(CondOp::Eq, border, Operand::Reg(r), Operand::Imm(0));
+        b.set(CondOp::Eq, t, Operand::Reg(r), Operand::Imm(hi - 1));
+        b.or(border, Operand::Reg(border), Operand::Reg(t));
+        b.set(CondOp::Eq, t, Operand::Reg(c), Operand::Imm(0));
+        b.or(border, Operand::Reg(border), Operand::Reg(t));
+        b.set(CondOp::Eq, t, Operand::Reg(c), Operand::Imm(wi - 1));
+        b.or(border, Operand::Reg(border), Operand::Reg(t));
+        b.if_then_else(
+            CondOp::Ne,
+            Operand::Reg(border),
+            Operand::Imm(0),
+            |b| {
+                b.lif(acc, 0.0);
+            },
+            |b| {
+                b.lif(acc, 0.0);
+                for (dr, row) in STENCIL.iter().enumerate() {
+                    for (dc, &coef) in row.iter().enumerate() {
+                        // idx = (r + dr - 1) * w + (c + dc - 1)
+                        b.add(idx, Operand::Reg(r), Operand::Imm(dr as i64 - 1));
+                        b.mul(idx, Operand::Reg(idx), Operand::Imm(wi));
+                        b.add(idx, Operand::Reg(idx), Operand::Reg(c));
+                        b.add(idx, Operand::Reg(idx), Operand::Imm(dc as i64 - 1));
+                        b.addr(a, Operand::Imm(0), Operand::Reg(idx), 8);
+                        b.load(v, a, 0);
+                        b.fmul(v, Operand::Reg(v), Operand::ImmF(coef));
+                        b.fadd(acc, Operand::Reg(acc), Operand::Reg(v));
+                    }
+                }
+            },
+        );
+        b.addr(a, Operand::Imm(out_base), Operand::Reg(p), 8);
+        b.store(Operand::Reg(acc), a, 0);
+    });
+    b.halt();
+    b.build().expect("Filter kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_isa::ReferenceRunner;
+
+    #[test]
+    fn kernel_matches_host_filter() {
+        let spec = build(Scale::Test, 11);
+        let mut mem = spec.memory.clone();
+        ReferenceRunner::new(&spec.program, 24)
+            .run(&mut mem)
+            .unwrap();
+        spec.verify(&mem).unwrap();
+    }
+
+    #[test]
+    fn uniform_image_has_zero_interior_response() {
+        // The Laplacian of a constant image is zero everywhere.
+        let (w, h) = (16, 12);
+        let img = vec![7.5; w * h];
+        let out = host_filter(&img, w, h);
+        assert!(out.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn single_bright_pixel_responds() {
+        let (w, h) = (8, 8);
+        let mut img = vec![0.0; w * h];
+        img[3 * w + 3] = 1.0;
+        let out = host_filter(&img, w, h);
+        assert!((out[3 * w + 3] - 8.0).abs() < 1e-12);
+        assert!((out[3 * w + 4] + 1.0).abs() < 1e-12);
+        assert_eq!(out[0], 0.0, "border stays zero");
+    }
+
+    #[test]
+    fn verify_rejects_bad_borders() {
+        let spec = build(Scale::Test, 11);
+        let mut mem = spec.memory.clone();
+        ReferenceRunner::new(&spec.program, 8)
+            .run(&mut mem)
+            .unwrap();
+        let (w, h) = size(Scale::Test);
+        mem.write_f64(((w * h) * 8) as u64, 123.0); // corrupt out[0]
+        assert!(spec.verify(&mem).is_err());
+        let _ = h;
+    }
+}

@@ -1,0 +1,252 @@
+//! HotSpot (Rodinia): thermal simulation by an iterative PDE solver.
+//!
+//! A 5-point stencil over the chip temperature grid plus a per-cell power
+//! term, iterated with a global barrier per step and ping-pong buffers.
+//! Boundary cells clamp their missing neighbors (short divergent
+//! branches); each interior update gathers three grid rows.
+//!
+//! Layout (f64 words): `T0` at 0, `T1` at `n*n`, power `P` at `2*n*n`.
+//! After `iters` steps the result lives in `T0` if `iters` is even, else
+//! `T1`.
+
+use crate::spec::{close, KernelSpec, Scale};
+use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Grid edge and iteration count per scale.
+pub fn size(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (16, 4),
+        Scale::Bench => (128, 8),
+        Scale::Paper => (300, 100), // Table 2
+    }
+}
+
+/// Diffusion coefficient of the explicit update.
+const ALPHA: f64 = 0.1;
+/// Power coupling coefficient.
+const BETA: f64 = 0.05;
+
+/// Builds the HotSpot benchmark.
+pub fn build(scale: Scale, seed: u64) -> KernelSpec {
+    let (n, iters) = size(scale);
+    let program = program(n, iters);
+    let memory = init_memory(n, seed);
+    let t0: Vec<f64> = (0..n * n)
+        .map(|i| memory.read_f64((i * 8) as u64))
+        .collect();
+    let p: Vec<f64> = (0..n * n)
+        .map(|i| memory.read_f64(((2 * n * n + i) * 8) as u64))
+        .collect();
+    let expect = host_hotspot(&t0, &p, n, iters);
+    let out_words = if iters % 2 == 0 { 0 } else { n * n };
+    KernelSpec::new("HotSpot", program, memory, move |mem| {
+        for i in 0..n * n {
+            let got = mem.read_f64(((out_words + i) * 8) as u64);
+            if !close(got, expect[i], 1e-9) {
+                return Err(format!("HotSpot T[{i}] = {got}, expected {}", expect[i]));
+            }
+        }
+        Ok(())
+    })
+}
+
+fn init_memory(n: usize, seed: u64) -> VecMemory {
+    let mut m = VecMemory::new((3 * n * n * 8) as u64);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..n * n {
+        m.write_f64((i * 8) as u64, rng.gen_range(40.0..90.0));
+        m.write_f64(((2 * n * n + i) * 8) as u64, rng.gen_range(0.0..2.0));
+    }
+    m
+}
+
+/// Host reference solver (identical operation order per cell).
+pub fn host_hotspot(t0: &[f64], p: &[f64], n: usize, iters: usize) -> Vec<f64> {
+    let mut src = t0.to_vec();
+    let mut dst = vec![0.0; n * n];
+    for _ in 0..iters {
+        for r in 0..n {
+            for c in 0..n {
+                let i = r * n + c;
+                let t = src[i];
+                let up = if r > 0 { src[i - n] } else { t };
+                let down = if r + 1 < n { src[i + n] } else { t };
+                let left = if c > 0 { src[i - 1] } else { t };
+                let right = if c + 1 < n { src[i + 1] } else { t };
+                let lap = up + down + left + right - 4.0 * t;
+                dst[i] = t + ALPHA * lap + BETA * p[i];
+            }
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
+}
+
+/// Emits the HotSpot kernel for an `n x n` grid and `iters` steps.
+pub fn program(n: usize, iters: usize) -> Program {
+    let ni = n as i64;
+    let cells = ni * ni;
+    let t1 = cells * 8;
+    let pw = 2 * cells * 8;
+
+    let mut b = KernelBuilder::new();
+    let (tid, ntid) = (b.tid(), b.ntid());
+    let it = b.reg();
+    let src = b.reg();
+    let dst = b.reg();
+    let tmp = b.reg();
+    let i = b.reg();
+    let r = b.reg();
+    let c = b.reg();
+    let a = b.reg();
+    let t = b.reg();
+    let nb = b.reg();
+    let lap = b.reg();
+    let out = b.reg();
+
+    b.li(src, 0);
+    b.li(dst, t1);
+    b.for_range(
+        it,
+        Operand::Imm(0),
+        Operand::Imm(iters as i64),
+        Operand::Imm(1),
+        |b| {
+            b.for_range(i, tid, Operand::Imm(cells), ntid, |b| {
+                b.div(r, Operand::Reg(i), Operand::Imm(ni));
+                b.rem(c, Operand::Reg(i), Operand::Imm(ni));
+                b.addr(a, Operand::Reg(src), Operand::Reg(i), 8);
+                b.load(t, a, 0);
+                b.lif(lap, 0.0);
+                // up
+                b.if_then_else(
+                    CondOp::Gt,
+                    Operand::Reg(r),
+                    Operand::Imm(0),
+                    |b| {
+                        b.load(nb, a, -(ni * 8));
+                    },
+                    |b| {
+                        b.mov(nb, Operand::Reg(t));
+                    },
+                );
+                b.fadd(lap, Operand::Reg(lap), Operand::Reg(nb));
+                // down
+                b.if_then_else(
+                    CondOp::Lt,
+                    Operand::Reg(r),
+                    Operand::Imm(ni - 1),
+                    |b| {
+                        b.load(nb, a, ni * 8);
+                    },
+                    |b| {
+                        b.mov(nb, Operand::Reg(t));
+                    },
+                );
+                b.fadd(lap, Operand::Reg(lap), Operand::Reg(nb));
+                // left
+                b.if_then_else(
+                    CondOp::Gt,
+                    Operand::Reg(c),
+                    Operand::Imm(0),
+                    |b| {
+                        b.load(nb, a, -8);
+                    },
+                    |b| {
+                        b.mov(nb, Operand::Reg(t));
+                    },
+                );
+                b.fadd(lap, Operand::Reg(lap), Operand::Reg(nb));
+                // right
+                b.if_then_else(
+                    CondOp::Lt,
+                    Operand::Reg(c),
+                    Operand::Imm(ni - 1),
+                    |b| {
+                        b.load(nb, a, 8);
+                    },
+                    |b| {
+                        b.mov(nb, Operand::Reg(t));
+                    },
+                );
+                b.fadd(lap, Operand::Reg(lap), Operand::Reg(nb));
+                // lap -= 4t ; out = t + ALPHA*lap + BETA*p[i]
+                b.fmul(nb, Operand::Reg(t), Operand::ImmF(4.0));
+                b.fsub(lap, Operand::Reg(lap), Operand::Reg(nb));
+                b.fmul(lap, Operand::Reg(lap), Operand::ImmF(ALPHA));
+                b.fadd(out, Operand::Reg(t), Operand::Reg(lap));
+                b.addr(a, Operand::Imm(pw), Operand::Reg(i), 8);
+                b.load(nb, a, 0);
+                b.fmul(nb, Operand::Reg(nb), Operand::ImmF(BETA));
+                b.fadd(out, Operand::Reg(out), Operand::Reg(nb));
+                b.addr(a, Operand::Reg(dst), Operand::Reg(i), 8);
+                b.store(Operand::Reg(out), a, 0);
+            });
+            b.barrier();
+            // swap src/dst
+            b.mov(tmp, Operand::Reg(src));
+            b.mov(src, Operand::Reg(dst));
+            b.mov(dst, Operand::Reg(tmp));
+        },
+    );
+    b.halt();
+    b.build().expect("HotSpot kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_isa::ReferenceRunner;
+
+    #[test]
+    fn kernel_matches_host_hotspot() {
+        let spec = build(Scale::Test, 5);
+        let mut mem = spec.memory.clone();
+        ReferenceRunner::new(&spec.program, 24)
+            .run(&mut mem)
+            .unwrap();
+        spec.verify(&mem).unwrap();
+    }
+
+    #[test]
+    fn zero_power_uniform_grid_is_steady() {
+        let n = 8;
+        let t0 = vec![50.0; n * n];
+        let p = vec![0.0; n * n];
+        let out = host_hotspot(&t0, &p, n, 10);
+        assert!(out.iter().all(|&v| (v - 50.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn power_heats_the_grid() {
+        let n = 8;
+        let t0 = vec![50.0; n * n];
+        let p = vec![1.0; n * n];
+        let out = host_hotspot(&t0, &p, n, 4);
+        assert!(out.iter().all(|&v| v > 50.0));
+    }
+
+    #[test]
+    fn odd_iteration_count_lands_in_t1() {
+        let n = 16;
+        let iters = 3; // odd
+        let program = program(n, iters);
+        let mut mem = init_memory(n, 9);
+        let t0: Vec<f64> = (0..n * n).map(|i| mem.read_f64((i * 8) as u64)).collect();
+        let p: Vec<f64> = (0..n * n)
+            .map(|i| mem.read_f64(((2 * n * n + i) * 8) as u64))
+            .collect();
+        ReferenceRunner::new(&program, 16).run(&mut mem).unwrap();
+        let expect = host_hotspot(&t0, &p, n, iters);
+        for i in 0..n * n {
+            let got = mem.read_f64(((n * n + i) * 8) as u64);
+            assert!(
+                close(got, expect[i], 1e-9),
+                "cell {i}: {got} vs {}",
+                expect[i]
+            );
+        }
+    }
+}

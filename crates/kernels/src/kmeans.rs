@@ -1,0 +1,279 @@
+//! KMeans (MineBench): unsupervised classification by iterative
+//! assignment/update, map-reduce style.
+//!
+//! Each iteration has two barrier-separated phases: *assign* (every point
+//! computes its squared distance to each centroid and keeps the argmin —
+//! the data-dependent min-update branch diverges) and *update* (one task
+//! per (cluster, dimension) scans all points, accumulating members — the
+//! `assignment == cluster` test diverges heavily).
+//!
+//! Layout (f64 unless noted):
+//!
+//! ```text
+//! PTS    [0,        n*d)      point coordinates, row-major
+//! CENT   [n*d,      n*d+k*d)  centroids (updated in place)
+//! ASSIGN [n*d+k*d,  ...+n)    per-point cluster index (i64)
+//! ```
+
+use crate::spec::{close, KernelSpec, Scale};
+use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// (points, dims, clusters, iterations) per scale.
+pub fn size(scale: Scale) -> (usize, usize, usize, usize) {
+    match scale {
+        Scale::Test => (192, 4, 4, 2),
+        Scale::Bench => (8192, 8, 8, 2),
+        Scale::Paper => (10_000, 20, 16, 5), // Table 2: 10,000 points, 20-D
+    }
+}
+
+/// Builds the KMeans benchmark.
+pub fn build(scale: Scale, seed: u64) -> KernelSpec {
+    let (n, d, k, iters) = size(scale);
+    let program = program(n, d, k, iters);
+    let memory = init_memory(n, d, k, seed);
+    let pts: Vec<f64> = (0..n * d)
+        .map(|i| memory.read_f64((i * 8) as u64))
+        .collect();
+    let cent0: Vec<f64> = (0..k * d)
+        .map(|i| memory.read_f64(((n * d + i) * 8) as u64))
+        .collect();
+    let (expect_cent, expect_assign) = host_kmeans(&pts, &cent0, n, d, k, iters);
+    KernelSpec::new("KMeans", program, memory, move |mem| {
+        for i in 0..k * d {
+            let got = mem.read_f64(((n * d + i) * 8) as u64);
+            if !close(got, expect_cent[i], 1e-9) {
+                return Err(format!(
+                    "KMeans centroid[{i}] = {got}, expected {}",
+                    expect_cent[i]
+                ));
+            }
+        }
+        for p in 0..n {
+            let got = mem.read_i64(((n * d + k * d + p) * 8) as u64);
+            if got != expect_assign[p] {
+                return Err(format!(
+                    "KMeans assign[{p}] = {got}, expected {}",
+                    expect_assign[p]
+                ));
+            }
+        }
+        Ok(())
+    })
+}
+
+fn init_memory(n: usize, d: usize, k: usize, seed: u64) -> VecMemory {
+    let mut m = VecMemory::new(((n * d + k * d + n) * 8) as u64);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Clustered blobs so iterations actually move the centroids.
+    for p in 0..n {
+        let blob = p % k;
+        for dim in 0..d {
+            let center = (blob * 7 + dim) as f64;
+            m.write_f64(
+                ((p * d + dim) * 8) as u64,
+                center + rng.gen_range(-1.5..1.5),
+            );
+        }
+    }
+    for c in 0..k {
+        for dim in 0..d {
+            // Seed centroids from the first points of each blob, perturbed.
+            let v = m.read_f64(((c * d + dim) * 8) as u64);
+            m.write_f64(
+                ((n * d + c * d + dim) * 8) as u64,
+                v + rng.gen_range(-0.5..0.5),
+            );
+        }
+    }
+    m
+}
+
+/// Host reference with identical accumulation order.
+pub fn host_kmeans(
+    pts: &[f64],
+    cent0: &[f64],
+    n: usize,
+    d: usize,
+    k: usize,
+    iters: usize,
+) -> (Vec<f64>, Vec<i64>) {
+    let mut cent = cent0.to_vec();
+    let mut assign = vec![0i64; n];
+    for _ in 0..iters {
+        for p in 0..n {
+            let mut best = f64::INFINITY;
+            let mut best_c = 0i64;
+            for c in 0..k {
+                let mut dist = 0.0;
+                for dim in 0..d {
+                    let diff = pts[p * d + dim] - cent[c * d + dim];
+                    dist += diff * diff;
+                }
+                if dist < best {
+                    best = dist;
+                    best_c = c as i64;
+                }
+            }
+            assign[p] = best_c;
+        }
+        let prev = cent.clone();
+        for c in 0..k {
+            for dim in 0..d {
+                let mut sum = 0.0;
+                let mut count = 0i64;
+                for p in 0..n {
+                    if assign[p] == c as i64 {
+                        sum += pts[p * d + dim];
+                        count += 1;
+                    }
+                }
+                cent[c * d + dim] = if count > 0 {
+                    sum / count as f64
+                } else {
+                    prev[c * d + dim]
+                };
+            }
+        }
+    }
+    (cent, assign)
+}
+
+/// Emits the KMeans kernel.
+pub fn program(n: usize, d: usize, k: usize, iters: usize) -> Program {
+    let (ni, di, ki) = (n as i64, d as i64, k as i64);
+    let cent_base = ni * di * 8;
+    let assign_base = (ni * di + ki * di) * 8;
+
+    let mut b = KernelBuilder::new();
+    let (tid, ntid) = (b.tid(), b.ntid());
+    let it = b.reg();
+    let p = b.reg();
+    let c = b.reg();
+    let dim = b.reg();
+    let dist = b.reg();
+    let best = b.reg();
+    let best_c = b.reg();
+    let diff = b.reg();
+    let x = b.reg();
+    let y = b.reg();
+    let a = b.reg();
+    let t = b.reg();
+    let sum = b.reg();
+    let count = b.reg();
+    let asn = b.reg();
+
+    b.for_range(
+        it,
+        Operand::Imm(0),
+        Operand::Imm(iters as i64),
+        Operand::Imm(1),
+        |b| {
+            // Phase 1: assignment.
+            b.for_range(p, tid, Operand::Imm(ni), ntid, |b| {
+                b.lif(best, f64::INFINITY);
+                b.li(best_c, 0);
+                b.for_range(c, Operand::Imm(0), Operand::Imm(ki), Operand::Imm(1), |b| {
+                    b.lif(dist, 0.0);
+                    b.for_range(
+                        dim,
+                        Operand::Imm(0),
+                        Operand::Imm(di),
+                        Operand::Imm(1),
+                        |b| {
+                            b.mul(t, Operand::Reg(p), Operand::Imm(di));
+                            b.add(t, Operand::Reg(t), Operand::Reg(dim));
+                            b.addr(a, Operand::Imm(0), Operand::Reg(t), 8);
+                            b.load(x, a, 0);
+                            b.mul(t, Operand::Reg(c), Operand::Imm(di));
+                            b.add(t, Operand::Reg(t), Operand::Reg(dim));
+                            b.addr(a, Operand::Imm(cent_base), Operand::Reg(t), 8);
+                            b.load(y, a, 0);
+                            b.fsub(diff, Operand::Reg(x), Operand::Reg(y));
+                            b.fmul(diff, Operand::Reg(diff), Operand::Reg(diff));
+                            b.fadd(dist, Operand::Reg(dist), Operand::Reg(diff));
+                        },
+                    );
+                    // argmin update — data-dependent divergence
+                    b.if_then(CondOp::FLt, Operand::Reg(dist), Operand::Reg(best), |b| {
+                        b.mov(best, Operand::Reg(dist));
+                        b.mov(best_c, Operand::Reg(c));
+                    });
+                });
+                b.addr(a, Operand::Imm(assign_base), Operand::Reg(p), 8);
+                b.store(Operand::Reg(best_c), a, 0);
+            });
+            b.barrier();
+            // Phase 2: centroid update, one task per (cluster, dim).
+            b.for_range(t, tid, Operand::Imm(ki * di), ntid, |b| {
+                b.div(c, Operand::Reg(t), Operand::Imm(di));
+                b.rem(dim, Operand::Reg(t), Operand::Imm(di));
+                b.lif(sum, 0.0);
+                b.li(count, 0);
+                b.for_range(p, Operand::Imm(0), Operand::Imm(ni), Operand::Imm(1), |b| {
+                    b.addr(a, Operand::Imm(assign_base), Operand::Reg(p), 8);
+                    b.load(asn, a, 0);
+                    // membership test — heavily divergent
+                    b.if_then(CondOp::Eq, Operand::Reg(asn), Operand::Reg(c), |b| {
+                        b.mul(x, Operand::Reg(p), Operand::Imm(di));
+                        b.add(x, Operand::Reg(x), Operand::Reg(dim));
+                        b.addr(a, Operand::Imm(0), Operand::Reg(x), 8);
+                        b.load(x, a, 0);
+                        b.fadd(sum, Operand::Reg(sum), Operand::Reg(x));
+                        b.add(count, Operand::Reg(count), Operand::Imm(1));
+                    });
+                });
+                b.if_then(CondOp::Gt, Operand::Reg(count), Operand::Imm(0), |b| {
+                    b.i2f(x, Operand::Reg(count));
+                    b.fdiv(sum, Operand::Reg(sum), Operand::Reg(x));
+                    b.mul(x, Operand::Reg(c), Operand::Imm(di));
+                    b.add(x, Operand::Reg(x), Operand::Reg(dim));
+                    b.addr(a, Operand::Imm(cent_base), Operand::Reg(x), 8);
+                    b.store(Operand::Reg(sum), a, 0);
+                });
+            });
+            b.barrier();
+        },
+    );
+    b.halt();
+    b.build().expect("KMeans kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_isa::ReferenceRunner;
+
+    #[test]
+    fn kernel_matches_host_kmeans() {
+        let spec = build(Scale::Test, 77);
+        let mut mem = spec.memory.clone();
+        ReferenceRunner::new(&spec.program, 24)
+            .run(&mut mem)
+            .unwrap();
+        spec.verify(&mem).unwrap();
+    }
+
+    #[test]
+    fn host_kmeans_separates_obvious_blobs() {
+        // Two well-separated 1-D blobs, centroids seeded one in each.
+        let pts = vec![0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let cent0 = vec![0.05, 10.05];
+        let (cent, assign) = host_kmeans(&pts, &cent0, 6, 1, 2, 3);
+        assert_eq!(assign, vec![0, 0, 0, 1, 1, 1]);
+        assert!((cent[0] - 0.1).abs() < 1e-9);
+        assert!((cent[1] - 10.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cluster_keeps_previous_centroid() {
+        // A centroid far from every point attracts nothing and stays put.
+        let pts = vec![0.0, 0.1];
+        let cent0 = vec![0.05, 100.0];
+        let (cent, assign) = host_kmeans(&pts, &cent0, 2, 1, 2, 2);
+        assert_eq!(assign, vec![0, 0]);
+        assert_eq!(cent[1], 100.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! The eight data-parallel benchmarks the paper evaluates (Table 2),
+//! re-expressed in the DWS kernel IR.
+//!
+//! | Benchmark | Domain | Source suite |
+//! |---|---|---|
+//! | [`fft`] | spectral methods, butterfly computation | Splash2 |
+//! | [`filter`] | edge detection, 3x3 convolution | — |
+//! | [`hotspot`] | thermal simulation, iterative PDE solver | Rodinia |
+//! | [`lu`] | dense linear algebra, LU decomposition | Splash2 |
+//! | [`merge`] | merge sort | — |
+//! | [`short`] | dynamic programming, winning path search | — |
+//! | [`kmeans`] | unsupervised classification, map-reduce | MineBench |
+//! | [`svm`] | supervised learning, kernel computation | MineBench |
+//!
+//! The original C sources were cross-compiled to Alpha; here each kernel is
+//! built with [`dws_isa::KernelBuilder`] as a grid-stride data-parallel
+//! program (mirroring the paper's OpenMP-style `parallel for`), with
+//! barrier-separated phases where the algorithms require them. Every
+//! benchmark ships an input generator and a host-reference verifier, so
+//! simulation results are checked for *functional correctness* under every
+//! scheduling policy — not just timed.
+//!
+//! Input sizes come in three scales: [`Scale::Test`] for unit tests,
+//! [`Scale::Bench`] for the figure-regeneration harness (minutes per
+//! sweep), and [`Scale::Paper`] matching Table 2 (hours, like the
+//! original's six-hour MV5 runs).
+//!
+//! # Example
+//!
+//! ```
+//! use dws_kernels::{Benchmark, Scale};
+//! use dws_isa::ReferenceRunner;
+//!
+//! let spec = Benchmark::Merge.build(Scale::Test, 7);
+//! let mut mem = spec.memory.clone();
+//! ReferenceRunner::new(&spec.program, 16).run(&mut mem).unwrap();
+//! spec.verify(&mem).expect("sorted output");
+//! ```
+
+pub mod fft;
+pub mod filter;
+pub mod hotspot;
+pub mod kmeans;
+pub mod lu;
+pub mod merge;
+pub mod short;
+pub mod spec;
+pub mod svm;
+
+pub use spec::{Benchmark, KernelSpec, Scale};

@@ -1,0 +1,232 @@
+//! LU (Splash2): dense LU decomposition without pivoting.
+//!
+//! The factorization loop runs inside the kernel: for each pivot `k`,
+//! threads first scale column `k` below the pivot (a strided, column-major
+//! walk — the paper's "alternating row-major and column-major computation"),
+//! barrier, then update the trailing submatrix, barrier. The input is made
+//! diagonally dominant so no pivoting is needed.
+//!
+//! Layout: the `n x n` matrix `A` (f64, row-major) at word 0; it is
+//! factored in place into `L\U` (unit lower triangle implicit).
+
+use crate::spec::{close, KernelSpec, Scale};
+use dws_isa::{KernelBuilder, Operand, Program, VecMemory};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Matrix edge per scale.
+pub fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 24,
+        Scale::Bench => 96,
+        Scale::Paper => 300, // Table 2
+    }
+}
+
+/// Builds the LU benchmark.
+pub fn build(scale: Scale, seed: u64) -> KernelSpec {
+    let n = size(scale);
+    let program = program(n);
+    let memory = init_memory(n, seed);
+    let a: Vec<f64> = (0..n * n)
+        .map(|i| memory.read_f64((i * 8) as u64))
+        .collect();
+    let expect = host_lu(&a, n);
+    KernelSpec::new("LU", program, memory, move |mem| {
+        for i in 0..n * n {
+            let got = mem.read_f64((i * 8) as u64);
+            if !close(got, expect[i], 1e-6) {
+                return Err(format!(
+                    "LU A[{},{}] = {got}, expected {}",
+                    i / n,
+                    i % n,
+                    expect[i]
+                ));
+            }
+        }
+        Ok(())
+    })
+}
+
+fn init_memory(n: usize, seed: u64) -> VecMemory {
+    let mut m = VecMemory::new((n * n * 8) as u64);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for r in 0..n {
+        for c in 0..n {
+            let v = if r == c {
+                // Diagonal dominance keeps the factorization stable.
+                n as f64 + rng.gen_range(1.0..2.0)
+            } else {
+                rng.gen_range(-1.0..1.0)
+            };
+            m.write_f64(((r * n + c) * 8) as u64, v);
+        }
+    }
+    m
+}
+
+/// Host reference factorization (same loop order as the kernel).
+pub fn host_lu(a: &[f64], n: usize) -> Vec<f64> {
+    let mut m = a.to_vec();
+    for k in 0..n - 1 {
+        let piv = m[k * n + k];
+        for i in k + 1..n {
+            m[i * n + k] /= piv;
+        }
+        for i in k + 1..n {
+            let lik = m[i * n + k];
+            for j in k + 1..n {
+                m[i * n + j] -= lik * m[k * n + j];
+            }
+        }
+    }
+    m
+}
+
+/// Reconstructs `L * U` from a packed factorization (test helper).
+pub fn reconstruct(lu: &[f64], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            let mut acc = 0.0;
+            for k in 0..=r.min(c) {
+                let l = if k == r { 1.0 } else { lu[r * n + k] };
+                let u = lu[k * n + c];
+                acc += l * u;
+            }
+            out[r * n + c] = acc;
+        }
+    }
+    out
+}
+
+/// Emits the LU kernel for an `n x n` matrix.
+pub fn program(n: usize) -> Program {
+    let ni = n as i64;
+    let mut b = KernelBuilder::new();
+    let (tid, ntid) = (b.tid(), b.ntid());
+    let k = b.reg();
+    let i = b.reg();
+    let j = b.reg();
+    let t = b.reg();
+    let start = b.reg();
+    let a = b.reg();
+    let piv = b.reg();
+    let v = b.reg();
+    let lik = b.reg();
+    let ukj = b.reg();
+    let rem = b.reg();
+    let count = b.reg();
+    let kp1 = b.reg();
+
+    b.for_range(
+        k,
+        Operand::Imm(0),
+        Operand::Imm(ni - 1),
+        Operand::Imm(1),
+        |b| {
+            b.add(kp1, Operand::Reg(k), Operand::Imm(1));
+            // Phase A: scale column k below the pivot.
+            b.mul(a, Operand::Reg(k), Operand::Imm(ni));
+            b.add(a, Operand::Reg(a), Operand::Reg(k));
+            b.mul(a, Operand::Reg(a), Operand::Imm(8));
+            b.load(piv, a, 0);
+            b.add(start, Operand::Reg(kp1), Operand::Reg(tid));
+            b.for_range(i, Operand::Reg(start), Operand::Imm(ni), ntid, |b| {
+                b.mul(a, Operand::Reg(i), Operand::Imm(ni));
+                b.add(a, Operand::Reg(a), Operand::Reg(k));
+                b.mul(a, Operand::Reg(a), Operand::Imm(8));
+                b.load(v, a, 0);
+                b.fdiv(v, Operand::Reg(v), Operand::Reg(piv));
+                b.store(Operand::Reg(v), a, 0);
+            });
+            b.barrier();
+            // Phase B: trailing submatrix update over rem*rem tasks.
+            b.sub(rem, Operand::Imm(ni), Operand::Reg(kp1));
+            b.mul(count, Operand::Reg(rem), Operand::Reg(rem));
+            b.for_range(t, tid, Operand::Reg(count), ntid, |b| {
+                b.div(i, Operand::Reg(t), Operand::Reg(rem));
+                b.rem(j, Operand::Reg(t), Operand::Reg(rem));
+                b.add(i, Operand::Reg(i), Operand::Reg(kp1));
+                b.add(j, Operand::Reg(j), Operand::Reg(kp1));
+                // lik = A[i,k]
+                b.mul(a, Operand::Reg(i), Operand::Imm(ni));
+                b.add(a, Operand::Reg(a), Operand::Reg(k));
+                b.mul(a, Operand::Reg(a), Operand::Imm(8));
+                b.load(lik, a, 0);
+                // ukj = A[k,j]
+                b.mul(a, Operand::Reg(k), Operand::Imm(ni));
+                b.add(a, Operand::Reg(a), Operand::Reg(j));
+                b.mul(a, Operand::Reg(a), Operand::Imm(8));
+                b.load(ukj, a, 0);
+                // A[i,j] -= lik * ukj
+                b.mul(a, Operand::Reg(i), Operand::Imm(ni));
+                b.add(a, Operand::Reg(a), Operand::Reg(j));
+                b.mul(a, Operand::Reg(a), Operand::Imm(8));
+                b.load(v, a, 0);
+                b.fmul(ukj, Operand::Reg(lik), Operand::Reg(ukj));
+                b.fsub(v, Operand::Reg(v), Operand::Reg(ukj));
+                b.store(Operand::Reg(v), a, 0);
+            });
+            b.barrier();
+        },
+    );
+    b.halt();
+    b.build().expect("LU kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_isa::ReferenceRunner;
+
+    #[test]
+    fn kernel_matches_host_lu() {
+        let spec = build(Scale::Test, 21);
+        let mut mem = spec.memory.clone();
+        ReferenceRunner::new(&spec.program, 24)
+            .run(&mut mem)
+            .unwrap();
+        spec.verify(&mem).unwrap();
+    }
+
+    #[test]
+    fn factorization_reconstructs_input() {
+        let n = 16;
+        let mem = init_memory(n, 4);
+        let a: Vec<f64> = (0..n * n).map(|i| mem.read_f64((i * 8) as u64)).collect();
+        let lu = host_lu(&a, n);
+        let back = reconstruct(&lu, n);
+        for i in 0..n * n {
+            assert!(
+                close(back[i], a[i], 1e-8),
+                "A[{i}]: {} vs {}",
+                back[i],
+                a[i]
+            );
+        }
+    }
+
+    #[test]
+    fn identity_factors_to_itself() {
+        let n = 8;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        assert_eq!(host_lu(&a, n), a);
+    }
+
+    #[test]
+    fn works_with_single_thread() {
+        let n = 12;
+        let program = program(n);
+        let mut mem = init_memory(n, 8);
+        let a: Vec<f64> = (0..n * n).map(|i| mem.read_f64((i * 8) as u64)).collect();
+        ReferenceRunner::new(&program, 1).run(&mut mem).unwrap();
+        let expect = host_lu(&a, n);
+        for i in 0..n * n {
+            assert!(close(mem.read_f64((i * 8) as u64), expect[i], 1e-9));
+        }
+    }
+}

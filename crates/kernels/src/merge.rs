@@ -1,0 +1,218 @@
+//! Merge: bottom-up (iterative) merge sort of 64-bit integers.
+//!
+//! Each pass merges runs of width `w` into runs of width `2w`, ping-ponging
+//! between two buffers with a barrier per pass. The inner merge loop's
+//! key comparison is data-dependent, making Merge the most
+//! branch-divergent benchmark in the suite (Table 1: 13.1% divergent
+//! branches, one branch every ~9 instructions).
+//!
+//! Layout (i64 words): buffer `A` at 0, buffer `B` at `n`. The sorted
+//! result lands in `A` when the number of passes is even, `B` otherwise.
+
+use crate::spec::{KernelSpec, Scale};
+use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Element count per scale (deliberately not a power of two, to exercise
+/// ragged final runs).
+pub fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 500,
+        Scale::Bench => 20_000,
+        Scale::Paper => 300_000, // Table 2
+    }
+}
+
+/// Number of merge passes for `n` elements.
+pub fn passes(n: usize) -> usize {
+    let mut p = 0;
+    let mut w = 1;
+    while w < n {
+        p += 1;
+        w *= 2;
+    }
+    p
+}
+
+/// Builds the Merge benchmark.
+pub fn build(scale: Scale, seed: u64) -> KernelSpec {
+    let n = size(scale);
+    let program = program(n);
+    let memory = init_memory(n, seed);
+    let mut expect: Vec<i64> = (0..n).map(|i| memory.read_i64((i * 8) as u64)).collect();
+    expect.sort_unstable();
+    let out_word = if passes(n) % 2 == 0 { 0 } else { n };
+    KernelSpec::new("Merge", program, memory, move |mem| {
+        for i in 0..n {
+            let got = mem.read_i64(((out_word + i) * 8) as u64);
+            if got != expect[i] {
+                return Err(format!("Merge out[{i}] = {got}, expected {}", expect[i]));
+            }
+        }
+        Ok(())
+    })
+}
+
+fn init_memory(n: usize, seed: u64) -> VecMemory {
+    let mut m = VecMemory::new((2 * n * 8) as u64);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..n {
+        m.write_i64((i * 8) as u64, rng.gen_range(-1_000_000..1_000_000));
+    }
+    m
+}
+
+/// Emits the merge-sort kernel for `n` elements.
+pub fn program(n: usize) -> Program {
+    let ni = n as i64;
+    let mut b = KernelBuilder::new();
+    let (tid, ntid) = (b.tid(), b.ntid());
+    let width = b.reg();
+    let src = b.reg();
+    let dst = b.reg();
+    let tmp = b.reg();
+    let nruns = b.reg();
+    let p = b.reg();
+    let left = b.reg();
+    let mid = b.reg();
+    let right = b.reg();
+    let ia = b.reg();
+    let ib = b.reg();
+    let k = b.reg();
+    let va = b.reg();
+    let vb = b.reg();
+    let aa = b.reg();
+    let ab = b.reg();
+    let ak = b.reg();
+    let two_w = b.reg();
+
+    b.li(width, 1);
+    b.li(src, 0);
+    b.li(dst, ni * 8);
+    b.while_loop(CondOp::Lt, Operand::Reg(width), Operand::Imm(ni), |b| {
+        b.mul(two_w, Operand::Reg(width), Operand::Imm(2));
+        // nruns = ceil(n / (2*width))
+        b.add(nruns, Operand::Imm(ni - 1), Operand::Reg(two_w));
+        b.div(nruns, Operand::Reg(nruns), Operand::Reg(two_w));
+        b.for_range(p, tid, Operand::Reg(nruns), ntid, |b| {
+            b.mul(left, Operand::Reg(p), Operand::Reg(two_w));
+            b.add(mid, Operand::Reg(left), Operand::Reg(width));
+            b.imin(mid, Operand::Reg(mid), Operand::Imm(ni));
+            b.add(right, Operand::Reg(left), Operand::Reg(two_w));
+            b.imin(right, Operand::Reg(right), Operand::Imm(ni));
+            b.mov(ia, Operand::Reg(left));
+            b.mov(ib, Operand::Reg(mid));
+            b.mov(k, Operand::Reg(left));
+            // main merge loop: while ia < mid && ib < right
+            let head = b.label();
+            let done = b.label();
+            b.bind(head);
+            b.br(CondOp::Ge, Operand::Reg(ia), Operand::Reg(mid), done);
+            b.br(CondOp::Ge, Operand::Reg(ib), Operand::Reg(right), done);
+            b.addr(aa, Operand::Reg(src), Operand::Reg(ia), 8);
+            b.load(va, aa, 0);
+            b.addr(ab, Operand::Reg(src), Operand::Reg(ib), 8);
+            b.load(vb, ab, 0);
+            b.addr(ak, Operand::Reg(dst), Operand::Reg(k), 8);
+            b.if_then_else(
+                CondOp::Le,
+                Operand::Reg(va),
+                Operand::Reg(vb),
+                |b| {
+                    b.store(Operand::Reg(va), ak, 0);
+                    b.add(ia, Operand::Reg(ia), Operand::Imm(1));
+                },
+                |b| {
+                    b.store(Operand::Reg(vb), ak, 0);
+                    b.add(ib, Operand::Reg(ib), Operand::Imm(1));
+                },
+            );
+            b.add(k, Operand::Reg(k), Operand::Imm(1));
+            b.jmp(head);
+            b.bind(done);
+            // drain the left run
+            b.while_loop(CondOp::Lt, Operand::Reg(ia), Operand::Reg(mid), |b| {
+                b.addr(aa, Operand::Reg(src), Operand::Reg(ia), 8);
+                b.load(va, aa, 0);
+                b.addr(ak, Operand::Reg(dst), Operand::Reg(k), 8);
+                b.store(Operand::Reg(va), ak, 0);
+                b.add(ia, Operand::Reg(ia), Operand::Imm(1));
+                b.add(k, Operand::Reg(k), Operand::Imm(1));
+            });
+            // drain the right run
+            b.while_loop(CondOp::Lt, Operand::Reg(ib), Operand::Reg(right), |b| {
+                b.addr(ab, Operand::Reg(src), Operand::Reg(ib), 8);
+                b.load(vb, ab, 0);
+                b.addr(ak, Operand::Reg(dst), Operand::Reg(k), 8);
+                b.store(Operand::Reg(vb), ak, 0);
+                b.add(ib, Operand::Reg(ib), Operand::Imm(1));
+                b.add(k, Operand::Reg(k), Operand::Imm(1));
+            });
+        });
+        b.barrier();
+        b.mul(width, Operand::Reg(width), Operand::Imm(2));
+        b.mov(tmp, Operand::Reg(src));
+        b.mov(src, Operand::Reg(dst));
+        b.mov(dst, Operand::Reg(tmp));
+    });
+    b.halt();
+    b.build().expect("Merge kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_isa::ReferenceRunner;
+
+    #[test]
+    fn kernel_sorts() {
+        let spec = build(Scale::Test, 33);
+        let mut mem = spec.memory.clone();
+        ReferenceRunner::new(&spec.program, 24)
+            .run(&mut mem)
+            .unwrap();
+        spec.verify(&mem).unwrap();
+    }
+
+    #[test]
+    fn passes_counts() {
+        assert_eq!(passes(1), 0);
+        assert_eq!(passes(2), 1);
+        assert_eq!(passes(500), 9);
+        assert_eq!(passes(512), 9);
+        assert_eq!(passes(513), 10);
+    }
+
+    #[test]
+    fn sorts_with_duplicates_and_single_thread() {
+        let n = 64;
+        let program = program(n);
+        let mut mem = VecMemory::new((2 * n * 8) as u64);
+        for i in 0..n {
+            mem.write_i64((i * 8) as u64, ((i * 7919) % 10) as i64);
+        }
+        let mut expect: Vec<i64> = (0..n).map(|i| mem.read_i64((i * 8) as u64)).collect();
+        expect.sort_unstable();
+        ReferenceRunner::new(&program, 1).run(&mut mem).unwrap();
+        let out = if passes(n) % 2 == 0 { 0 } else { n };
+        for i in 0..n {
+            assert_eq!(mem.read_i64(((out + i) * 8) as u64), expect[i]);
+        }
+    }
+
+    #[test]
+    fn sorts_already_sorted_input() {
+        let n = 100;
+        let program = program(n);
+        let mut mem = VecMemory::new((2 * n * 8) as u64);
+        for i in 0..n {
+            mem.write_i64((i * 8) as u64, i as i64);
+        }
+        ReferenceRunner::new(&program, 7).run(&mut mem).unwrap();
+        let out = if passes(n) % 2 == 0 { 0 } else { n };
+        for i in 0..n {
+            assert_eq!(mem.read_i64(((out + i) * 8) as u64), i as i64);
+        }
+    }
+}

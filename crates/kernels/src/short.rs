@@ -1,0 +1,207 @@
+//! Short: winning-path search for chess by dynamic programming.
+//!
+//! Each step computes, for every choice `i`, the cheapest extension of the
+//! previous step's paths within a neighborhood window:
+//! `next[i] = min_{j in [i-W, i+W]} (prev[j] + cost(j, i))`. The min-update
+//! comparison is data-dependent (divergent: Table 1 reports 22% divergent
+//! branches for Short), the window gathers run over the previous row, and
+//! a barrier separates steps.
+//!
+//! Layout (i64 words): `prev` row at 0, `next` row at `c`. The final row
+//! is at 0 if `steps` is even, else at `c`.
+
+use crate::spec::{KernelSpec, Scale};
+use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Half-width of the predecessor window.
+pub const WINDOW: i64 = 3;
+
+/// Entries in the transition-cost table (gathered pseudo-randomly, making
+/// Short memory-divergent as well as branch-divergent, per Table 1).
+pub const COST_TABLE: i64 = 16_384; // 128 KB of i64
+
+/// (choices per step, steps) per scale.
+pub fn size(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (256, 4),
+        Scale::Bench => (24_576, 6),
+        Scale::Paper => (150_000, 6), // Table 2
+    }
+}
+
+/// Index into the cost table for the transition `j -> i` (a cheap integer
+/// hash computed identically in kernel and host; the scatter across the
+/// 128 KB table is what generates divergent misses).
+pub fn cost_index(j: i64, i: i64) -> i64 {
+    (((j * 131 + i * 7919) % COST_TABLE) + COST_TABLE) % COST_TABLE
+}
+
+/// The table value stored at `idx` (filled deterministically).
+pub fn cost_value(idx: i64) -> i64 {
+    (idx * 2654435761i64 % 97 + 97) % 97
+}
+
+/// Builds the Short benchmark.
+pub fn build(scale: Scale, seed: u64) -> KernelSpec {
+    let (c, steps) = size(scale);
+    let program = program(c, steps);
+    let memory = init_memory(c, seed);
+    let row0: Vec<i64> = (0..c).map(|i| memory.read_i64((i * 8) as u64)).collect();
+    let expect = host_short(&row0, steps);
+    let out_word = if steps % 2 == 0 { 0 } else { c };
+    KernelSpec::new("Short", program, memory, move |mem| {
+        for i in 0..c {
+            let got = mem.read_i64(((out_word + i) * 8) as u64);
+            if got != expect[i] {
+                return Err(format!("Short cost[{i}] = {got}, expected {}", expect[i]));
+            }
+        }
+        Ok(())
+    })
+}
+
+fn init_memory(c: usize, seed: u64) -> VecMemory {
+    // Layout: prev row, next row, then the cost table.
+    let mut m = VecMemory::new(((2 * c) as u64 + COST_TABLE as u64) * 8);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..c {
+        m.write_i64((i * 8) as u64, rng.gen_range(0..1000));
+    }
+    for idx in 0..COST_TABLE {
+        m.write_i64(((2 * c) as u64 + idx as u64) * 8, cost_value(idx));
+    }
+    m
+}
+
+/// Host reference DP.
+pub fn host_short(row0: &[i64], steps: usize) -> Vec<i64> {
+    let c = row0.len() as i64;
+    let mut prev = row0.to_vec();
+    let mut next = vec![0i64; row0.len()];
+    for _ in 0..steps {
+        for i in 0..c {
+            let lo = (i - WINDOW).max(0);
+            let hi = (i + WINDOW).min(c - 1);
+            let mut best = i64::MAX;
+            for j in lo..=hi {
+                let cand = prev[j as usize] + cost_value(cost_index(j, i));
+                if cand < best {
+                    best = cand;
+                }
+            }
+            next[i as usize] = best;
+        }
+        std::mem::swap(&mut prev, &mut next);
+    }
+    prev
+}
+
+/// Emits the Short kernel for `c` choices and `steps` steps.
+pub fn program(c: usize, steps: usize) -> Program {
+    let ci = c as i64;
+    let mut b = KernelBuilder::new();
+    let (tid, ntid) = (b.tid(), b.ntid());
+    let s = b.reg();
+    let src = b.reg();
+    let dst = b.reg();
+    let tmp = b.reg();
+    let i = b.reg();
+    let j = b.reg();
+    let lo = b.reg();
+    let hi = b.reg();
+    let best = b.reg();
+    let cand = b.reg();
+    let w = b.reg();
+    let a = b.reg();
+
+    b.li(src, 0);
+    b.li(dst, ci * 8);
+    b.for_range(
+        s,
+        Operand::Imm(0),
+        Operand::Imm(steps as i64),
+        Operand::Imm(1),
+        |b| {
+            b.for_range(i, tid, Operand::Imm(ci), ntid, |b| {
+                b.sub(lo, Operand::Reg(i), Operand::Imm(WINDOW));
+                b.imax(lo, Operand::Reg(lo), Operand::Imm(0));
+                b.add(hi, Operand::Reg(i), Operand::Imm(WINDOW));
+                b.imin(hi, Operand::Reg(hi), Operand::Imm(ci - 1));
+                b.li(best, i64::MAX);
+                b.mov(j, Operand::Reg(lo));
+                b.while_loop(CondOp::Le, Operand::Reg(j), Operand::Reg(hi), |b| {
+                    // w = table[cost_index(j, i)] — a scattered gather
+                    b.mul(w, Operand::Reg(j), Operand::Imm(131));
+                    b.mul(cand, Operand::Reg(i), Operand::Imm(7919));
+                    b.add(w, Operand::Reg(w), Operand::Reg(cand));
+                    b.rem(w, Operand::Reg(w), Operand::Imm(COST_TABLE));
+                    b.add(w, Operand::Reg(w), Operand::Imm(COST_TABLE));
+                    b.rem(w, Operand::Reg(w), Operand::Imm(COST_TABLE));
+                    b.addr(a, Operand::Imm((2 * ci) * 8), Operand::Reg(w), 8);
+                    b.load(w, a, 0);
+                    b.addr(a, Operand::Reg(src), Operand::Reg(j), 8);
+                    b.load(cand, a, 0);
+                    b.add(cand, Operand::Reg(cand), Operand::Reg(w));
+                    // data-dependent min update (divergent branch)
+                    b.if_then(CondOp::Lt, Operand::Reg(cand), Operand::Reg(best), |b| {
+                        b.mov(best, Operand::Reg(cand));
+                    });
+                    b.add(j, Operand::Reg(j), Operand::Imm(1));
+                });
+                b.addr(a, Operand::Reg(dst), Operand::Reg(i), 8);
+                b.store(Operand::Reg(best), a, 0);
+            });
+            b.barrier();
+            b.mov(tmp, Operand::Reg(src));
+            b.mov(src, Operand::Reg(dst));
+            b.mov(dst, Operand::Reg(tmp));
+        },
+    );
+    b.halt();
+    b.build().expect("Short kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_isa::ReferenceRunner;
+
+    #[test]
+    fn kernel_matches_host_dp() {
+        let spec = build(Scale::Test, 17);
+        let mut mem = spec.memory.clone();
+        ReferenceRunner::new(&spec.program, 24)
+            .run(&mut mem)
+            .unwrap();
+        spec.verify(&mem).unwrap();
+    }
+
+    #[test]
+    fn cost_is_nonnegative_and_bounded() {
+        for j in -5..50 {
+            for i in 0..50 {
+                let idx = cost_index(j, i);
+                assert!((0..COST_TABLE).contains(&idx), "index({j},{i}) = {idx}");
+                let c = cost_value(idx);
+                assert!((0..97).contains(&c), "cost({j},{i}) = {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn dp_costs_never_decrease_below_min_input() {
+        let row0 = vec![100; 64];
+        let out = host_short(&row0, 3);
+        assert!(out.iter().all(|&v| v >= 100), "costs accumulate");
+    }
+
+    #[test]
+    fn single_step_window_respected() {
+        // With a single choice, the window collapses to j == i == 0.
+        let row0 = vec![5];
+        let out = host_short(&row0, 1);
+        assert_eq!(out, vec![5 + cost_value(cost_index(0, 0))]);
+    }
+}

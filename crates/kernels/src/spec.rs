@@ -1,0 +1,160 @@
+//! Benchmark registry: programs, inputs, verifiers, and input scales.
+
+use dws_isa::{Program, VecMemory};
+use std::fmt;
+
+/// Input-size presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny inputs for unit tests (sub-second simulations).
+    Test,
+    /// Reduced inputs for the figure-regeneration harness.
+    Bench,
+    /// The paper's Table 2 input sizes (long runs).
+    Paper,
+}
+
+/// A ready-to-simulate benchmark: program, initialized memory, verifier.
+pub struct KernelSpec {
+    /// Benchmark name (paper spelling).
+    pub name: &'static str,
+    /// The compiled kernel.
+    pub program: Program,
+    /// Initialized functional memory (inputs + zeroed outputs).
+    pub memory: VecMemory,
+    /// Checks the final memory against a host-computed reference.
+    verifier: Box<dyn Fn(&VecMemory) -> Result<(), String> + Send + Sync>,
+}
+
+impl KernelSpec {
+    /// Assembles a spec (used by the per-benchmark modules).
+    pub fn new(
+        name: &'static str,
+        program: Program,
+        memory: VecMemory,
+        verifier: impl Fn(&VecMemory) -> Result<(), String> + Send + Sync + 'static,
+    ) -> Self {
+        KernelSpec {
+            name,
+            program,
+            memory,
+            verifier: Box::new(verifier),
+        }
+    }
+
+    /// Verifies a final memory image against the host reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn verify(&self, memory: &VecMemory) -> Result<(), String> {
+        (self.verifier)(memory)
+    }
+}
+
+impl fmt::Debug for KernelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelSpec")
+            .field("name", &self.name)
+            .field("program_len", &self.program.len())
+            .field("memory_bytes", &self.memory.size_bytes())
+            .finish()
+    }
+}
+
+/// The eight benchmarks of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Fast Fourier transform (Splash2).
+    Fft,
+    /// Edge detection by 3x3 convolution.
+    Filter,
+    /// Thermal simulation, iterative PDE solver (Rodinia).
+    HotSpot,
+    /// Dense LU decomposition (Splash2).
+    Lu,
+    /// Bottom-up merge sort.
+    Merge,
+    /// Winning-path search (dynamic programming).
+    Short,
+    /// K-means clustering (MineBench).
+    KMeans,
+    /// Support-vector-machine kernel computation (MineBench).
+    Svm,
+}
+
+impl Benchmark {
+    /// All eight, in the paper's column order.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::Fft,
+        Benchmark::Filter,
+        Benchmark::HotSpot,
+        Benchmark::Lu,
+        Benchmark::Merge,
+        Benchmark::Short,
+        Benchmark::KMeans,
+        Benchmark::Svm,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Fft => "FFT",
+            Benchmark::Filter => "Filter",
+            Benchmark::HotSpot => "HotSpot",
+            Benchmark::Lu => "LU",
+            Benchmark::Merge => "Merge",
+            Benchmark::Short => "Short",
+            Benchmark::KMeans => "KMeans",
+            Benchmark::Svm => "SVM",
+        }
+    }
+
+    /// Builds the benchmark at the given scale with a deterministic seed.
+    pub fn build(self, scale: Scale, seed: u64) -> KernelSpec {
+        match self {
+            Benchmark::Fft => crate::fft::build(scale, seed),
+            Benchmark::Filter => crate::filter::build(scale, seed),
+            Benchmark::HotSpot => crate::hotspot::build(scale, seed),
+            Benchmark::Lu => crate::lu::build(scale, seed),
+            Benchmark::Merge => crate::merge::build(scale, seed),
+            Benchmark::Short => crate::short::build(scale, seed),
+            Benchmark::KMeans => crate::kmeans::build(scale, seed),
+            Benchmark::Svm => crate::svm::build(scale, seed),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Compares two float words within tolerance (shared by verifiers).
+pub(crate) fn close(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            ["FFT", "Filter", "HotSpot", "LU", "Merge", "Short", "KMeans", "SVM"]
+        );
+        assert_eq!(Benchmark::Fft.to_string(), "FFT");
+    }
+
+    #[test]
+    fn close_tolerates_relative_error() {
+        assert!(close(1e12, 1e12 * (1.0 + 1e-12), 1e-9));
+        assert!(!close(1.0, 1.1, 1e-9));
+        assert!(close(0.0, 1e-12, 1e-9));
+    }
+}

@@ -1,0 +1,185 @@
+//! SVM (MineBench): support-vector-machine kernel computation.
+//!
+//! Computes the polynomial kernel `K(x_i, s_j) = (dot(x_i, s_j)/d + 1)^2`
+//! between every input vector and a small set of support vectors, with a
+//! data-dependent sparsification branch (small responses are clamped to
+//! zero), mirroring the kernel-matrix block computation at the heart of
+//! MineBench's SVM-RFE.
+//!
+//! Layout (f64 words):
+//!
+//! ```text
+//! X   [0,        n*d)       input vectors, row-major
+//! SV  [n*d,      n*d+m*d)   support vectors
+//! OUT [n*d+m*d,  ...+n*m)   kernel values, row-major
+//! ```
+
+use crate::spec::{close, KernelSpec, Scale};
+use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Responses below this threshold are clamped to zero.
+pub const THRESHOLD: f64 = 1.10;
+
+/// (vectors, dims, support vectors) per scale.
+pub fn size(scale: Scale) -> (usize, usize, usize) {
+    match scale {
+        Scale::Test => (128, 8, 8),
+        Scale::Bench => (4096, 16, 16),
+        Scale::Paper => (100_000, 20, 16), // Table 2: 100,000 x 20-D
+    }
+}
+
+/// Builds the SVM benchmark.
+pub fn build(scale: Scale, seed: u64) -> KernelSpec {
+    let (n, d, m) = size(scale);
+    let program = program(n, d, m);
+    let memory = init_memory(n, d, m, seed);
+    let x: Vec<f64> = (0..n * d)
+        .map(|i| memory.read_f64((i * 8) as u64))
+        .collect();
+    let sv: Vec<f64> = (0..m * d)
+        .map(|i| memory.read_f64(((n * d + i) * 8) as u64))
+        .collect();
+    let expect = host_svm(&x, &sv, n, d, m);
+    let out_base = n * d + m * d;
+    KernelSpec::new("SVM", program, memory, move |mem| {
+        for i in 0..n * m {
+            let got = mem.read_f64(((out_base + i) * 8) as u64);
+            if !close(got, expect[i], 1e-9) {
+                return Err(format!("SVM K[{i}] = {got}, expected {}", expect[i]));
+            }
+        }
+        Ok(())
+    })
+}
+
+fn init_memory(n: usize, d: usize, m: usize, seed: u64) -> VecMemory {
+    let mut mem = VecMemory::new(((n * d + m * d + n * m) * 8) as u64);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..n * d {
+        mem.write_f64((i * 8) as u64, rng.gen_range(-1.0..1.0));
+    }
+    for i in 0..m * d {
+        mem.write_f64(((n * d + i) * 8) as u64, rng.gen_range(-1.0..1.0));
+    }
+    mem
+}
+
+/// Host reference kernel computation.
+pub fn host_svm(x: &[f64], sv: &[f64], n: usize, d: usize, m: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            let mut dot = 0.0;
+            for dim in 0..d {
+                dot += x[i * d + dim] * sv[j * d + dim];
+            }
+            let v = dot / d as f64 + 1.0;
+            let v = v * v;
+            out[i * m + j] = if v < THRESHOLD { 0.0 } else { v };
+        }
+    }
+    out
+}
+
+/// Emits the SVM kernel.
+pub fn program(n: usize, d: usize, m: usize) -> Program {
+    let (ni, di, mi) = (n as i64, d as i64, m as i64);
+    let sv_base = ni * di * 8;
+    let out_base = (ni * di + mi * di) * 8;
+
+    let mut b = KernelBuilder::new();
+    let (tid, ntid) = (b.tid(), b.ntid());
+    let task = b.reg();
+    let i = b.reg();
+    let j = b.reg();
+    let dim = b.reg();
+    let dot = b.reg();
+    let xv = b.reg();
+    let sv = b.reg();
+    let a = b.reg();
+    let t = b.reg();
+
+    // Support-vector-major sweep: for each sv j, the whole X matrix is
+    // re-streamed (as MineBench's column-wise kernel computation does),
+    // so X never stays resident and warp gathers span one line per lane.
+    b.for_range(task, tid, Operand::Imm(ni * mi), ntid, |b| {
+        {
+            b.div(j, Operand::Reg(task), Operand::Imm(ni));
+            b.rem(i, Operand::Reg(task), Operand::Imm(ni));
+            b.lif(dot, 0.0);
+            b.for_range(
+                dim,
+                Operand::Imm(0),
+                Operand::Imm(di),
+                Operand::Imm(1),
+                |b| {
+                    b.mul(t, Operand::Reg(i), Operand::Imm(di));
+                    b.add(t, Operand::Reg(t), Operand::Reg(dim));
+                    b.addr(a, Operand::Imm(0), Operand::Reg(t), 8);
+                    b.load(xv, a, 0);
+                    b.mul(t, Operand::Reg(j), Operand::Imm(di));
+                    b.add(t, Operand::Reg(t), Operand::Reg(dim));
+                    b.addr(a, Operand::Imm(sv_base), Operand::Reg(t), 8);
+                    b.load(sv, a, 0);
+                    b.fmul(xv, Operand::Reg(xv), Operand::Reg(sv));
+                    b.fadd(dot, Operand::Reg(dot), Operand::Reg(xv));
+                },
+            );
+            b.fdiv(dot, Operand::Reg(dot), Operand::ImmF(di as f64));
+            b.fadd(dot, Operand::Reg(dot), Operand::ImmF(1.0));
+            b.fmul(dot, Operand::Reg(dot), Operand::Reg(dot));
+            // Sparsification — data-dependent divergence.
+            b.if_then(
+                CondOp::FLt,
+                Operand::Reg(dot),
+                Operand::ImmF(THRESHOLD),
+                |b| {
+                    b.lif(dot, 0.0);
+                },
+            );
+            b.mul(t, Operand::Reg(i), Operand::Imm(mi));
+            b.add(t, Operand::Reg(t), Operand::Reg(j));
+            b.addr(a, Operand::Imm(out_base), Operand::Reg(t), 8);
+            b.store(Operand::Reg(dot), a, 0);
+        }
+    });
+    b.halt();
+    b.build().expect("SVM kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_isa::ReferenceRunner;
+
+    #[test]
+    fn kernel_matches_host_svm() {
+        let spec = build(Scale::Test, 55);
+        let mut mem = spec.memory.clone();
+        ReferenceRunner::new(&spec.program, 24)
+            .run(&mut mem)
+            .unwrap();
+        spec.verify(&mem).unwrap();
+    }
+
+    #[test]
+    fn orthogonal_vectors_give_baseline_response() {
+        // dot = 0 -> v = 1.0 < THRESHOLD -> clamped to 0.
+        let x = vec![1.0, 0.0];
+        let sv = vec![0.0, 1.0];
+        let out = host_svm(&x, &sv, 1, 2, 1);
+        assert_eq!(out, vec![0.0]);
+    }
+
+    #[test]
+    fn aligned_vectors_pass_threshold() {
+        let x = vec![1.0, 1.0];
+        let sv = vec![1.0, 1.0];
+        let out = host_svm(&x, &sv, 1, 2, 1);
+        // dot/d + 1 = 2 -> 4.0
+        assert!((out[0] - 4.0).abs() < 1e-12);
+    }
+}

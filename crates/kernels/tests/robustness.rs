@@ -1,0 +1,90 @@
+//! Robustness tests across all eight benchmarks: every kernel must be
+//! correct for arbitrary thread counts (the grid-stride launch contract),
+//! and every scale must construct without panicking.
+
+use dws_isa::ReferenceRunner;
+use dws_kernels::{Benchmark, Scale};
+
+/// The grid-stride contract: correctness must not depend on how many
+/// hardware threads execute the kernel.
+#[test]
+fn every_benchmark_is_thread_count_invariant() {
+    for bench in Benchmark::ALL {
+        let spec = bench.build(Scale::Test, 123);
+        for nthreads in [1u64, 3, 16, 61, 128] {
+            let mut mem = spec.memory.clone();
+            ReferenceRunner::new(&spec.program, nthreads)
+                .run(&mut mem)
+                .unwrap_or_else(|e| panic!("{bench} with {nthreads} threads: {e}"));
+            spec.verify(&mem)
+                .unwrap_or_else(|e| panic!("{bench} wrong with {nthreads} threads: {e}"));
+        }
+    }
+}
+
+/// More threads than work items: surplus threads must fall through their
+/// grid-stride loops and halt cleanly.
+#[test]
+fn surplus_threads_are_harmless() {
+    for bench in [Benchmark::Filter, Benchmark::Merge, Benchmark::KMeans] {
+        let spec = bench.build(Scale::Test, 9);
+        let mut mem = spec.memory.clone();
+        ReferenceRunner::new(&spec.program, 4096)
+            .run(&mut mem)
+            .unwrap_or_else(|e| panic!("{bench}: {e}"));
+        spec.verify(&mem).unwrap_or_else(|e| panic!("{bench}: {e}"));
+    }
+}
+
+/// All scales (including Table 2 paper sizes) must construct: programs
+/// build, post-dominators resolve, memory images allocate.
+#[test]
+fn all_scales_construct() {
+    for bench in Benchmark::ALL {
+        for scale in [Scale::Test, Scale::Bench, Scale::Paper] {
+            let spec = bench.build(scale, 1);
+            assert!(spec.program.len() > 0, "{bench} {scale:?}");
+            assert!(spec.memory.size_bytes() > 0, "{bench} {scale:?}");
+            // Every conditional branch in structured kernels re-converges.
+            for (pc, info) in spec.program.branches() {
+                assert_ne!(
+                    info.ipdom,
+                    usize::MAX,
+                    "{bench} {scale:?}: branch at {pc} has no post-dominator"
+                );
+            }
+        }
+    }
+}
+
+/// Two different seeds produce different data but equally correct runs.
+#[test]
+fn seeds_vary_data_not_correctness() {
+    for bench in [Benchmark::Fft, Benchmark::Short] {
+        let a = bench.build(Scale::Test, 1);
+        let b = bench.build(Scale::Test, 2);
+        assert_ne!(
+            a.memory.words(),
+            b.memory.words(),
+            "{bench}: seeds must change inputs"
+        );
+        for spec in [a, b] {
+            let mut mem = spec.memory.clone();
+            ReferenceRunner::new(&spec.program, 24)
+                .run(&mut mem)
+                .unwrap();
+            spec.verify(&mem).unwrap();
+        }
+    }
+}
+
+/// The programs are deterministic functions of their parameters.
+#[test]
+fn program_construction_is_deterministic() {
+    for bench in Benchmark::ALL {
+        let a = bench.build(Scale::Test, 7);
+        let b = bench.build(Scale::Test, 7);
+        assert_eq!(a.program.len(), b.program.len());
+        assert_eq!(a.memory.words(), b.memory.words(), "{bench}");
+    }
+}

@@ -1,0 +1,352 @@
+//! A set-associative tag array with MESI line states and true-LRU
+//! replacement, shared by the L1 and L2 models.
+
+use crate::config::CacheConfig;
+use dws_engine::stats::Counter;
+
+/// MESI coherence state of a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MesiState {
+    /// Dirty, exclusive to one cache.
+    Modified,
+    /// Clean, exclusive to one cache.
+    Exclusive,
+    /// Clean, possibly in several caches.
+    Shared,
+    /// Not present.
+    Invalid,
+}
+
+impl MesiState {
+    /// Whether a store may complete locally in this state.
+    pub fn writable(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// Whether the line holds valid data.
+    pub fn valid(self) -> bool {
+        !matches!(self, MesiState::Invalid)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    state: MesiState,
+    lru: u64,
+}
+
+/// Information about a line displaced by [`CacheArray::fill`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line address (byte address >> line bits) of the victim.
+    pub line_addr: u64,
+    /// State the victim held; `Modified` victims need a writeback.
+    pub state: MesiState,
+}
+
+/// Hit/miss/eviction counters for one cache array.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Probe hits.
+    pub hits: Counter,
+    /// Probe misses.
+    pub misses: Counter,
+    /// Lines displaced by fills.
+    pub evictions: Counter,
+    /// Modified lines displaced (writebacks generated).
+    pub dirty_evictions: Counter,
+}
+
+/// A set-associative tag array.
+///
+/// Addresses given to the array are *line addresses* (byte address divided
+/// by the line size); the caller performs that conversion once per access.
+///
+/// # Example
+///
+/// ```
+/// use dws_mem::{CacheArray, CacheConfig, MesiState};
+/// let mut c = CacheArray::new(&CacheConfig::paper_l1d(16));
+/// assert_eq!(c.probe(7), MesiState::Invalid);
+/// c.fill(7, MesiState::Exclusive);
+/// assert_eq!(c.probe(7), MesiState::Exclusive);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    tick: u64,
+    /// Aggregate statistics.
+    pub stats: CacheStats,
+}
+
+impl CacheArray {
+    /// Builds an empty array with the given geometry.
+    pub fn new(config: &CacheConfig) -> Self {
+        let num_sets = config.num_sets();
+        CacheArray {
+            sets: vec![
+                vec![
+                    Line {
+                        tag: 0,
+                        state: MesiState::Invalid,
+                        lru: 0,
+                    };
+                    config.assoc
+                ];
+                num_sets
+            ],
+            set_mask: num_sets as u64 - 1,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line_addr: u64) -> usize {
+        (line_addr & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, line_addr: u64) -> u64 {
+        line_addr >> self.set_mask.count_ones()
+    }
+
+    /// Looks up a line, updating LRU and hit/miss statistics.
+    pub fn probe(&mut self, line_addr: u64) -> MesiState {
+        let set = self.set_of(line_addr);
+        let tag = self.tag_of(line_addr);
+        self.tick += 1;
+        let tick = self.tick;
+        for line in &mut self.sets[set] {
+            if line.state.valid() && line.tag == tag {
+                line.lru = tick;
+                self.stats.hits.incr();
+                return line.state;
+            }
+        }
+        self.stats.misses.incr();
+        MesiState::Invalid
+    }
+
+    /// Looks up a line without disturbing LRU or statistics.
+    pub fn peek(&self, line_addr: u64) -> MesiState {
+        let set = self.set_of(line_addr);
+        let tag = self.tag_of(line_addr);
+        for line in &self.sets[set] {
+            if line.state.valid() && line.tag == tag {
+                return line.state;
+            }
+        }
+        MesiState::Invalid
+    }
+
+    /// Installs a line in `state`, evicting the LRU victim if the set is
+    /// full. Returns the victim, if a valid line was displaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already present (fills must be preceded by a
+    /// miss).
+    pub fn fill(&mut self, line_addr: u64, state: MesiState) -> Option<Evicted> {
+        let set = self.set_of(line_addr);
+        let tag = self.tag_of(line_addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let set_bits = self.set_mask.count_ones();
+        let lines = &mut self.sets[set];
+        debug_assert!(
+            !lines.iter().any(|l| l.state.valid() && l.tag == tag),
+            "fill of already-present line {line_addr:#x}"
+        );
+        // Prefer an invalid way; otherwise evict true-LRU.
+        let way = match lines.iter().position(|l| !l.state.valid()) {
+            Some(w) => w,
+            None => {
+                let (w, _) = lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .expect("non-empty set");
+                w
+            }
+        };
+        let victim = lines[way];
+        lines[way] = Line {
+            tag,
+            state,
+            lru: tick,
+        };
+        if victim.state.valid() {
+            self.stats.evictions.incr();
+            if victim.state == MesiState::Modified {
+                self.stats.dirty_evictions.incr();
+            }
+            Some(Evicted {
+                line_addr: (victim.tag << set_bits) | set as u64,
+                state: victim.state,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Changes the state of a present line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is absent.
+    pub fn set_state(&mut self, line_addr: u64, state: MesiState) {
+        let set = self.set_of(line_addr);
+        let tag = self.tag_of(line_addr);
+        for line in &mut self.sets[set] {
+            if line.state.valid() && line.tag == tag {
+                line.state = state;
+                return;
+            }
+        }
+        panic!("set_state on absent line {line_addr:#x}");
+    }
+
+    /// Invalidates a line if present, returning its previous state.
+    pub fn invalidate(&mut self, line_addr: u64) -> MesiState {
+        let set = self.set_of(line_addr);
+        let tag = self.tag_of(line_addr);
+        for line in &mut self.sets[set] {
+            if line.state.valid() && line.tag == tag {
+                let prev = line.state;
+                line.state = MesiState::Invalid;
+                return prev;
+            }
+        }
+        MesiState::Invalid
+    }
+
+    /// Number of valid lines currently resident (test/diagnostic helper).
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.state.valid())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheArray {
+        // 2 sets x 2 ways, 128B lines.
+        CacheArray::new(&CacheConfig {
+            size_bytes: 4 * 128,
+            assoc: 2,
+            line_bytes: 128,
+            hit_latency: 1,
+            mshrs: 4,
+            mshr_targets: 4,
+            banks: 1,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.probe(0), MesiState::Invalid);
+        c.fill(0, MesiState::Shared);
+        assert_eq!(c.probe(0), MesiState::Shared);
+        assert_eq!(c.stats.hits.get(), 1);
+        assert_eq!(c.stats.misses.get(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds even line addresses: 0, 2, 4 map to set 0.
+        c.fill(0, MesiState::Exclusive);
+        c.fill(2, MesiState::Exclusive);
+        c.probe(0); // make line 0 most recent
+        let evicted = c.fill(4, MesiState::Exclusive).expect("eviction");
+        assert_eq!(evicted.line_addr, 2);
+        assert_eq!(c.peek(0), MesiState::Exclusive);
+        assert_eq!(c.peek(2), MesiState::Invalid);
+        assert_eq!(c.peek(4), MesiState::Exclusive);
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.fill(0, MesiState::Modified);
+        c.fill(2, MesiState::Shared);
+        c.probe(2);
+        let ev = c.fill(4, MesiState::Shared).unwrap();
+        assert_eq!(ev.line_addr, 0);
+        assert_eq!(ev.state, MesiState::Modified);
+        assert_eq!(c.stats.dirty_evictions.get(), 1);
+        assert_eq!(c.stats.evictions.get(), 1);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        // Lines 0,2 -> set 0; lines 1,3 -> set 1.
+        c.fill(0, MesiState::Shared);
+        c.fill(1, MesiState::Shared);
+        c.fill(2, MesiState::Shared);
+        c.fill(3, MesiState::Shared);
+        assert_eq!(c.resident_lines(), 4);
+        assert!(c.fill(5, MesiState::Shared).is_some());
+        assert_eq!(c.peek(1), MesiState::Invalid, "victim from set 1");
+        assert_eq!(c.peek(0), MesiState::Shared, "set 0 untouched");
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mut c = tiny();
+        c.fill(6, MesiState::Exclusive);
+        c.set_state(6, MesiState::Modified);
+        assert_eq!(c.peek(6), MesiState::Modified);
+        assert_eq!(c.invalidate(6), MesiState::Modified);
+        assert_eq!(c.peek(6), MesiState::Invalid);
+        assert_eq!(c.invalidate(6), MesiState::Invalid, "idempotent");
+    }
+
+    #[test]
+    #[should_panic(expected = "absent line")]
+    fn set_state_absent_panics() {
+        let mut c = tiny();
+        c.set_state(9, MesiState::Shared);
+    }
+
+    #[test]
+    fn writable_states() {
+        assert!(MesiState::Modified.writable());
+        assert!(MesiState::Exclusive.writable());
+        assert!(!MesiState::Shared.writable());
+        assert!(!MesiState::Invalid.writable());
+        assert!(MesiState::Shared.valid());
+        assert!(!MesiState::Invalid.valid());
+    }
+
+    #[test]
+    fn fully_associative_single_set() {
+        let cfg = CacheConfig {
+            size_bytes: 4 * 128,
+            assoc: 4,
+            line_bytes: 128,
+            hit_latency: 1,
+            mshrs: 4,
+            mshr_targets: 4,
+            banks: 1,
+        };
+        let mut c = CacheArray::new(&cfg);
+        for la in 0..4 {
+            c.fill(la, MesiState::Shared);
+        }
+        assert_eq!(c.resident_lines(), 4);
+        // A fifth distinct line evicts the LRU (line 0).
+        let ev = c.fill(100, MesiState::Shared).unwrap();
+        assert_eq!(ev.line_addr, 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Memory-system configuration, defaulting to the paper's Table 3.
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Ways per set. Use [`CacheConfig::fully_associative`] for a single set.
+    pub assoc: usize,
+    /// Line size in bytes (128 in the paper).
+    pub line_bytes: u64,
+    /// Access (hit) latency in cycles.
+    pub hit_latency: u64,
+    /// Number of MSHR entries.
+    pub mshrs: usize,
+    /// Maximum requests merged into a single MSHR entry.
+    pub mshr_targets: usize,
+    /// Number of banks (L1 D-caches are banked per SIMD lane).
+    pub banks: usize,
+}
+
+impl CacheConfig {
+    /// The paper's L1 D-cache: 32 KB, 8-way, 128 B lines, 3-cycle hit,
+    /// 32 MSHRs each hosting up to 32 requests, banked per lane.
+    pub fn paper_l1d(lanes: usize) -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 8,
+            line_bytes: 128,
+            hit_latency: 3,
+            mshrs: 32,
+            mshr_targets: 32,
+            banks: lanes.max(1),
+        }
+    }
+
+    /// The paper's L1 I-cache: 16 KB, 4-way, 128 B lines, 1-cycle hit.
+    pub fn paper_l1i() -> Self {
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            assoc: 4,
+            line_bytes: 128,
+            hit_latency: 1,
+            mshrs: 4,
+            mshr_targets: 8,
+            banks: 1,
+        }
+    }
+
+    /// The paper's L2: 4096 KB, 16-way, 128 B lines, 30-cycle lookup,
+    /// 256 MSHRs each hosting up to 64 requests.
+    pub fn paper_l2() -> Self {
+        CacheConfig {
+            size_bytes: 4096 * 1024,
+            assoc: 16,
+            line_bytes: 128,
+            hit_latency: 30,
+            mshrs: 256,
+            mshr_targets: 64,
+            banks: 1,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, capacity not a
+    /// multiple of `assoc * line_bytes`, or a non-power-of-two set count).
+    pub fn num_sets(&self) -> usize {
+        assert!(self.size_bytes > 0 && self.line_bytes > 0 && self.assoc > 0);
+        let lines = self.size_bytes / self.line_bytes;
+        assert_eq!(
+            self.size_bytes % self.line_bytes,
+            0,
+            "capacity must be a whole number of lines"
+        );
+        assert_eq!(
+            lines as usize % self.assoc,
+            0,
+            "lines must divide evenly into ways"
+        );
+        let sets = lines as usize / self.assoc;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+
+    /// Converts this configuration to a fully-associative one of the same
+    /// capacity (used by the Figure 1b/15/18 sweeps).
+    pub fn fully_associative(mut self) -> Self {
+        self.assoc = (self.size_bytes / self.line_bytes) as usize;
+        self
+    }
+
+    /// Returns a copy with a different capacity.
+    pub fn with_size(mut self, size_bytes: u64) -> Self {
+        self.size_bytes = size_bytes;
+        self
+    }
+
+    /// Returns a copy with a different associativity.
+    pub fn with_assoc(mut self, assoc: usize) -> Self {
+        self.assoc = assoc;
+        self
+    }
+
+    /// Returns a copy with a different hit latency.
+    pub fn with_hit_latency(mut self, lat: u64) -> Self {
+        self.hit_latency = lat;
+        self
+    }
+}
+
+/// Whole-hierarchy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Number of private L1 D-caches (one per WPU; 4 in the paper).
+    pub n_l1s: usize,
+    /// L1 D-cache geometry.
+    pub l1d: CacheConfig,
+    /// L1 I-cache geometry.
+    pub l1i: CacheConfig,
+    /// Shared L2 geometry (its `hit_latency` is the L2 lookup latency the
+    /// Figure 16 sweep varies from 10 to 300 cycles).
+    pub l2: CacheConfig,
+    /// DRAM access latency in cycles (100 in the paper).
+    pub dram_latency: u64,
+    /// DRAM bus bandwidth in bytes per WPU cycle (16 GB/s at 1 GHz = 16).
+    pub dram_bytes_per_cycle: u64,
+    /// Crossbar wire latency L1<->L2 in cycles.
+    pub crossbar_latency: u64,
+    /// Crossbar bandwidth in bytes per WPU cycle (57 GB/s at 1 GHz = 57).
+    pub crossbar_bytes_per_cycle: u64,
+    /// Extra per-conflict queueing delay at an L1 bank (1 cycle).
+    pub bank_conflict_penalty: u64,
+}
+
+impl MemConfig {
+    /// The paper's Table 3 configuration for `n_l1s` WPUs with `lanes`
+    /// SIMD lanes each.
+    pub fn paper(n_l1s: usize, lanes: usize) -> Self {
+        MemConfig {
+            n_l1s,
+            l1d: CacheConfig::paper_l1d(lanes),
+            l1i: CacheConfig::paper_l1i(),
+            l2: CacheConfig::paper_l2(),
+            dram_latency: 100,
+            dram_bytes_per_cycle: 16,
+            crossbar_latency: 4,
+            crossbar_bytes_per_cycle: 57,
+            bank_conflict_penalty: 1,
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::paper(4, 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1d_geometry() {
+        let c = CacheConfig::paper_l1d(16);
+        assert_eq!(c.num_sets(), 32 * 1024 / 128 / 8);
+        assert_eq!(c.banks, 16);
+    }
+
+    #[test]
+    fn fully_associative_has_one_set() {
+        let c = CacheConfig::paper_l1d(16).fully_associative();
+        assert_eq!(c.num_sets(), 1);
+        assert_eq!(c.assoc as u64, 32 * 1024 / 128);
+    }
+
+    #[test]
+    fn with_builders() {
+        let c = CacheConfig::paper_l1d(8)
+            .with_size(8 * 1024)
+            .with_assoc(4)
+            .with_hit_latency(5);
+        assert_eq!(c.size_bytes, 8 * 1024);
+        assert_eq!(c.assoc, 4);
+        assert_eq!(c.hit_latency, 5);
+        assert_eq!(c.num_sets(), 8 * 1024 / 128 / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        CacheConfig {
+            size_bytes: 3 * 128 * 2,
+            assoc: 2,
+            line_bytes: 128,
+            hit_latency: 1,
+            mshrs: 1,
+            mshr_targets: 1,
+            banks: 1,
+        }
+        .num_sets();
+    }
+
+    #[test]
+    fn default_is_paper() {
+        let m = MemConfig::default();
+        assert_eq!(m.n_l1s, 4);
+        assert_eq!(m.l2.hit_latency, 30);
+        assert_eq!(m.dram_latency, 100);
+    }
+}

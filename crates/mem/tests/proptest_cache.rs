@@ -1,0 +1,173 @@
+//! Property tests of the cache array against a naive reference model, and
+//! whole-hierarchy invariants under random access streams.
+
+use dws_engine::Cycle;
+use dws_mem::{
+    AccessKind, AccessOutcome, CacheArray, CacheConfig, LaneAccess, MemConfig, MemorySystem,
+    MesiState,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A naive set-associative LRU model: per set, a vector ordered by recency.
+struct RefCache {
+    sets: Vec<Vec<u64>>, // most recent last
+    assoc: usize,
+    set_mask: u64,
+}
+
+impl RefCache {
+    fn new(cfg: &CacheConfig) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); cfg.num_sets()],
+            assoc: cfg.assoc,
+            set_mask: cfg.num_sets() as u64 - 1,
+        }
+    }
+
+    /// Returns whether the line hit; updates recency / fills on miss.
+    fn access(&mut self, line: u64) -> bool {
+        let set = (line & self.set_mask) as usize;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&l| l == line) {
+            s.remove(pos);
+            s.push(line);
+            true
+        } else {
+            if s.len() == self.assoc {
+                s.remove(0); // evict LRU
+            }
+            s.push(line);
+            false
+        }
+    }
+}
+
+fn small_cfg() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 8 * 128, // 4 sets x 2 ways
+        assoc: 2,
+        line_bytes: 128,
+        hit_latency: 1,
+        mshrs: 8,
+        mshr_targets: 8,
+        banks: 1,
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_array_matches_reference_lru(lines in prop::collection::vec(0u64..64, 1..400)) {
+        let cfg = small_cfg();
+        let mut dut = CacheArray::new(&cfg);
+        let mut reference = RefCache::new(&cfg);
+        for &line in &lines {
+            let expect_hit = reference.access(line);
+            let got = dut.probe(line);
+            prop_assert_eq!(got.valid(), expect_hit, "line {}", line);
+            if !got.valid() {
+                dut.fill(line, MesiState::Shared);
+            }
+        }
+    }
+
+    #[test]
+    fn resident_lines_never_exceed_capacity(lines in prop::collection::vec(0u64..4096, 1..400)) {
+        let cfg = small_cfg();
+        let mut dut = CacheArray::new(&cfg);
+        for &line in &lines {
+            if !dut.probe(line).valid() {
+                dut.fill(line, MesiState::Exclusive);
+            }
+            prop_assert!(dut.resident_lines() <= 8);
+        }
+    }
+
+    /// Every miss eventually completes, exactly once per issued request.
+    #[test]
+    fn hierarchy_completes_every_request(
+        ops in prop::collection::vec((0u64..2048, any::<bool>(), 0usize..4), 1..120)
+    ) {
+        let mut m = MemorySystem::new(MemConfig::paper(4, 16));
+        let mut outstanding: HashMap<u64, usize> = HashMap::new(); // request -> count
+        let mut now = Cycle(0);
+        let mut issued = 0u64;
+        let mut completed = 0u64;
+        for &(word, store, l1) in &ops {
+            now += 3;
+            let access = LaneAccess {
+                lane: (word % 16) as usize,
+                addr: word * 8,
+                kind: if store { AccessKind::Store } else { AccessKind::Load },
+            };
+            if let Some(out) = m.warp_access(now, l1, &[access]) {
+                for o in out {
+                    if let AccessOutcome::Miss { request } = o.outcome {
+                        *outstanding.entry(request.0).or_insert(0) += 1;
+                        issued += 1;
+                    }
+                }
+            }
+            for c in m.drain_completions(now) {
+                let e = outstanding.get_mut(&c.request.0).expect("known request");
+                prop_assert_eq!(*e, 1, "double completion");
+                *e = 0;
+                completed += 1;
+            }
+        }
+        // Drain the tail.
+        while m.pending_fills() > 0 {
+            let at = m.next_completion_at().expect("pending implies a next event");
+            for c in m.drain_completions(at) {
+                let e = outstanding.get_mut(&c.request.0).expect("known request");
+                prop_assert_eq!(*e, 1, "double completion");
+                *e = 0;
+                completed += 1;
+            }
+        }
+        prop_assert_eq!(issued, completed);
+        prop_assert!(outstanding.values().all(|&v| v == 0));
+    }
+
+    /// Coherence safety: after any access stream, no line is Modified or
+    /// Exclusive in two different L1s at once.
+    #[test]
+    fn single_writer_invariant(
+        ops in prop::collection::vec((0u64..32, any::<bool>(), 0usize..4), 1..150)
+    ) {
+        let mut m = MemorySystem::new(MemConfig::paper(4, 16));
+        let mut now = Cycle(0);
+        for &(word, store, l1) in &ops {
+            now += 5;
+            let addr = word * 128; // one word per line, 32 distinct lines
+            let access = LaneAccess {
+                lane: 0,
+                addr,
+                kind: if store { AccessKind::Store } else { AccessKind::Load },
+            };
+            let _ = m.warp_access(now, l1, &[access]);
+            // Settle all fills before checking the invariant.
+            while m.pending_fills() > 0 {
+                let at = m.next_completion_at().expect("pending");
+                m.drain_completions(at);
+                if at > now {
+                    now = at;
+                }
+            }
+            for line_word in 0u64..32 {
+                let a = line_word * 128;
+                let owners = (0..4)
+                    .filter(|&i| m.l1_line_state(i, a).writable())
+                    .count();
+                prop_assert!(owners <= 1, "line {:#x} has {} writers", a, owners);
+                // If anyone holds it writable, nobody else holds it at all.
+                if owners == 1 {
+                    let sharers = (0..4)
+                        .filter(|&i| m.l1_line_state(i, a).valid())
+                        .count();
+                    prop_assert_eq!(sharers, 1, "writable line {:#x} also shared", a);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Simulation configuration and errors.
+
+use dws_core::Policy;
+use dws_mem::MemConfig;
+use std::fmt;
+
+/// Full machine configuration. Defaults mirror the paper's Table 3.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Number of WPUs (the paper simulates four).
+    pub n_wpus: usize,
+    /// SIMD width per warp.
+    pub width: usize,
+    /// Warps per WPU.
+    pub n_warps: usize,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Scheduler slots per WPU (paper: double the warp count).
+    pub sched_slots: usize,
+    /// Warp-split table entries per WPU (paper: 16).
+    pub wst_entries: usize,
+    /// Memory hierarchy configuration.
+    pub mem: MemConfig,
+    /// Abort the run after this many cycles (deadlock backstop).
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// The paper's baseline machine: 4 WPUs x 16-wide x 4 warps over the
+    /// Table 3 hierarchy, under the given policy.
+    pub fn paper(policy: Policy) -> Self {
+        let n_wpus = 4;
+        let width = 16;
+        SimConfig {
+            n_wpus,
+            width,
+            n_warps: 4,
+            policy,
+            sched_slots: 8,
+            wst_entries: 16,
+            mem: MemConfig::paper(n_wpus, width),
+            max_cycles: 20_000_000_000,
+        }
+    }
+
+    /// Changes the WPU count (and the matching number of L1s).
+    pub fn with_wpus(mut self, n: usize) -> Self {
+        self.n_wpus = n;
+        self.mem.n_l1s = n;
+        self
+    }
+
+    /// Changes the SIMD width (and the L1 banking that follows it).
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = width;
+        self.mem.l1d.banks = width.max(1);
+        self
+    }
+
+    /// Changes the multi-threading depth and keeps the paper's 2x scheduler
+    /// sizing.
+    pub fn with_warps(mut self, n_warps: usize) -> Self {
+        self.n_warps = n_warps;
+        self.sched_slots = 2 * n_warps;
+        self
+    }
+
+    /// Changes the policy.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Total hardware threads in the machine.
+    pub fn total_threads(&self) -> u64 {
+        (self.n_wpus * self.width * self.n_warps) as u64
+    }
+}
+
+/// Why a simulation failed.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// The cycle budget elapsed; carries diagnostics for each WPU.
+    Timeout {
+        /// Cycle count at abort.
+        cycles: u64,
+        /// Per-WPU group dumps.
+        diagnostics: String,
+    },
+    /// No WPU can make progress and no event is pending.
+    Deadlock {
+        /// Cycle of detection.
+        cycles: u64,
+        /// Per-WPU group dumps.
+        diagnostics: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout { cycles, .. } => {
+                write!(f, "simulation exceeded its cycle budget at cycle {cycles}")
+            }
+            SimError::Deadlock { cycles, .. } => {
+                write!(f, "simulation deadlocked at cycle {cycles}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SimConfig::paper(Policy::conventional());
+        assert_eq!(c.n_wpus, 4);
+        assert_eq!(c.width, 16);
+        assert_eq!(c.n_warps, 4);
+        assert_eq!(c.sched_slots, 8);
+        assert_eq!(c.wst_entries, 16);
+        assert_eq!(c.total_threads(), 256);
+    }
+
+    #[test]
+    fn builders_update_dependents() {
+        let c = SimConfig::paper(Policy::conventional())
+            .with_wpus(2)
+            .with_width(8)
+            .with_warps(6);
+        assert_eq!(c.mem.n_l1s, 2);
+        assert_eq!(c.mem.l1d.banks, 8);
+        assert_eq!(c.sched_slots, 12);
+        assert_eq!(c.total_threads(), 2 * 8 * 6);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SimError::Deadlock {
+            cycles: 7,
+            diagnostics: String::new(),
+        };
+        assert!(e.to_string().contains("deadlock"));
+    }
+}

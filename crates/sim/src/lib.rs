@@ -1,0 +1,27 @@
+//! Whole-machine simulation: the paper's four-WPU system over a two-level
+//! coherent cache hierarchy, with a deterministic run loop, global-barrier
+//! coordination, metric collection, and experiment presets for every
+//! figure and table.
+//!
+//! # Example
+//!
+//! ```
+//! use dws_sim::{Machine, SimConfig};
+//! use dws_core::Policy;
+//! use dws_kernels::{Benchmark, Scale};
+//!
+//! let spec = Benchmark::Filter.build(Scale::Test, 1);
+//! let cfg = SimConfig::paper(Policy::dws_revive()).with_wpus(1);
+//! let result = Machine::run(&cfg, &spec).expect("simulation completes");
+//! spec.verify(&result.memory).expect("functionally correct");
+//! assert!(result.cycles > 0);
+//! ```
+
+pub mod config;
+pub mod machine;
+pub mod metrics;
+pub mod presets;
+
+pub use config::{SimConfig, SimError};
+pub use machine::Machine;
+pub use metrics::RunResult;

@@ -1,0 +1,223 @@
+//! The assembled machine and its deterministic run loop.
+
+use crate::config::{SimConfig, SimError};
+use crate::metrics::RunResult;
+use dws_core::{TickClass, Wpu, WpuConfig};
+use dws_engine::Cycle;
+use dws_kernels::KernelSpec;
+use dws_mem::MemorySystem;
+use std::sync::Arc;
+
+/// A machine instance mid-run. Most callers use [`Machine::run`]; the
+/// step-level API ([`Machine::new`] + [`Machine::step`]) exists for tests
+/// and interactive tooling.
+pub struct Machine {
+    wpus: Vec<Wpu>,
+    mem: MemorySystem,
+    data: dws_isa::VecMemory,
+    now: Cycle,
+    last_class: Vec<TickClass>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.now)
+            .field("wpus", &self.wpus.len())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine for `config` loaded with `spec`'s program and data.
+    pub fn new(config: &SimConfig, spec: &KernelSpec) -> Machine {
+        let program = Arc::new(spec.program.clone());
+        let threads_per_wpu = (config.width * config.n_warps) as u64;
+        let nthreads = config.total_threads();
+        let wpus: Vec<Wpu> = (0..config.n_wpus)
+            .map(|i| {
+                Wpu::new(
+                    WpuConfig {
+                        id: i,
+                        width: config.width,
+                        n_warps: config.n_warps,
+                        policy: config.policy,
+                        sched_slots: config.sched_slots,
+                        wst_entries: config.wst_entries,
+                    },
+                    Arc::clone(&program),
+                    i as u64 * threads_per_wpu,
+                    nthreads,
+                )
+            })
+            .collect();
+        Machine {
+            last_class: vec![TickClass::Idle; config.n_wpus],
+            wpus,
+            mem: MemorySystem::new(config.mem),
+            data: spec.memory.clone(),
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// Whether every thread has terminated.
+    pub fn done(&self) -> bool {
+        self.wpus.iter().all(|w| w.done())
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Read access to the WPUs (metrics, tests).
+    pub fn wpus(&self) -> &[Wpu] {
+        &self.wpus
+    }
+
+    /// Read access to the memory system.
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Advances the machine one cycle. Returns true if any WPU issued.
+    pub fn step(&mut self) -> bool {
+        let now = self.now;
+        for c in self.mem.drain_completions(now) {
+            self.wpus[c.l1].on_completion(c.request, c.at);
+        }
+        let mut any_busy = false;
+        for (i, w) in self.wpus.iter_mut().enumerate() {
+            let t = w.tick(now, &mut self.mem, &mut self.data);
+            self.last_class[i] = t;
+            if t == TickClass::Busy {
+                any_busy = true;
+            }
+        }
+        // Global barrier: release once every live thread has arrived.
+        let live: u64 = self.wpus.iter().map(|w| w.live_threads()).sum();
+        let waiting: u64 = self.wpus.iter().map(|w| w.barrier_waiting()).sum();
+        if live > 0 && waiting == live {
+            for w in &mut self.wpus {
+                w.release_barrier(now);
+            }
+            any_busy = true; // barrier release is progress
+        }
+        self.now += 1;
+        any_busy
+    }
+
+    /// When nothing issued this cycle, the next cycle at which something
+    /// can happen (a fill completes or a ready group wakes).
+    fn next_event(&self) -> Option<Cycle> {
+        let mut next = self.mem.next_completion_at();
+        for w in &self.wpus {
+            if let Some(c) = w.next_wake_at(self.now) {
+                next = Some(match next {
+                    Some(n) => n.min(c),
+                    None => c,
+                });
+            }
+        }
+        next
+    }
+
+    /// Runs `config` + `spec` to completion and collects metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Timeout`] when the cycle budget elapses and
+    /// [`SimError::Deadlock`] when no progress is possible.
+    pub fn run(config: &SimConfig, spec: &KernelSpec) -> Result<RunResult, SimError> {
+        let mut m = Machine::new(config, spec);
+        loop {
+            let busy = m.step();
+            if m.done() {
+                break;
+            }
+            if m.now.raw() >= config.max_cycles {
+                return Err(SimError::Timeout {
+                    cycles: m.now.raw(),
+                    diagnostics: m.diagnostics(),
+                });
+            }
+            if !busy {
+                // Skip ahead over a fully-stalled stretch, charging the
+                // skipped cycles to each WPU's stall class.
+                match m.next_event() {
+                    Some(at) if at > m.now => {
+                        let skip = at - m.now;
+                        for (i, w) in m.wpus.iter_mut().enumerate() {
+                            w.account_skipped_stall(skip, m.last_class[i]);
+                        }
+                        m.now = at;
+                    }
+                    Some(_) => {}
+                    None => {
+                        return Err(SimError::Deadlock {
+                            cycles: m.now.raw(),
+                            diagnostics: m.diagnostics(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(RunResult::collect(&m.wpus, &m.mem, m.now.raw(), m.data))
+    }
+
+    /// Per-WPU group dumps for error reports.
+    pub fn diagnostics(&self) -> String {
+        let mut s = String::new();
+        for (i, w) in self.wpus.iter().enumerate() {
+            s.push_str(&format!(
+                "WPU {i}: live={} barrier_waiting={}\n{}",
+                w.live_threads(),
+                w.barrier_waiting(),
+                w.dump_groups()
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_core::Policy;
+    use dws_kernels::{Benchmark, Scale};
+
+    #[test]
+    fn filter_runs_and_verifies_on_paper_machine() {
+        let spec = Benchmark::Filter.build(Scale::Test, 9);
+        let cfg = SimConfig::paper(Policy::conventional());
+        let r = Machine::run(&cfg, &spec).unwrap();
+        spec.verify(&r.memory).unwrap();
+        assert!(r.cycles > 0);
+        assert_eq!(r.per_wpu.len(), 4);
+    }
+
+    #[test]
+    fn step_api_matches_run() {
+        let spec = Benchmark::Merge.build(Scale::Test, 9);
+        let cfg = SimConfig::paper(Policy::dws_revive()).with_wpus(1);
+        let by_run = Machine::run(&cfg, &spec).unwrap();
+        // Step-by-step (no skipping) must produce the same final memory.
+        let mut m = Machine::new(&cfg, &spec);
+        while !m.done() {
+            m.step();
+            assert!(m.now().raw() < 50_000_000);
+        }
+        assert_eq!(m.data.words(), by_run.memory.words());
+    }
+
+    #[test]
+    fn timeout_reports_diagnostics() {
+        let spec = Benchmark::Fft.build(Scale::Test, 9);
+        let mut cfg = SimConfig::paper(Policy::conventional());
+        cfg.max_cycles = 100;
+        match Machine::run(&cfg, &spec) {
+            Err(SimError::Timeout { cycles, .. }) => assert!(cycles >= 100),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,19 @@
+; saxpy with a data-dependent clamp:
+;   for (i = tid; i < 4096; i += ntid)
+;     y[i] = max(0, 2.5 * x[i] + y[i])
+; layout: x at byte 0, y at byte 32768 (4096 f64 words each)
+        mov   r2, r0          ; i = tid
+loop:   bge   r2, 4096, end
+        mul   r3, r2, 8       ; &x[i]
+        ld    r4, [r3]
+        fmul  r4, r4, 2.5
+        ld    r5, [r3+32768]  ; y[i]
+        fadd  r4, r4, r5
+        ; clamp negative results to zero (divergent branch)
+        setfge r6, r4, 0.0
+        bne   r6, 0, store
+        lif   r4, 0.0
+store:  st    r4, [r3+32768]
+        add   r2, r2, r1      ; i += ntid
+        jmp   loop
+end:    halt

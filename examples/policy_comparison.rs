@@ -1,0 +1,65 @@
+//! Compares every scheduling policy on one benchmark — a command-line
+//! mini version of the paper's Figure 13 row.
+//!
+//! ```text
+//! cargo run --release --example policy_comparison [-- <benchmark> [scale]]
+//! # e.g.  cargo run --release --example policy_comparison -- Merge bench
+//! ```
+
+use dws::core::Policy;
+use dws::kernels::{Benchmark, Scale};
+use dws::sim::{Machine, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = args
+        .get(1)
+        .and_then(|name| {
+            Benchmark::ALL
+                .into_iter()
+                .find(|b| b.name().eq_ignore_ascii_case(name))
+        })
+        .unwrap_or(Benchmark::Merge);
+    let scale = match args.get(2).map(String::as_str) {
+        Some("test") => Scale::Test,
+        Some("paper") => Scale::Paper,
+        _ => Scale::Bench,
+    };
+    let spec = bench.build(scale, 42);
+    println!("benchmark: {}  ({:?})", spec.name, scale);
+
+    let policies = [
+        Policy::conventional(),
+        Policy::dws_branch_stack(),
+        Policy::dws_branch_only(),
+        Policy::dws_mem_only(),
+        Policy::dws_aggress(),
+        Policy::dws_lazy(),
+        Policy::dws_revive(),
+        Policy::slip(),
+        Policy::slip_branch_bypass(),
+    ];
+    let mut base = None;
+    println!(
+        "\n{:<24} {:>10} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8}",
+        "policy", "cycles", "speedup", "busy%", "mem%", "width", "splits", "merges"
+    );
+    for policy in policies {
+        let r = Machine::run(&SimConfig::paper(policy), &spec).expect("run completes");
+        spec.verify(&r.memory).expect("correct result");
+        let b = *base.get_or_insert(r.cycles);
+        let splits = r.wpu.branch_splits.get() + r.wpu.mem_splits.get() + r.wpu.revive_splits.get();
+        let merges = r.wpu.pc_merges.get() + r.wpu.stack_merges.get() + r.wpu.slip_merges.get();
+        println!(
+            "{:<24} {:>10} {:>7.2}x {:>6.1}% {:>6.1}% {:>7.2} {:>8} {:>8}",
+            policy.paper_name(),
+            r.cycles,
+            b as f64 / r.cycles as f64,
+            100.0 * r.busy_fraction(),
+            100.0 * r.mem_stall_fraction(),
+            r.avg_simd_width(),
+            splits,
+            merges,
+        );
+    }
+}

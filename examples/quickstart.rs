@@ -1,0 +1,59 @@
+//! Quickstart: run one benchmark under the conventional baseline and under
+//! dynamic warp subdivision, verify both, and print the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dws::core::Policy;
+use dws::kernels::{Benchmark, Scale};
+use dws::sim::{Machine, SimConfig};
+
+fn main() {
+    let spec = Benchmark::Merge.build(Scale::Bench, 42);
+    println!(
+        "benchmark: {} ({} instructions)",
+        spec.name,
+        spec.program.len()
+    );
+
+    let conv_cfg = SimConfig::paper(Policy::conventional());
+    let dws_cfg = SimConfig::paper(Policy::dws_revive());
+
+    let conv = Machine::run(&conv_cfg, &spec).expect("Conv run completes");
+    spec.verify(&conv.memory).expect("Conv result is correct");
+    let dws = Machine::run(&dws_cfg, &spec).expect("DWS run completes");
+    spec.verify(&dws.memory).expect("DWS result is correct");
+
+    println!("\n{:>28} {:>12} {:>12}", "", "Conv", "DWS.ReviveSplit");
+    println!("{:>28} {:>12} {:>12}", "cycles", conv.cycles, dws.cycles);
+    println!(
+        "{:>28} {:>12.1}% {:>11.1}%",
+        "time waiting for memory",
+        100.0 * conv.mem_stall_fraction(),
+        100.0 * dws.mem_stall_fraction()
+    );
+    println!(
+        "{:>28} {:>12.2} {:>12.2}",
+        "avg SIMD width",
+        conv.avg_simd_width(),
+        dws.avg_simd_width()
+    );
+    println!(
+        "{:>28} {:>12.2} {:>12.2}",
+        "avg MLP (in-flight misses)",
+        conv.avg_mlp(),
+        dws.avg_mlp()
+    );
+    println!(
+        "{:>28} {:>12.3} {:>12.3}",
+        "energy (mJ)",
+        conv.energy.total() * 1e3,
+        dws.energy.total() * 1e3
+    );
+    println!(
+        "\nDWS speedup: {:.2}x   energy: {:.0}% of Conv",
+        dws.speedup_over(&conv),
+        100.0 * dws.energy_ratio_over(&conv)
+    );
+}

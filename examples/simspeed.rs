@@ -1,0 +1,26 @@
+//! Measures simulator throughput (host seconds per simulated Mcycle).
+use dws::core::Policy;
+use dws::kernels::{Benchmark, Scale};
+use dws::sim::{Machine, SimConfig};
+use std::time::Instant;
+
+fn main() {
+    for bench in [Benchmark::Merge, Benchmark::Fft, Benchmark::Svm] {
+        let spec = bench.build(Scale::Bench, 42);
+        for policy in [Policy::conventional(), Policy::dws_revive()] {
+            let cfg = SimConfig::paper(policy);
+            let t0 = Instant::now();
+            let r = Machine::run(&cfg, &spec).unwrap();
+            let dt = t0.elapsed().as_secs_f64();
+            println!(
+                "{:8} {:16} cycles={:9} host={:6.2}s -> {:.2} Mcyc/s, {:.2} Minst/s",
+                spec.name,
+                policy.paper_name(),
+                r.cycles,
+                dt,
+                r.cycles as f64 / dt / 1e6,
+                r.wpu.warp_insts.get() as f64 / dt / 1e6
+            );
+        }
+    }
+}

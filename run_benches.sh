@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates every table/figure in order of importance.
+cd /root/repo
+: > bench_output.txt
+for fig in table1_characterization fig13_schemes fig07_branch_dws fig11_branchlimited \
+           fig19_energy fig16_l2lat fig17_dsize fig15_assoc fig20_sched_slots \
+           fig21_wst_size fig14_heatmap fig01_motivation fig18_width_depth ablation extension_throttle; do
+  echo "=== bench: $fig ===" | tee -a bench_output.txt
+  cargo bench -p dws-bench --bench "$fig" 2>>bench_progress.log | tee -a bench_output.txt
+done
+echo "=== bench: micro (criterion) ===" | tee -a bench_output.txt
+cargo bench -p dws-bench --bench micro 2>>bench_progress.log | tee -a bench_output.txt
+echo ALL_BENCHES_DONE | tee -a bench_output.txt

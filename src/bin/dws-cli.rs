@@ -1,0 +1,341 @@
+//! Command-line driver for the DWS simulator.
+//!
+//! ```text
+//! dws-cli list
+//! dws-cli run     --bench Merge --policy revive [options]
+//! dws-cli compare --bench Merge [options]
+//! dws-cli asm     <kernel.asm> [--threads N] [--mem-kb K] [--policy P] [options]
+//!
+//! options:
+//!   --scale test|bench|paper   input size            (default bench)
+//!   --wpus N                   WPU count              (default 4)
+//!   --width N                  SIMD width             (default 16)
+//!   --warps N                  warps per WPU          (default 4)
+//!   --slots N                  scheduler slots        (default 2*warps)
+//!   --wst N                    warp-split table size  (default 16)
+//!   --l2-lat CYCLES            L2 lookup latency      (default 30)
+//!   --l1d-kb KB                L1 D-cache capacity    (default 32)
+//!   --assoc N|full             L1 D-cache ways        (default 8)
+//!   --seed N                   workload seed          (default 42)
+//!   --csv                      machine-readable one-line-per-run output
+//! ```
+
+use dws::core::Policy;
+use dws::kernels::{Benchmark, Scale};
+use dws::sim::{Machine, SimConfig};
+use std::process::ExitCode;
+
+fn policies() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("conv", Policy::conventional()),
+        ("branch-stack", Policy::dws_branch_stack()),
+        ("branch-only", Policy::dws_branch_only()),
+        ("mem-only", Policy::dws_mem_only()),
+        ("aggress", Policy::dws_aggress()),
+        ("lazy", Policy::dws_lazy()),
+        ("revive", Policy::dws_revive()),
+        ("throttled", Policy::dws_revive_throttled()),
+        ("slip", Policy::slip()),
+        ("slip-bypass", Policy::slip_branch_bypass()),
+    ]
+}
+
+#[derive(Debug)]
+struct Options {
+    bench: Benchmark,
+    policy: Option<Policy>,
+    scale: Scale,
+    wpus: usize,
+    width: usize,
+    warps: usize,
+    slots: Option<usize>,
+    wst: usize,
+    l2_lat: u64,
+    l1d_kb: u64,
+    assoc: Option<usize>, // None = full
+    assoc_given: bool,
+    seed: u64,
+    csv: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            bench: Benchmark::Merge,
+            policy: None,
+            scale: Scale::Bench,
+            wpus: 4,
+            width: 16,
+            warps: 4,
+            slots: None,
+            wst: 16,
+            l2_lat: 30,
+            l1d_kb: 32,
+            assoc: Some(8),
+            assoc_given: false,
+            seed: 42,
+            csv: false,
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--bench" => {
+                let v = val()?;
+                o.bench = Benchmark::ALL
+                    .into_iter()
+                    .find(|b| b.name().eq_ignore_ascii_case(v))
+                    .ok_or_else(|| format!("unknown benchmark '{v}'"))?;
+            }
+            "--policy" => {
+                let v = val()?;
+                o.policy = Some(
+                    policies()
+                        .into_iter()
+                        .find(|(n, _)| n.eq_ignore_ascii_case(v))
+                        .ok_or_else(|| format!("unknown policy '{v}'"))?
+                        .1,
+                );
+            }
+            "--scale" => {
+                o.scale = match val()?.as_str() {
+                    "test" => Scale::Test,
+                    "bench" => Scale::Bench,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+            }
+            "--wpus" => o.wpus = val()?.parse().map_err(|e| format!("--wpus: {e}"))?,
+            "--width" => o.width = val()?.parse().map_err(|e| format!("--width: {e}"))?,
+            "--warps" => o.warps = val()?.parse().map_err(|e| format!("--warps: {e}"))?,
+            "--slots" => o.slots = Some(val()?.parse().map_err(|e| format!("--slots: {e}"))?),
+            "--wst" => o.wst = val()?.parse().map_err(|e| format!("--wst: {e}"))?,
+            "--l2-lat" => o.l2_lat = val()?.parse().map_err(|e| format!("--l2-lat: {e}"))?,
+            "--l1d-kb" => o.l1d_kb = val()?.parse().map_err(|e| format!("--l1d-kb: {e}"))?,
+            "--assoc" => {
+                let v = val()?;
+                o.assoc_given = true;
+                o.assoc = if v == "full" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|e| format!("--assoc: {e}"))?)
+                };
+            }
+            "--seed" => o.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--csv" => o.csv = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(o)
+}
+
+fn config(o: &Options, policy: Policy) -> SimConfig {
+    let mut cfg = SimConfig::paper(policy)
+        .with_wpus(o.wpus)
+        .with_width(o.width)
+        .with_warps(o.warps);
+    if let Some(s) = o.slots {
+        cfg.sched_slots = s;
+    }
+    cfg.wst_entries = o.wst;
+    cfg.mem.l2.hit_latency = o.l2_lat;
+    cfg.mem.l1d = cfg.mem.l1d.with_size(o.l1d_kb * 1024);
+    if o.assoc_given {
+        cfg.mem.l1d = match o.assoc {
+            Some(a) => cfg.mem.l1d.with_assoc(a),
+            None => cfg.mem.l1d.fully_associative(),
+        };
+    }
+    cfg
+}
+
+fn run_one(o: &Options, policy: Policy, baseline: Option<u64>) -> Result<u64, String> {
+    let spec = o.bench.build(o.scale, o.seed);
+    let cfg = config(o, policy);
+    let r = Machine::run(&cfg, &spec).map_err(|e| e.to_string())?;
+    spec.verify(&r.memory)
+        .map_err(|e| format!("wrong result: {e}"))?;
+    if o.csv {
+        println!(
+            "{},{},{},{},{},{},{:.4},{:.4},{:.2},{},{},{:.4e}",
+            o.bench.name(),
+            policy.paper_name(),
+            r.cycles,
+            r.wpu.warp_insts.get(),
+            r.mem.l1d_misses.get(),
+            r.mem.dram_accesses.get(),
+            r.busy_fraction(),
+            r.mem_stall_fraction(),
+            r.avg_simd_width(),
+            r.wpu.branch_splits.get() + r.wpu.mem_splits.get() + r.wpu.revive_splits.get(),
+            r.wpu.pc_merges.get() + r.wpu.stack_merges.get(),
+            r.energy.total(),
+        );
+    } else {
+        println!("\n{} / {}", o.bench.name(), policy.paper_name());
+        println!("  cycles            {:>14}", r.cycles);
+        if let Some(b) = baseline {
+            println!("  speedup vs Conv   {:>14.3}", b as f64 / r.cycles as f64);
+        }
+        println!("  warp instructions {:>14}", r.wpu.warp_insts.get());
+        println!("  avg SIMD width    {:>14.2}", r.avg_simd_width());
+        println!(
+            "  busy / mem-stall  {:>6.1}% / {:.1}%",
+            100.0 * r.busy_fraction(),
+            100.0 * r.mem_stall_fraction()
+        );
+        println!(
+            "  L1D misses        {:>14}  (DRAM {})",
+            r.mem.l1d_misses.get(),
+            r.mem.dram_accesses.get()
+        );
+        println!(
+            "  splits / merges   {:>7} / {}",
+            r.wpu.branch_splits.get() + r.wpu.mem_splits.get() + r.wpu.revive_splits.get(),
+            r.wpu.pc_merges.get() + r.wpu.stack_merges.get()
+        );
+        println!("  energy            {:>14.3} mJ", r.energy.total() * 1e3);
+    }
+    Ok(r.cycles)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: dws-cli <list|run|compare> [options]; see --help in source");
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "list" => {
+            println!("benchmarks:");
+            for b in Benchmark::ALL {
+                println!("  {}", b.name());
+            }
+            println!("policies:");
+            for (n, p) in policies() {
+                println!("  {:14} ({})", n, p.paper_name());
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => match parse(&args[1..]) {
+            Ok(o) => {
+                let policy = o.policy.unwrap_or_else(Policy::dws_revive);
+                match run_one(&o, policy, None) {
+                    Ok(_) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "compare" => match parse(&args[1..]) {
+            Ok(o) => {
+                if o.csv {
+                    println!(
+                        "benchmark,policy,cycles,warp_insts,l1d_misses,dram,busy,mem_stall,\
+                         width,splits,merges,energy_j"
+                    );
+                }
+                let mut baseline = None;
+                for (_, policy) in policies() {
+                    match run_one(&o, policy, baseline) {
+                        Ok(cycles) => {
+                            baseline.get_or_insert(cycles);
+                        }
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "asm" => {
+            // dws-cli asm <file> [--threads N] [--mem-kb K] [--policy P] ...
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: dws-cli asm <kernel.asm> [options]");
+                return ExitCode::FAILURE;
+            };
+            let mut threads = 64u64;
+            let mut mem_kb = 256u64;
+            let mut rest = Vec::new();
+            let mut it = args[2..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--threads" => {
+                        threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(threads);
+                    }
+                    "--mem-kb" => {
+                        mem_kb = it.next().and_then(|v| v.parse().ok()).unwrap_or(mem_kb);
+                    }
+                    other => rest.push(other.to_string()),
+                }
+            }
+            match run_asm(path, threads, mem_kb, &rest) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command '{other}' (try list, run, compare, asm)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Assembles and simulates a textual kernel on a machine sized for it.
+fn run_asm(path: &str, threads: u64, mem_kb: u64, opts: &[String]) -> Result<(), String> {
+    use dws::isa::{parse_asm, VecMemory};
+    use dws::kernels::KernelSpec;
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = parse_asm(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: {} instructions, {} conditional branches ({} subdividable)",
+        program.len(),
+        program.branches().count(),
+        program.branches().filter(|(_, i)| i.subdividable).count()
+    );
+    let o = parse(opts)?;
+    let memory = VecMemory::new(mem_kb * 1024);
+    let spec = KernelSpec::new("asm-kernel", program, memory, |_| Ok(()));
+    // Size the machine so it has exactly `threads` hardware threads.
+    let mut cfg = config(&o, o.policy.unwrap_or_else(dws::core::Policy::dws_revive));
+    let per_wpu = (o.width * o.warps) as u64;
+    cfg.n_wpus = (threads.div_ceil(per_wpu)).max(1) as usize;
+    cfg.mem.n_l1s = cfg.n_wpus;
+    let r = dws::sim::Machine::run(&cfg, &spec).map_err(|e| e.to_string())?;
+    println!(
+        "cycles {}  warp-insts {}  width {:.2}  busy {:.1}%  mem-stall {:.1}%  misses {}",
+        r.cycles,
+        r.wpu.warp_insts.get(),
+        r.avg_simd_width(),
+        100.0 * r.busy_fraction(),
+        100.0 * r.mem_stall_fraction(),
+        r.mem.l1d_misses.get()
+    );
+    // Dump the first words of memory so simple kernels can show results.
+    let words: Vec<i64> = (0..8).map(|i| r.memory.read_i64(i * 8)).collect();
+    println!("mem[0..8] = {words:?}");
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! # Dynamic Warp Subdivision — reproduction of Meng, Tarjan & Skadron (ISCA 2010)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`engine`] — cycle/event simulation primitives,
+//! * [`isa`] — the kernel IR, builder DSL and CFG analysis,
+//! * [`mem`] — the two-level coherent cache hierarchy (Table 3),
+//! * [`core`] — the WPU with dynamic warp subdivision (the contribution),
+//! * [`energy`] — the 65 nm energy model,
+//! * [`kernels`] — the eight data-parallel benchmarks (Table 2),
+//! * [`sim`] — machine assembly, run loop, metrics and presets.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dws::kernels::{Benchmark, Scale};
+//! use dws::sim::{Machine, SimConfig};
+//! use dws::core::Policy;
+//!
+//! let spec = Benchmark::Merge.build(Scale::Test, 42);
+//! let conv = Machine::run(&SimConfig::paper(Policy::conventional()), &spec).unwrap();
+//! let dws = Machine::run(&SimConfig::paper(Policy::dws_revive()), &spec).unwrap();
+//! spec.verify(&dws.memory).unwrap();
+//! println!("speedup: {:.2}x", dws.speedup_over(&conv));
+//! ```
+
+pub use dws_core as core;
+pub use dws_energy as energy;
+pub use dws_engine as engine;
+pub use dws_isa as isa;
+pub use dws_kernels as kernels;
+pub use dws_mem as mem;
+pub use dws_sim as sim;

@@ -1,0 +1,177 @@
+//! Repository-level integration tests: every benchmark of Table 2 runs on
+//! the paper's machine under the key policies and produces functionally
+//! correct results.
+
+use dws::core::Policy;
+use dws::kernels::{Benchmark, Scale};
+use dws::sim::{Machine, SimConfig};
+
+fn key_policies() -> Vec<Policy> {
+    vec![
+        Policy::conventional(),
+        Policy::dws_revive(),
+        Policy::slip_branch_bypass(),
+    ]
+}
+
+/// Runs one benchmark under one policy on a 2-WPU machine (coherence
+/// exercised, runtime kept test-friendly) and verifies the output.
+fn run_and_verify(bench: Benchmark, policy: Policy) -> dws::sim::RunResult {
+    let spec = bench.build(Scale::Test, 42);
+    let cfg = SimConfig::paper(policy).with_wpus(2);
+    let result = Machine::run(&cfg, &spec)
+        .unwrap_or_else(|e| panic!("{bench} under {} failed: {e}", policy.paper_name()));
+    spec.verify(&result.memory).unwrap_or_else(|e| {
+        panic!(
+            "{bench} under {} produced wrong results: {e}",
+            policy.paper_name()
+        )
+    });
+    result
+}
+
+macro_rules! bench_tests {
+    ($($name:ident => $bench:expr),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                for policy in key_policies() {
+                    let r = run_and_verify($bench, policy);
+                    assert!(r.cycles > 0);
+                    assert!(r.wpu.warp_insts.get() > 0);
+                }
+            }
+        )+
+    };
+}
+
+bench_tests! {
+    fft_runs_correctly_under_key_policies => Benchmark::Fft,
+    filter_runs_correctly_under_key_policies => Benchmark::Filter,
+    hotspot_runs_correctly_under_key_policies => Benchmark::HotSpot,
+    lu_runs_correctly_under_key_policies => Benchmark::Lu,
+    merge_runs_correctly_under_key_policies => Benchmark::Merge,
+    short_runs_correctly_under_key_policies => Benchmark::Short,
+    kmeans_runs_correctly_under_key_policies => Benchmark::KMeans,
+    svm_runs_correctly_under_key_policies => Benchmark::Svm,
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let spec = Benchmark::Merge.build(Scale::Test, 7);
+    let cfg = SimConfig::paper(Policy::dws_revive()).with_wpus(2);
+    let a = Machine::run(&cfg, &spec).unwrap();
+    let b = Machine::run(&cfg, &spec).unwrap();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.wpu.warp_insts.get(), b.wpu.warp_insts.get());
+    assert_eq!(a.mem.l1d_misses.get(), b.mem.l1d_misses.get());
+    assert_eq!(a.memory.words(), b.memory.words());
+    assert_eq!(a.per_thread_misses, b.per_thread_misses);
+}
+
+#[test]
+fn different_seeds_change_data_not_correctness() {
+    for seed in [1u64, 99, 12345] {
+        let spec = Benchmark::Short.build(Scale::Test, seed);
+        let cfg = SimConfig::paper(Policy::dws_revive()).with_wpus(1);
+        let r = Machine::run(&cfg, &spec).unwrap();
+        spec.verify(&r.memory).unwrap();
+    }
+}
+
+#[test]
+fn divergence_characterization_matches_paper_shape() {
+    // Table 1's qualitative shape: Merge is the most branch-divergent
+    // benchmark; FFT has (almost) no divergent branches; most benchmarks
+    // show a high fraction of divergent memory accesses.
+    let cfg = SimConfig::paper(Policy::conventional()).with_wpus(1);
+    let frac = |b: Benchmark| {
+        let spec = b.build(Scale::Test, 42);
+        let r = Machine::run(&cfg, &spec).unwrap();
+        (
+            r.wpu.divergent_branch_fraction().unwrap_or(0.0),
+            r.wpu.divergent_access_fraction().unwrap_or(0.0),
+        )
+    };
+    let (merge_br, _) = frac(Benchmark::Merge);
+    let (fft_br, fft_mem) = frac(Benchmark::Fft);
+    let (short_br, _) = frac(Benchmark::Short);
+    assert!(
+        merge_br > 0.05,
+        "Merge should be branch-divergent, got {merge_br}"
+    );
+    assert!(
+        short_br > 0.01,
+        "Short should be branch-divergent, got {short_br}"
+    );
+    assert!(fft_br < merge_br, "FFT diverges less than Merge");
+    assert!(
+        fft_mem > 0.3,
+        "FFT's butterfly gathers should be memory-divergent, got {fft_mem}"
+    );
+}
+
+#[test]
+fn dws_does_not_degrade_any_benchmark_badly() {
+    // The paper's robustness claim — DWS.ReviveSplit "shows no performance
+    // degradation on the benchmarks that were tested" — holds in the
+    // paper's regime: inputs large enough that WPUs spend most cycles
+    // waiting for memory (the fig13_schemes bench target checks that
+    // regime). The Test-scale inputs here are cache-resident and
+    // compute-bound, where subdivision has nothing to hide and only costs
+    // issue slots, so this test only guards against *pathological*
+    // degradation.
+    let mut speedups = Vec::new();
+    for bench in Benchmark::ALL {
+        let spec = bench.build(Scale::Test, 42);
+        let conv = Machine::run(
+            &SimConfig::paper(Policy::conventional()).with_wpus(2),
+            &spec,
+        )
+        .unwrap();
+        let dws =
+            Machine::run(&SimConfig::paper(Policy::dws_revive()).with_wpus(2), &spec).unwrap();
+        let s = dws.speedup_over(&conv);
+        speedups.push((bench, s));
+    }
+    for (bench, s) in &speedups {
+        assert!(
+            *s > 0.70,
+            "{bench} degraded pathologically under DWS: {s:.3}x (all: {speedups:?})"
+        );
+    }
+    let hmean =
+        dws::engine::stats::harmonic_mean(&speedups.iter().map(|(_, s)| *s).collect::<Vec<_>>())
+            .unwrap();
+    assert!(
+        hmean > 0.90,
+        "DWS collapsed on average even at compute-bound test scale; \
+         h-mean = {hmean:.3} ({speedups:?})"
+    );
+}
+
+#[test]
+fn dws_reduces_memory_stall_and_raises_mlp_on_merge() {
+    // The paper's central mechanism claim (Sections 4.1, 5.1): subdivision
+    // converts stall cycles into overlapped memory requests. Merge is the
+    // most divergent benchmark, so the effect is visible even at test
+    // scale: the memory-stall fraction must not grow, and the average
+    // number of in-flight misses (MLP) must not shrink.
+    let spec = Benchmark::Merge.build(Scale::Test, 42);
+    let conv = Machine::run(&SimConfig::paper(Policy::conventional()), &spec).unwrap();
+    let dws = Machine::run(&SimConfig::paper(Policy::dws_revive()), &spec).unwrap();
+    assert!(
+        dws.mem_stall_fraction() <= conv.mem_stall_fraction() + 0.02,
+        "DWS stall {:.3} vs Conv {:.3}",
+        dws.mem_stall_fraction(),
+        conv.mem_stall_fraction()
+    );
+    assert!(
+        dws.avg_mlp() >= 0.9 * conv.avg_mlp(),
+        "DWS MLP {:.2} vs Conv {:.2}",
+        dws.avg_mlp(),
+        conv.avg_mlp()
+    );
+    // And the split machinery actually engaged.
+    assert!(dws.wpu.branch_splits.get() + dws.wpu.mem_splits.get() > 0);
+}
