@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, build, and the tier-1 test suite.
+# Everything runs with --offline (the repo has no registry dependencies),
+# so it works in air-gapped containers.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings, all targets) =="
+cargo clippy --workspace --release --benches --examples --tests --offline -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace --offline
+
+echo "== cargo test (tier-1) =="
+cargo test -q --release --workspace --offline
+
+echo "CI OK"

@@ -12,7 +12,9 @@
 //! All numbers are speedups over `Conv`, harmonic-mean across the
 //! benchmark set, under `DWS.ReviveSplit` variants.
 
-use dws_bench::{build, f2, hmean, run, Table};
+use std::sync::Arc;
+
+use dws_bench::{build, build_shared, f2, hmean, Sweep, Table};
 use dws_core::{DwsConfig, Policy};
 use dws_sim::SimConfig;
 
@@ -48,14 +50,51 @@ fn main() {
         "Ablation A — PC-merge refinements (speedup over Conv)",
         &headers,
     );
+    let benches = dws_bench::benchmarks();
+    let mut sweep = Sweep::new();
+    let mut a_jobs: Vec<(usize, Vec<usize>)> = Vec::new();
+    // Ablation B: the Section 4.3 subdivision threshold. Each threshold
+    // needs its own spec — `with_subdiv_threshold` rewrites the program's
+    // static branch classification.
+    let thresholds: Vec<(&str, usize)> = vec![
+        ("0 (never)", 0),
+        ("10", 10),
+        ("50 (paper)", 50),
+        ("200", 200),
+        ("inf (always)", usize::MAX),
+    ];
+    let mut b_jobs: Vec<Vec<usize>> = Vec::new();
+    for &bench in &benches {
+        let spec = build_shared(bench);
+        let base = sweep.add("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+        let ids = variants
+            .iter()
+            .map(|(name, policy)| sweep.add(*name, &SimConfig::paper(*policy), &spec))
+            .collect();
+        a_jobs.push((base, ids));
+        b_jobs.push(
+            thresholds
+                .iter()
+                .map(|&(name, thr)| {
+                    let mut spec = build(bench);
+                    spec.program = spec.program.with_subdiv_threshold(thr);
+                    sweep.add(
+                        name,
+                        &SimConfig::paper(Policy::dws_revive()),
+                        &Arc::new(spec),
+                    )
+                })
+                .collect(),
+        );
+    }
+    let results = sweep.run();
+
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-    for bench in dws_bench::benchmarks() {
-        let spec = build(bench);
-        let base = run("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+    for (&bench, (base, ids)) in benches.iter().zip(&a_jobs) {
+        let base = &results[*base];
         let mut cells = vec![bench.name().to_string()];
-        for (i, (name, policy)) in variants.iter().enumerate() {
-            let r = run(name, &SimConfig::paper(*policy), &spec);
-            let s = r.speedup_over(&base);
+        for (i, &id) in ids.iter().enumerate() {
+            let s = results[id].speedup_over(base);
             cols[i].push(s);
             cells.push(f2(s));
         }
@@ -68,14 +107,6 @@ fn main() {
     t.row(cells);
     t.print();
 
-    // Ablation B: the Section 4.3 subdivision threshold.
-    let thresholds: Vec<(&str, usize)> = vec![
-        ("0 (never)", 0),
-        ("10", 10),
-        ("50 (paper)", 50),
-        ("200", 200),
-        ("inf (always)", usize::MAX),
-    ];
     let mut headers = vec!["benchmark".to_string()];
     headers.extend(thresholds.iter().map(|(n, _)| n.to_string()));
     let mut t = Table::new(
@@ -83,14 +114,11 @@ fn main() {
         &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); thresholds.len()];
-    for bench in dws_bench::benchmarks() {
-        let mut spec = build(bench);
-        let base = run("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+    for (&bench, ((base, _), ids)) in benches.iter().zip(a_jobs.iter().zip(&b_jobs)) {
+        let base = &results[*base];
         let mut cells = vec![bench.name().to_string()];
-        for (i, &(name, thr)) in thresholds.iter().enumerate() {
-            spec.program = spec.program.with_subdiv_threshold(thr);
-            let r = run(name, &SimConfig::paper(Policy::dws_revive()), &spec);
-            let s = r.speedup_over(&base);
+        for (i, &id) in ids.iter().enumerate() {
+            let s = results[id].speedup_over(base);
             cols[i].push(s);
             cells.push(f2(s));
         }

@@ -6,7 +6,7 @@
 //! whether it rescues the benchmarks where subdivision backfires without
 //! costing the ones where it pays.
 
-use dws_bench::{build, f2, hmean, run, Table};
+use dws_bench::{build_shared, f2, hmean, Sweep, Table};
 use dws_core::Policy;
 use dws_sim::SimConfig;
 
@@ -23,15 +23,28 @@ fn main() {
         "Extension — adaptive subdivision throttle (speedup over Conv)",
         &headers,
     );
+    let benches = dws_bench::benchmarks();
+    let mut sweep = Sweep::new();
+    let mut jobs: Vec<(usize, Vec<usize>)> = Vec::new();
+    for &bench in &benches {
+        let spec = build_shared(bench);
+        let base = sweep.add("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+        let ids = policies
+            .iter()
+            .map(|(name, policy)| sweep.add(*name, &SimConfig::paper(*policy), &spec))
+            .collect();
+        jobs.push((base, ids));
+    }
+    let results = sweep.run();
+
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for bench in dws_bench::benchmarks() {
-        let spec = build(bench);
-        let base = run("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+    for (&bench, (base, ids)) in benches.iter().zip(&jobs) {
+        let base = &results[*base];
         let mut cells = vec![bench.name().to_string()];
         let mut splits = Vec::new();
-        for (i, (name, policy)) in policies.iter().enumerate() {
-            let r = run(name, &SimConfig::paper(*policy), &spec);
-            let s = r.speedup_over(&base);
+        for (i, &id) in ids.iter().enumerate() {
+            let r = &results[id];
+            let s = r.speedup_over(base);
             cols[i].push(s);
             cells.push(f2(s));
             splits.push(

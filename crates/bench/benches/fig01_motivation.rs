@@ -10,7 +10,7 @@
 //! All numbers are harmonic means across the benchmark set, normalized to
 //! the first configuration of each sweep.
 
-use dws_bench::{build, f2, hmean, pct, run, Table};
+use dws_bench::{build_shared, f2, hmean, pct, Sweep, Table};
 use dws_core::Policy;
 use dws_sim::SimConfig;
 
@@ -23,16 +23,27 @@ where
         title,
         &["config", "norm. time", "busy", "wait mem", "other"],
     );
+    let mut sweep = Sweep::new();
+    let mut ids: Vec<Vec<usize>> = Vec::new();
+    for &bench in &benches {
+        let spec = build_shared(bench);
+        ids.push(
+            points
+                .iter()
+                .map(|(label, cfg)| sweep.add(label.clone(), &cfg(), &spec))
+                .collect(),
+        );
+    }
+    let results = sweep.run();
+
     let mut norm: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
     let mut busy = vec![Vec::new(); points.len()];
     let mut stall = vec![Vec::new(); points.len()];
-    for &bench in &benches {
-        let spec = build(bench);
-        let mut base: Option<u64> = None;
-        for (i, (label, cfg)) in points.iter().enumerate() {
-            let r = run(label, &cfg(), &spec);
-            let b = *base.get_or_insert(r.cycles);
-            norm[i].push(b as f64 / r.cycles as f64); // speedup for hmean
+    for bench_ids in &ids {
+        let base = results[bench_ids[0]].cycles;
+        for (i, &id) in bench_ids.iter().enumerate() {
+            let r = &results[id];
+            norm[i].push(base as f64 / r.cycles as f64); // speedup for hmean
             busy[i].push(r.busy_fraction());
             stall[i].push(r.mem_stall_fraction());
         }

@@ -3,7 +3,7 @@
 //! reports the average SIMD width, which the paper uses to show PC-based
 //! re-convergence curbing unrelenting subdivision (4 -> 9 for KMeans).
 
-use dws_bench::{build, f2, hmean, run, Table};
+use dws_bench::{build_shared, f2, hmean, Sweep, Table};
 use dws_core::Policy;
 use dws_sim::{presets, SimConfig};
 
@@ -13,14 +13,26 @@ fn main() {
         "Figure 7 — branch-divergence DWS: speedup over Conv (and avg width)",
         &["benchmark", "StackReconv", "width", "PCReconv", "width"],
     );
+    let benches = dws_bench::benchmarks();
+    let mut sweep = Sweep::new();
+    let mut jobs: Vec<(usize, Vec<usize>)> = Vec::new();
+    for &bench in &benches {
+        let spec = build_shared(bench);
+        let base = sweep.add("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+        let ids = policies
+            .iter()
+            .map(|(name, policy)| sweep.add(*name, &SimConfig::paper(*policy), &spec))
+            .collect();
+        jobs.push((base, ids));
+    }
+    let results = sweep.run();
+
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for bench in dws_bench::benchmarks() {
-        let spec = build(bench);
-        let base = run("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+    for (&bench, (base, ids)) in benches.iter().zip(&jobs) {
         let mut cells = vec![bench.name().to_string()];
-        for (i, (name, policy)) in policies.iter().enumerate() {
-            let r = run(name, &SimConfig::paper(*policy), &spec);
-            let s = r.speedup_over(&base);
+        for (i, &id) in ids.iter().enumerate() {
+            let r = &results[id];
+            let s = r.speedup_over(&results[*base]);
             cols[i].push(s);
             cells.push(f2(s));
             cells.push(f2(r.avg_simd_width()));

@@ -5,7 +5,7 @@
 //! DWS.LazySplit, DWS.ReviveSplit, Slip, Slip.BranchBypass; plus the
 //! harmonic mean across benchmarks.
 
-use dws_bench::{build, f2, hmean, run, Table};
+use dws_bench::{build_shared, f2, hmean, Sweep, Table};
 use dws_core::Policy;
 use dws_sim::{presets, SimConfig};
 
@@ -15,14 +15,25 @@ fn main() {
     headers.extend(policies.iter().map(|(n, _)| *n));
     let mut t = Table::new("Figure 13 — speedup over Conv, per scheme", &headers);
 
+    let benches = dws_bench::benchmarks();
+    let mut sweep = Sweep::new();
+    let mut jobs: Vec<(usize, Vec<usize>)> = Vec::new();
+    for &bench in &benches {
+        let spec = build_shared(bench);
+        let base = sweep.add("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+        let ids = policies
+            .iter()
+            .map(|(name, policy)| sweep.add(*name, &SimConfig::paper(*policy), &spec))
+            .collect();
+        jobs.push((base, ids));
+    }
+    let results = sweep.run();
+
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for bench in dws_bench::benchmarks() {
-        let spec = build(bench);
-        let base = run("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+    for (&bench, (base, ids)) in benches.iter().zip(&jobs) {
         let mut cells = vec![bench.name().to_string()];
-        for (i, (name, policy)) in policies.iter().enumerate() {
-            let r = run(name, &SimConfig::paper(*policy), &spec);
-            let s = r.speedup_over(&base);
+        for (i, &id) in ids.iter().enumerate() {
+            let s = results[id].speedup_over(&results[*base]);
             columns[i].push(s);
             cells.push(f2(s));
         }

@@ -4,7 +4,7 @@
 //! this to argue the pattern is dynamic — no static lane/thread choice for
 //! subdivision works.
 
-use dws_bench::{build, run};
+use dws_bench::{build_shared, Sweep};
 use dws_core::Policy;
 use dws_sim::SimConfig;
 
@@ -13,9 +13,15 @@ const RAMP: [char; 5] = [' ', '.', 'o', 'O', '#'];
 
 fn main() {
     let cfg = SimConfig::paper(Policy::conventional());
-    for bench in dws_bench::benchmarks() {
-        let spec = build(bench);
-        let r = run("Conv", &cfg, &spec);
+    let benches = dws_bench::benchmarks();
+    let mut sweep = Sweep::new();
+    let ids: Vec<usize> = benches
+        .iter()
+        .map(|&bench| sweep.add("Conv", &cfg, &build_shared(bench)))
+        .collect();
+    let results = sweep.run();
+    for (&bench, &id) in benches.iter().zip(&ids) {
+        let r = &results[id];
         println!(
             "\n== Figure 14 — per-thread miss map: {} (WPU 0) ==",
             bench.name()

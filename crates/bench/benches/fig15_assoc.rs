@@ -2,7 +2,7 @@
 //! associative) for Conv and DWS.ReviveSplit, normalized to Conv at the
 //! paper's default 8-way configuration.
 
-use dws_bench::{build, f2, hmean, run, Table};
+use dws_bench::{build_shared, f2, hmean, Sweep, Table};
 use dws_core::Policy;
 use dws_sim::SimConfig;
 
@@ -29,31 +29,52 @@ fn main() {
         cfg
     };
 
+    // Per bench: the Conv 8-way baseline id, then per assoc the optional
+    // Conv id (None at 8-way, which reuses the baseline) and the DWS id.
+    type BenchJobs = (usize, Vec<(Option<usize>, usize)>);
+    let benches = dws_bench::benchmarks();
+    let mut sweep = Sweep::new();
+    let mut jobs: Vec<BenchJobs> = Vec::new();
+    for &bench in &benches {
+        let spec = build_shared(bench);
+        let base = sweep.add("Conv 8-way", &make(Policy::conventional(), Some(8)), &spec);
+        let ids = assocs
+            .iter()
+            .map(|&(name, assoc)| {
+                let conv = if assoc == Some(8) {
+                    None
+                } else {
+                    Some(sweep.add(
+                        format!("Conv {name}"),
+                        &make(Policy::conventional(), assoc),
+                        &spec,
+                    ))
+                };
+                let dws = sweep.add(
+                    format!("DWS {name}"),
+                    &make(Policy::dws_revive(), assoc),
+                    &spec,
+                );
+                (conv, dws)
+            })
+            .collect();
+        jobs.push((base, ids));
+    }
+    let results = sweep.run();
+
     let mut conv_cols: Vec<Vec<f64>> = vec![Vec::new(); assocs.len()];
     let mut dws_cols: Vec<Vec<f64>> = vec![Vec::new(); assocs.len()];
     let mut per_bench: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
-    for bench in dws_bench::benchmarks() {
-        let spec = build(bench);
-        let base = run("Conv 8-way", &make(Policy::conventional(), Some(8)), &spec);
+    for (&bench, (base, ids)) in benches.iter().zip(&jobs) {
+        let base = &results[*base];
         let mut conv_row = Vec::new();
         let mut dws_row = Vec::new();
-        for (i, &(name, assoc)) in assocs.iter().enumerate() {
-            let c = if assoc == Some(8) {
-                base.cycles
-            } else {
-                run(
-                    &format!("Conv {name}"),
-                    &make(Policy::conventional(), assoc),
-                    &spec,
-                )
-                .cycles
+        for (i, &(conv, dws)) in ids.iter().enumerate() {
+            let c = match conv {
+                Some(id) => results[id].cycles,
+                None => base.cycles,
             };
-            let d = run(
-                &format!("DWS {name}"),
-                &make(Policy::dws_revive(), assoc),
-                &spec,
-            )
-            .cycles;
+            let d = results[dws].cycles;
             let cs = base.cycles as f64 / c as f64;
             let ds = base.cycles as f64 / d as f64;
             conv_cols[i].push(cs);

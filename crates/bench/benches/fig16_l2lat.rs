@@ -4,7 +4,7 @@
 //! manufactures extra scheduling entities exactly when more latency needs
 //! hiding.
 
-use dws_bench::{build, f2, hmean, run, Table};
+use dws_bench::{build_shared, f2, hmean, Sweep, Table};
 use dws_core::Policy;
 use dws_sim::SimConfig;
 
@@ -21,27 +21,43 @@ fn main() {
         cfg.mem.l2.hit_latency = lat;
         cfg
     };
+
+    let benches = dws_bench::benchmarks();
+    let mut sweep = Sweep::new();
+    let mut jobs: Vec<Vec<(usize, usize)>> = Vec::new();
+    for &bench in &benches {
+        let spec = build_shared(bench);
+        jobs.push(
+            lats.iter()
+                .map(|&lat| {
+                    let c = sweep.add(
+                        format!("Conv L2={lat}"),
+                        &make(Policy::conventional(), lat),
+                        &spec,
+                    );
+                    let d = sweep.add(
+                        format!("DWS L2={lat}"),
+                        &make(Policy::dws_revive(), lat),
+                        &spec,
+                    );
+                    (c, d)
+                })
+                .collect(),
+        );
+    }
+    let results = sweep.run();
+
     let mut conv_cols: Vec<Vec<f64>> = vec![Vec::new(); lats.len()];
     let mut dws_cols: Vec<Vec<f64>> = vec![Vec::new(); lats.len()];
     let mut ratio_cols: Vec<Vec<f64>> = vec![Vec::new(); lats.len()];
-    for bench in dws_bench::benchmarks() {
-        let spec = build(bench);
-        let mut base = None;
-        for (i, &lat) in lats.iter().enumerate() {
-            let c = run(
-                &format!("Conv L2={lat}"),
-                &make(Policy::conventional(), lat),
-                &spec,
-            );
-            let d = run(
-                &format!("DWS L2={lat}"),
-                &make(Policy::dws_revive(), lat),
-                &spec,
-            );
-            let b = *base.get_or_insert(c.cycles) as f64;
-            conv_cols[i].push(b / c.cycles as f64);
-            dws_cols[i].push(b / d.cycles as f64);
-            ratio_cols[i].push(c.cycles as f64 / d.cycles as f64);
+    for bench_ids in &jobs {
+        let base = results[bench_ids[0].0].cycles as f64;
+        for (i, &(c, d)) in bench_ids.iter().enumerate() {
+            let c = results[c].cycles;
+            let d = results[d].cycles;
+            conv_cols[i].push(base / c as f64);
+            dws_cols[i].push(base / d as f64);
+            ratio_cols[i].push(c as f64 / d as f64);
         }
     }
     t.row(

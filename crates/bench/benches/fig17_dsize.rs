@@ -3,7 +3,7 @@
 //! DWS advantage fades; the paper notes DWS behaves roughly like doubling
 //! the D-cache.
 
-use dws_bench::{build, f2, hmean, run, Table};
+use dws_bench::{build_shared, f2, hmean, Sweep, Table};
 use dws_core::Policy;
 use dws_sim::SimConfig;
 
@@ -20,25 +20,42 @@ fn main() {
         cfg.mem.l1d = cfg.mem.l1d.with_size(kb * 1024);
         cfg
     };
+
+    let benches = dws_bench::benchmarks();
+    let mut sweep = Sweep::new();
+    let mut jobs: Vec<Vec<(usize, usize)>> = Vec::new();
+    for &bench in &benches {
+        let spec = build_shared(bench);
+        jobs.push(
+            sizes
+                .iter()
+                .map(|&kb| {
+                    let c = sweep.add(
+                        format!("Conv {kb}KB"),
+                        &make(Policy::conventional(), kb),
+                        &spec,
+                    );
+                    let d = sweep.add(
+                        format!("DWS {kb}KB"),
+                        &make(Policy::dws_revive(), kb),
+                        &spec,
+                    );
+                    (c, d)
+                })
+                .collect(),
+        );
+    }
+    let results = sweep.run();
+
     let mut ratio: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     let mut conv_abs: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for bench in dws_bench::benchmarks() {
-        let spec = build(bench);
-        let mut base = None;
-        for (i, &kb) in sizes.iter().enumerate() {
-            let c = run(
-                &format!("Conv {kb}KB"),
-                &make(Policy::conventional(), kb),
-                &spec,
-            );
-            let d = run(
-                &format!("DWS {kb}KB"),
-                &make(Policy::dws_revive(), kb),
-                &spec,
-            );
-            ratio[i].push(c.cycles as f64 / d.cycles as f64);
-            let b = *base.get_or_insert(c.cycles) as f64;
-            conv_abs[i].push(b / c.cycles as f64);
+    for bench_ids in &jobs {
+        let base = results[bench_ids[0].0].cycles as f64;
+        for (i, &(c, d)) in bench_ids.iter().enumerate() {
+            let c = results[c].cycles;
+            let d = results[d].cycles;
+            ratio[i].push(c as f64 / d as f64);
+            conv_abs[i].push(base / c as f64);
         }
     }
     t.row(

@@ -7,7 +7,7 @@
 //! `DWS_BENCHMARKS` to override and `DWS_FIG18_FULL=1` for the paper's
 //! full width/depth grid.
 
-use dws_bench::{build, f2, hmean, run, Table};
+use dws_bench::{build_shared, f2, hmean, Sweep, Table};
 use dws_core::Policy;
 use dws_kernels::Benchmark;
 use dws_sim::SimConfig;
@@ -36,6 +36,7 @@ fn main() {
     ];
     let caches: [(&str, bool); 2] = [("8-way 32KB", false), ("fully-assoc 32KB", true)];
 
+    let specs: Vec<_> = benches.iter().map(|&b| build_shared(b)).collect();
     for (cache_name, full_assoc) in caches {
         let make = |policy: Policy, w: usize, d: usize| {
             let mut cfg = SimConfig::paper(policy).with_width(w).with_warps(d);
@@ -50,23 +51,39 @@ fn main() {
             &format!("Figure 18 — width x depth sweep, {cache_name} (h-mean speedup vs Conv w=min,1 warp)"),
             &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
         );
-        // Collect per benchmark: baseline = Conv at (min width, 1 warp).
-        let mut cells: Vec<Vec<Vec<f64>>> =
-            vec![vec![Vec::new(); policies.len()]; widths.len() * depths.len()];
-        for &bench in &benches {
-            let spec = build(bench);
-            let base = run(
+        // Per benchmark: baseline = Conv at (min width, 1 warp), then the
+        // full grid of (width, depth, policy) points.
+        let mut sweep = Sweep::new();
+        let mut jobs: Vec<(usize, Vec<usize>)> = Vec::new();
+        for spec in &specs {
+            let base = sweep.add(
                 "base",
                 &make(Policy::conventional(), widths[0], depths[0]),
-                &spec,
+                spec,
             );
-            for (wi, &w) in widths.iter().enumerate() {
-                for (di, &d) in depths.iter().enumerate() {
-                    for (pi, (name, policy)) in policies.iter().enumerate() {
+            let mut grid = Vec::new();
+            for &w in &widths {
+                for &d in &depths {
+                    for (name, policy) in &policies {
                         let label = format!("{name} w={w} x{d}");
-                        let r = run(&label, &make(*policy, w, d), &spec);
-                        cells[wi * depths.len() + di][pi]
-                            .push(base.cycles as f64 / r.cycles as f64);
+                        grid.push(sweep.add(label, &make(*policy, w, d), spec));
+                    }
+                }
+            }
+            jobs.push((base, grid));
+        }
+        let results = sweep.run();
+
+        let mut cells: Vec<Vec<Vec<f64>>> =
+            vec![vec![Vec::new(); policies.len()]; widths.len() * depths.len()];
+        for (base, grid) in &jobs {
+            let base = results[*base].cycles as f64;
+            let mut k = 0;
+            for wi in 0..widths.len() {
+                for di in 0..depths.len() {
+                    for cell in &mut cells[wi * depths.len() + di] {
+                        cell.push(base / results[grid[k]].cycles as f64);
+                        k += 1;
                     }
                 }
             }
@@ -74,8 +91,8 @@ fn main() {
         for (wi, &w) in widths.iter().enumerate() {
             for (di, &d) in depths.iter().enumerate() {
                 let mut row = vec![format!("w={w} x {d} warps")];
-                for pi in 0..policies.len() {
-                    row.push(f2(hmean(&cells[wi * depths.len() + di][pi])));
+                for cell in &cells[wi * depths.len() + di] {
+                    row.push(f2(hmean(cell)));
                 }
                 t.row(row);
             }

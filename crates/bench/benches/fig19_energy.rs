@@ -2,7 +2,7 @@
 //! Conv per benchmark. At 65 nm static energy (clock + leakage) grows with
 //! runtime, so DWS's speedups become energy savings (~30% in the paper).
 
-use dws_bench::{build, f2, hmean, pct, run, Table};
+use dws_bench::{build_shared, f2, hmean, pct, Sweep, Table};
 use dws_core::Policy;
 use dws_sim::SimConfig;
 
@@ -19,19 +19,30 @@ fn main() {
             "static",
         ],
     );
-    let mut dws_col = Vec::new();
-    let mut slip_col = Vec::new();
-    for bench in dws_bench::benchmarks() {
-        let spec = build(bench);
-        let base = run("Conv", &SimConfig::paper(Policy::conventional()), &spec);
-        let dws = run("DWS", &SimConfig::paper(Policy::dws_revive()), &spec);
-        let slip = run(
+    let benches = dws_bench::benchmarks();
+    let mut sweep = Sweep::new();
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+    for &bench in &benches {
+        let spec = build_shared(bench);
+        let base = sweep.add("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+        let dws = sweep.add("DWS", &SimConfig::paper(Policy::dws_revive()), &spec);
+        let slip = sweep.add(
             "Slip.BB",
             &SimConfig::paper(Policy::slip_branch_bypass()),
             &spec,
         );
-        let dr = dws.energy_ratio_over(&base);
-        let sr = slip.energy_ratio_over(&base);
+        jobs.push((base, dws, slip));
+    }
+    let results = sweep.run();
+
+    let mut dws_col = Vec::new();
+    let mut slip_col = Vec::new();
+    for (&bench, &(base, dws, slip)) in benches.iter().zip(&jobs) {
+        let base = &results[base];
+        let dws = &results[dws];
+        let slip = &results[slip];
+        let dr = dws.energy_ratio_over(base);
+        let sr = slip.energy_ratio_over(base);
         dws_col.push(dr);
         slip_col.push(sr);
         t.row(vec![

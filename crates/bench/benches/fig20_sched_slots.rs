@@ -3,7 +3,7 @@
 //! slots stop helping once cache contention bites. The paper doubles the
 //! conventional entry count (8 slots for 4 warps).
 
-use dws_bench::{build, f2, hmean, run, Table};
+use dws_bench::{build_shared, f2, hmean, Sweep, Table};
 use dws_core::Policy;
 use dws_sim::SimConfig;
 
@@ -15,15 +15,29 @@ fn main() {
         "Figure 20 — DWS speedup over Conv vs scheduler slots (h-mean)",
         &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
+    let benches = dws_bench::benchmarks();
+    let mut sweep = Sweep::new();
+    let mut jobs: Vec<(usize, Vec<usize>)> = Vec::new();
+    for &bench in &benches {
+        let spec = build_shared(bench);
+        let base = sweep.add("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+        let ids = slots
+            .iter()
+            .map(|&s| {
+                let mut cfg = SimConfig::paper(Policy::dws_revive());
+                cfg.sched_slots = s;
+                sweep.add(format!("DWS slots={s}"), &cfg, &spec)
+            })
+            .collect();
+        jobs.push((base, ids));
+    }
+    let results = sweep.run();
+
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); slots.len()];
-    for bench in dws_bench::benchmarks() {
-        let spec = build(bench);
-        let base = run("Conv", &SimConfig::paper(Policy::conventional()), &spec);
-        for (i, &s) in slots.iter().enumerate() {
-            let mut cfg = SimConfig::paper(Policy::dws_revive());
-            cfg.sched_slots = s;
-            let r = run(&format!("DWS slots={s}"), &cfg, &spec);
-            cols[i].push(r.speedup_over(&base));
+    for (base, ids) in &jobs {
+        let base = &results[*base];
+        for (i, &id) in ids.iter().enumerate() {
+            cols[i].push(results[id].speedup_over(base));
         }
     }
     t.row(

@@ -3,7 +3,7 @@
 //! about twice the scheduler's slots, growing it further stops helping —
 //! which is how the paper justifies a 16-entry WST (< 1% area).
 
-use dws_bench::{build, f2, hmean, run, Table};
+use dws_bench::{build_shared, f2, hmean, Sweep, Table};
 use dws_core::Policy;
 use dws_sim::SimConfig;
 
@@ -15,23 +15,37 @@ fn main() {
         "Figure 21 — DWS speedup over Conv vs WST entries (h-mean, 8 slots)",
         &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    let mut slip_col = Vec::new();
-    for bench in dws_bench::benchmarks() {
-        let spec = build(bench);
-        let base = run("Conv", &SimConfig::paper(Policy::conventional()), &spec);
-        for (i, &n) in sizes.iter().enumerate() {
-            let mut cfg = SimConfig::paper(Policy::dws_revive());
-            cfg.wst_entries = n;
-            let r = run(&format!("DWS wst={n}"), &cfg, &spec);
-            cols[i].push(r.speedup_over(&base));
-        }
-        let slip = run(
+    let benches = dws_bench::benchmarks();
+    let mut sweep = Sweep::new();
+    let mut jobs: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+    for &bench in &benches {
+        let spec = build_shared(bench);
+        let base = sweep.add("Conv", &SimConfig::paper(Policy::conventional()), &spec);
+        let ids = sizes
+            .iter()
+            .map(|&n| {
+                let mut cfg = SimConfig::paper(Policy::dws_revive());
+                cfg.wst_entries = n;
+                sweep.add(format!("DWS wst={n}"), &cfg, &spec)
+            })
+            .collect();
+        let slip = sweep.add(
             "Slip.BB",
             &SimConfig::paper(Policy::slip_branch_bypass()),
             &spec,
         );
-        slip_col.push(slip.speedup_over(&base));
+        jobs.push((base, ids, slip));
+    }
+    let results = sweep.run();
+
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    let mut slip_col = Vec::new();
+    for (base, ids, slip) in &jobs {
+        let base = &results[*base];
+        for (i, &id) in ids.iter().enumerate() {
+            cols[i].push(results[id].speedup_over(base));
+        }
+        slip_col.push(results[*slip].speedup_over(base));
     }
     t.row(
         std::iter::once("DWS".to_string())

@@ -1,66 +1,113 @@
-//! Criterion microbenchmarks of the simulator's core data structures —
-//! useful when optimizing the simulator itself (these measure *host*
-//! performance, not simulated performance).
+//! Microbenchmarks of the simulator's core data structures — useful when
+//! optimizing the simulator itself (these measure *host* performance, not
+//! simulated performance).
+//!
+//! Off by default so the default build stays minimal; enable with
+//! `cargo bench --bench micro --features criterion`. Timing is hand-rolled
+//! (median of repeated timed batches) so the target needs no external
+//! benchmarking crate.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dws_core::{Mask, Policy, Wpu, WpuConfig};
-use dws_engine::{Cycle, EventQueue};
-use dws_isa::{CondOp, KernelBuilder, Operand, VecMemory};
-use dws_mem::{
-    AccessKind, CacheArray, CacheConfig, LaneAccess, MemConfig, MemorySystem, MesiState,
-};
-use std::sync::Arc;
+#[cfg(not(feature = "criterion"))]
+fn main() {
+    eprintln!("micro: host microbenchmarks are feature-gated; rerun with --features criterion");
+}
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache_probe_hit", |b| {
+#[cfg(feature = "criterion")]
+fn main() {
+    micro::run();
+}
+
+#[cfg(feature = "criterion")]
+mod micro {
+    use dws_core::{Mask, Policy, Wpu, WpuConfig};
+    use dws_engine::{Cycle, EventQueue};
+    use dws_isa::{CondOp, KernelBuilder, Operand, VecMemory};
+    use dws_mem::{
+        AccessKind, CacheArray, CacheConfig, LaneAccess, MemConfig, MemorySystem, MesiState,
+    };
+    use std::hint::black_box;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// Times `f` over repeated batches and prints the median ns/iteration.
+    fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+        // Warm up and size the batch so one batch takes ~1 ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt.as_micros() >= 1000 || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut samples: Vec<f64> = (0..30)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t0.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        println!("{name:32} {median:12.1} ns/iter  (batch {batch})");
+    }
+
+    pub fn run() {
+        bench_cache();
+        bench_event_queue();
+        bench_mask();
+        bench_postdom();
+        bench_memory_system();
+        bench_wpu_tick();
+    }
+
+    fn bench_cache() {
         let mut cache = CacheArray::new(&CacheConfig::paper_l1d(16));
         for line in 0..64 {
             cache.fill(line, MesiState::Shared);
         }
         let mut i = 0u64;
-        b.iter(|| {
+        bench("cache_probe_hit", || {
             i = (i + 1) % 64;
             black_box(cache.probe(i))
         });
-    });
-    c.bench_function("cache_fill_evict", |b| {
         let mut cache = CacheArray::new(&CacheConfig::paper_l1d(16));
         let mut line = 0u64;
-        b.iter(|| {
+        bench("cache_fill_evict", || {
             line += 1;
             black_box(cache.fill(line, MesiState::Shared))
         });
-    });
-}
+    }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop", |b| {
+    fn bench_event_queue() {
         let mut q = EventQueue::new();
         let mut t = 0u64;
-        b.iter(|| {
+        bench("event_queue_push_pop", || {
             t += 1;
             q.push(Cycle(t + 100), t);
             black_box(q.pop_ready(Cycle(t)))
         });
-    });
-}
+    }
 
-fn bench_mask(c: &mut Criterion) {
-    c.bench_function("mask_iter_union", |b| {
+    fn bench_mask() {
         let m = Mask(0xF0F0_A5A5_F0F0_A5A5);
-        b.iter(|| {
+        bench("mask_iter_union", || {
             let mut acc = 0usize;
             for lane in black_box(m).iter() {
                 acc += lane;
             }
             black_box(acc)
         });
-    });
-}
+    }
 
-fn bench_postdom(c: &mut Criterion) {
-    c.bench_function("cfg_postdom_analysis", |b| {
-        b.iter(|| {
+    fn bench_postdom() {
+        bench("cfg_postdom_analysis", || {
             let mut k = KernelBuilder::new();
             let i = k.reg();
             let v = k.reg();
@@ -82,15 +129,13 @@ fn bench_postdom(c: &mut Criterion) {
             k.halt();
             black_box(k.build().unwrap())
         });
-    });
-}
+    }
 
-fn bench_memory_system(c: &mut Criterion) {
-    c.bench_function("warp_access_16_lane_gather", |b| {
+    fn bench_memory_system() {
         let mut mem = MemorySystem::new(MemConfig::paper(1, 16));
         let mut base = 0u64;
         let mut now = Cycle(0);
-        b.iter(|| {
+        bench("warp_access_16_lane_gather", || {
             base = base.wrapping_add(8 * 1024);
             now += 1;
             let accesses: Vec<LaneAccess> = (0..16)
@@ -104,11 +149,9 @@ fn bench_memory_system(c: &mut Criterion) {
             let done = mem.drain_completions(now + 1000);
             black_box((out, done))
         });
-    });
-}
+    }
 
-fn bench_wpu_tick(c: &mut Criterion) {
-    c.bench_function("wpu_tick_alu_loop", |b| {
+    fn bench_wpu_tick() {
         // A pure-ALU kernel: measures the issue path of the WPU.
         let mut k = KernelBuilder::new();
         let i = k.reg();
@@ -129,21 +172,9 @@ fn bench_wpu_tick(c: &mut Criterion) {
         let mut mem = MemorySystem::new(MemConfig::paper(1, 16));
         let mut data = VecMemory::new(4096);
         let mut now = Cycle(0);
-        b.iter(|| {
+        bench("wpu_tick_alu_loop", || {
             now += 1;
             black_box(wpu.tick(now, &mut mem, &mut data))
         });
-    });
+    }
 }
-
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(30);
-    targets = bench_cache,
-        bench_event_queue,
-        bench_mask,
-        bench_postdom,
-        bench_memory_system,
-        bench_wpu_tick
-);
-criterion_main!(micro);

@@ -6,7 +6,7 @@
 //! instruction count between divergent misses, percentage of divergent
 //! memory accesses.
 
-use dws_bench::{build, f2, pct, run, Table};
+use dws_bench::{build_shared, f2, pct, Sweep, Table};
 use dws_core::Policy;
 use dws_sim::SimConfig;
 
@@ -23,9 +23,15 @@ fn main() {
         ],
     );
     let cfg = SimConfig::paper(Policy::conventional());
-    for bench in dws_bench::benchmarks() {
-        let spec = build(bench);
-        let r = run("Conv", &cfg, &spec);
+    let benches = dws_bench::benchmarks();
+    let mut sweep = Sweep::new();
+    let ids: Vec<usize> = benches
+        .iter()
+        .map(|&bench| sweep.add("Conv", &cfg, &build_shared(bench)))
+        .collect();
+    let results = sweep.run();
+    for (&bench, &id) in benches.iter().zip(&ids) {
+        let r = &results[id];
         t.row(vec![
             bench.name().to_string(),
             f2(r.wpu.insts_between_branches.mean().unwrap_or(f64::NAN)),

@@ -13,8 +13,10 @@
 //! * `DWS_SEED` — workload seed (default 42).
 
 use dws_kernels::{Benchmark, KernelSpec, Scale};
-use dws_sim::{Machine, RunResult, SimConfig};
+use dws_sim::{Machine, RunResult, SimConfig, SweepOutcome, SweepRunner};
 use std::io::Write as _;
+use std::ops::Index;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Input scale selected by `DWS_SCALE`.
@@ -56,6 +58,12 @@ pub fn build(bench: Benchmark) -> KernelSpec {
     bench.build(scale(), seed())
 }
 
+/// Builds a benchmark once and wraps it for sharing across sweep jobs, so
+/// inputs are generated once per benchmark instead of once per point.
+pub fn build_shared(bench: Benchmark) -> Arc<KernelSpec> {
+    Arc::new(build(bench))
+}
+
 /// Runs one configuration, verifying the result (a wrong answer is a
 /// harness bug, so it panics) and reporting progress on stderr.
 pub fn run(label: &str, cfg: &SimConfig, spec: &KernelSpec) -> RunResult {
@@ -72,6 +80,97 @@ pub fn run(label: &str, cfg: &SimConfig, spec: &KernelSpec) -> RunResult {
     );
     let _ = std::io::stderr().flush();
     result
+}
+
+/// A figure's worth of simulations executed on the shared worker pool.
+///
+/// Bench targets queue every `(label, config, kernel)` point first, keeping
+/// the returned job ids, then call [`Sweep::run`] once and index the
+/// results while printing tables. Results come back in submission order, so
+/// table output is byte-identical to the old one-`run`-at-a-time harness;
+/// only the stderr progress-line *order* varies when `DWS_JOBS > 1`.
+#[derive(Default)]
+pub struct Sweep {
+    runner: SweepRunner,
+}
+
+impl Sweep {
+    /// An empty sweep (worker count from `DWS_JOBS`/host parallelism).
+    pub fn new() -> Sweep {
+        Sweep::default()
+    }
+
+    /// Queues one point; the returned id indexes the [`SweepResults`].
+    pub fn add(
+        &mut self,
+        label: impl Into<String>,
+        cfg: &SimConfig,
+        spec: &Arc<KernelSpec>,
+    ) -> usize {
+        self.runner.add(label, *cfg, spec)
+    }
+
+    /// Number of queued points.
+    pub fn len(&self) -> usize {
+        self.runner.len()
+    }
+
+    /// Whether no points are queued.
+    pub fn is_empty(&self) -> bool {
+        self.runner.is_empty()
+    }
+
+    /// Runs all queued points, verifying each result (a wrong answer is a
+    /// harness bug, so it panics) and reporting per-point progress on
+    /// stderr in the same format as [`run`].
+    pub fn run(self) -> SweepResults {
+        let outcomes = self.runner.run_with(|_, o| {
+            let result = match &o.result {
+                Ok(r) => r,
+                Err(e) => panic!("{} / {}: {e}", o.spec.name, o.label),
+            };
+            o.spec
+                .verify(&result.memory)
+                .unwrap_or_else(|e| panic!("{} / {}: wrong result: {e}", o.spec.name, o.label));
+            eprintln!(
+                "  [{:>8}] {:24} {:>12} cycles  ({:.1}s host)",
+                o.spec.name, o.label, result.cycles, o.host_seconds
+            );
+            let _ = std::io::stderr().flush();
+        });
+        SweepResults {
+            results: outcomes
+                .into_iter()
+                .map(|o: SweepOutcome| o.result.expect("checked in callback"))
+                .collect(),
+        }
+    }
+}
+
+/// Verified results of a [`Sweep`], indexed by the job ids handed out by
+/// [`Sweep::add`].
+pub struct SweepResults {
+    results: Vec<RunResult>,
+}
+
+impl SweepResults {
+    /// Number of results (equals the number of queued points).
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the sweep was empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+impl Index<usize> for SweepResults {
+    type Output = RunResult;
+
+    fn index(&self, job: usize) -> &RunResult {
+        &self.results[job]
+    }
 }
 
 /// Harmonic mean (the paper's reporting convention).

@@ -120,6 +120,21 @@ const THROTTLE_COMMIT: u8 = 6;
 /// Hysteresis: the probe winner must beat the loser by this factor.
 const THROTTLE_MARGIN: f64 = 1.02;
 
+/// Reusable buffers for [`Wpu::tick`]'s issue loop, so steady-state
+/// execution performs no per-cycle heap allocation. Capacity is bounded by
+/// the SIMD width (one entry per lane).
+#[derive(Default)]
+struct IssueScratch {
+    /// Decoded per-lane outcomes of the issuing memory instruction.
+    ops: Vec<(usize, StepOutcome)>,
+    /// The lane accesses handed to the memory system.
+    accesses: Vec<LaneAccess>,
+    /// Outcomes written back by `MemorySystem::warp_access_into`.
+    outcomes: Vec<dws_mem::LaneOutcome>,
+    /// Distinct lines missed by the current warp access.
+    miss_lines: Vec<u64>,
+}
+
 /// A warp processing unit.
 pub struct Wpu {
     cfg: WpuConfig,
@@ -135,6 +150,15 @@ pub struct Wpu {
     slip: SlipCtl,
     throttle: ThrottleCtl,
     tracer: Option<Tracer>,
+    scratch: IssueScratch,
+    /// Recycled local-stack storage: split paths pop a spare `Vec<Frame>`
+    /// here instead of allocating, and dead groups return theirs, so group
+    /// churn is heap-quiet once the pool has warmed up.
+    frame_pool: Vec<Vec<Frame>>,
+    /// Min ready time over slotted ready groups, recomputed by the final
+    /// scan of every stalled [`tick`](Self::tick) (see
+    /// [`cached_next_wake`](Self::cached_next_wake)).
+    next_wake: Option<Cycle>,
     /// Statistics for this WPU.
     pub stats: WpuStats,
 }
@@ -181,6 +205,9 @@ impl Wpu {
                 probe_on_ipc: 0.0,
             },
             tracer: None,
+            scratch: IssueScratch::default(),
+            frame_pool: Vec::new(),
+            next_wake: None,
             stats: WpuStats::default(),
             program: Arc::clone(&program),
             cfg,
@@ -269,6 +296,17 @@ impl Wpu {
             .min()
     }
 
+    /// The wake time computed by the most recent stalled
+    /// [`tick`](Self::tick), without rescanning the group list. Only
+    /// meaningful directly after a tick that returned
+    /// [`TickClass::StallMem`], [`TickClass::Idle`] or [`TickClass::Done`]:
+    /// a `Busy` tick leaves the cache stale (the run loop never consults it
+    /// then), and any event delivered after the tick (a completion, a
+    /// barrier release) invalidates it until the next tick.
+    pub fn cached_next_wake(&self) -> Option<Cycle> {
+        self.next_wake
+    }
+
     /// Accounts `n` additional stall cycles of the same class as the last
     /// tick (used when the run loop skips ahead over a stalled stretch).
     pub fn account_skipped_stall(&mut self, n: u64, class: TickClass) {
@@ -292,7 +330,10 @@ impl Wpu {
     fn spawn_group(&mut self, warp: usize, pc: usize, mask: Mask) -> GroupId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let g = Group::new(warp, pc, mask, seq);
+        let mut g = Group::new(warp, pc, mask, seq);
+        if let Some(stack) = self.frame_pool.pop() {
+            g.local_stack = stack;
+        }
         self.wst.on_group_created(warp);
         for (i, slot) in self.groups.iter_mut().enumerate() {
             if slot.is_none() {
@@ -305,7 +346,12 @@ impl Wpu {
     }
 
     fn kill_group(&mut self, gid: GroupId) {
-        let g = self.groups[gid.0].take().expect("kill of dead group");
+        let mut g = self.groups[gid.0].take().expect("kill of dead group");
+        let mut stack = std::mem::take(&mut g.local_stack);
+        if stack.capacity() > 0 {
+            stack.clear();
+            self.frame_pool.push(stack);
+        }
         self.wst.on_group_removed(g.warp);
         if self.current == Some(gid) {
             self.current = None;
@@ -391,16 +437,6 @@ impl Wpu {
         }
     }
 
-    fn sibling_ids(&self, warp: usize, not: GroupId) -> Vec<GroupId> {
-        self.groups
-            .iter()
-            .enumerate()
-            .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
-            .filter(|&(i, g)| g.warp == warp && GroupId(i) != not)
-            .map(|(i, _)| GroupId(i))
-            .collect()
-    }
-
     // ---- completions --------------------------------------------------------
 
     /// Delivers a memory-request completion (routed by the simulator).
@@ -441,15 +477,13 @@ impl Wpu {
                     self.try_pc_merge_at(gid, at);
                 }
             }
-            GroupStatus::SlipSuspended => {
-                if self.group(gid).slip_catchup {
-                    let g = self.group_mut(gid);
-                    g.status = GroupStatus::Ready;
-                    g.ready_at = at;
-                    g.slip_pc = None;
-                    let gid2 = gid;
-                    self.try_slot(gid2);
-                }
+            GroupStatus::SlipSuspended if self.group(gid).slip_catchup => {
+                let g = self.group_mut(gid);
+                g.status = GroupStatus::Ready;
+                g.ready_at = at;
+                g.slip_pc = None;
+                let gid2 = gid;
+                self.try_slot(gid2);
             }
             _ => {}
         }
@@ -473,6 +507,7 @@ impl Wpu {
         data: &mut dyn MemoryAccess,
     ) -> TickClass {
         if self.done() {
+            self.next_wake = None;
             return TickClass::Done;
         }
         self.adapt_slip(now);
@@ -555,13 +590,24 @@ impl Wpu {
             }
         }
         if self.done() {
-            TickClass::Done
-        } else if self
-            .groups
-            .iter()
-            .flatten()
-            .any(|g| g.status == GroupStatus::WaitMem || g.status == GroupStatus::SlipSuspended)
-        {
+            self.next_wake = None;
+            return TickClass::Done;
+        }
+        // One fused scan classifies the stall and caches the earliest wake
+        // time, so the run loop's skip logic needn't rescan the group list.
+        let mut mem_stall = false;
+        let mut wake: Option<Cycle> = None;
+        for g in self.groups.iter().flatten() {
+            if g.status == GroupStatus::WaitMem || g.status == GroupStatus::SlipSuspended {
+                mem_stall = true;
+            }
+            if g.slotted && g.status == GroupStatus::Ready {
+                let at = g.ready_at.max(now);
+                wake = Some(wake.map_or(at, |w| w.min(at)));
+            }
+        }
+        self.next_wake = wake;
+        if mem_stall {
             self.stats.mem_stall_cycles.incr();
             TickClass::StallMem
         } else {
@@ -629,11 +675,15 @@ impl Wpu {
         // stalled merges into it (checked before stack handling so the
         // re-union happens even when that PC is a re-convergence point).
         if matches!(self.cfg.policy, Policy::Slip(_)) && self.group(gid).slip_catchup {
-            if let Some(primary) = self.sibling_ids(warp, gid).into_iter().find(|&s| {
-                let sg = self.group(s);
-                sg.status == GroupStatus::SlipStalledAtBranch
-                    && sg.pc == self.group(gid).pc
-                    && sg.local_ctx_compatible(self.group(gid))
+            let pc = self.group(gid).pc;
+            if let Some(primary) = (0..self.groups.len()).map(GroupId).find(|&s| {
+                s != gid
+                    && self.groups[s.0].as_ref().is_some_and(|sg| {
+                        sg.warp == warp
+                            && sg.status == GroupStatus::SlipStalledAtBranch
+                            && sg.pc == pc
+                            && sg.local_ctx_compatible(self.group(gid))
+                    })
             }) {
                 // kill_group (via merge_into) wakes the primary once it is
                 // the last group of the warp.
@@ -737,22 +787,20 @@ impl Wpu {
     }
 
     /// Splits a group's local-frame ownership: threads in `child_mask` move
-    /// to the returned frame list; the input keeps the rest (including any
-    /// parked else-path threads). Keeps split halves from both resurrecting
-    /// the same parked threads when they pop their join frames.
-    fn partition_local_frames(frames: &mut [Frame], child_mask: Mask) -> Vec<Frame> {
-        let child = frames
-            .iter()
-            .map(|f| Frame {
-                pc: f.pc,
-                rpc: f.rpc,
-                mask: f.mask & child_mask,
-            })
-            .collect();
+    /// into `child` (cleared first, normally the sibling's pooled stack);
+    /// the input keeps the rest (including any parked else-path threads).
+    /// Keeps split halves from both resurrecting the same parked threads
+    /// when they pop their join frames.
+    fn partition_local_frames(frames: &mut [Frame], child_mask: Mask, child: &mut Vec<Frame>) {
+        child.clear();
+        child.extend(frames.iter().map(|f| Frame {
+            pc: f.pc,
+            rpc: f.rpc,
+            mask: f.mask & child_mask,
+        }));
         for f in frames.iter_mut() {
             f.mask = f.mask - child_mask;
         }
-        child
     }
 
     /// Conventional stack pop at the TOS re-convergence point (sole group).
@@ -780,33 +828,40 @@ impl Wpu {
 
     /// Re-unites WaitReconv splits once they cover the TOS live mask.
     fn try_stack_merge(&mut self, warp: usize, now: Cycle) {
-        let ids: Vec<GroupId> = self
-            .groups
-            .iter()
-            .enumerate()
-            .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
-            .filter(|(_, g)| g.warp == warp && g.status == GroupStatus::WaitReconv)
-            .map(|(i, _)| GroupId(i))
-            .collect();
-        if ids.is_empty() {
-            return;
+        // One scan gathers everything the decision needs (no candidate
+        // list): the waiters' common PC, their mask union, and the oldest
+        // waiter as survivor.
+        let mut pc = None;
+        let mut union = Mask::EMPTY;
+        let mut survivor: Option<GroupId> = None;
+        for (i, g) in self.groups.iter().enumerate() {
+            let Some(g) = g else { continue };
+            if g.warp != warp || g.status != GroupStatus::WaitReconv {
+                continue;
+            }
+            // All waiters must be at the same PC.
+            match pc {
+                None => pc = Some(g.pc),
+                Some(p) if p != g.pc => return,
+                Some(_) => {}
+            }
+            union = union | g.mask;
+            survivor = match survivor {
+                Some(s) if self.groups[s.0].as_ref().expect("live").seq <= g.seq => Some(s),
+                _ => Some(GroupId(i)),
+            };
         }
-        // All waiters must be at the same PC.
-        let pc = self.group(ids[0]).pc;
-        if ids.iter().any(|&i| self.group(i).pc != pc) {
-            return;
-        }
-        let union = ids.iter().fold(Mask::EMPTY, |m, &i| m | self.group(i).mask);
+        let Some(survivor) = survivor else { return };
         if union != self.warps[warp].tos_live_mask() {
             return;
         }
         // Merge into the oldest.
-        let survivor = *ids
-            .iter()
-            .min_by_key(|&&i| self.group(i).seq)
-            .expect("nonempty");
-        for &i in &ids {
-            if i != survivor {
+        for i in (0..self.groups.len()).map(GroupId) {
+            let is_waiter = i != survivor
+                && self.groups[i.0]
+                    .as_ref()
+                    .is_some_and(|g| g.warp == warp && g.status == GroupStatus::WaitReconv);
+            if is_waiter {
                 let mask = self.group(i).mask;
                 self.group_mut(survivor).mask = self.group(survivor).mask | mask;
                 self.kill_group(i);
@@ -841,10 +896,12 @@ impl Wpu {
         }
         let warp = self.group(gid).warp;
         loop {
-            let partner = self
-                .sibling_ids(warp, gid)
-                .into_iter()
-                .find(|&s| self.group(gid).can_merge_with(self.group(s)));
+            let partner = (0..self.groups.len()).map(GroupId).find(|&s| {
+                s != gid
+                    && self.groups[s.0]
+                        .as_ref()
+                        .is_some_and(|sg| sg.warp == warp && self.group(gid).can_merge_with(sg))
+            });
             match partner {
                 Some(p) => {
                     // Keep the older as survivor for deterministic naming.
@@ -885,13 +942,17 @@ impl Wpu {
         );
         let vmask = self.group(victim).mask;
         let vready = self.group(victim).ready_at;
-        let vframes = self.group(victim).local_stack.clone();
+        let mut vframes = std::mem::take(&mut self.group_mut(victim).local_stack);
         self.kill_group(victim);
         let s = self.group_mut(survivor);
         s.mask = s.mask | vmask;
         s.ready_at = s.ready_at.max(vready).max(now);
-        for (sf, vf) in s.local_stack.iter_mut().zip(vframes) {
+        for (sf, vf) in s.local_stack.iter_mut().zip(&vframes) {
             sf.mask = sf.mask | vf.mask;
+        }
+        if vframes.capacity() > 0 {
+            vframes.clear();
+            self.frame_pool.push(vframes);
         }
         if !self.group(survivor).slotted {
             self.try_slot(survivor);
@@ -917,21 +978,21 @@ impl Wpu {
     }
 
     /// Re-joins completed fall-behind threads suspended at `gid`'s PC.
+    /// Merges one match at a time, in index order (the order the old
+    /// collect-then-merge version used), so no candidate list is allocated.
     fn slip_merge_at(&mut self, gid: GroupId) {
         let warp = self.group(gid).warp;
         let pc = self.group(gid).pc;
-        let ready: Vec<GroupId> = self
-            .sibling_ids(warp, gid)
-            .into_iter()
-            .filter(|&s| {
-                let sg = self.group(s);
-                sg.status == GroupStatus::SlipSuspended
-                    && sg.slip_pc == Some(pc)
-                    && self.warps[warp].arrived_lanes(sg.mask) == sg.mask
-                    && self.group(gid).local_ctx_compatible(sg)
-            })
-            .collect();
-        for s in ready {
+        while let Some(s) = (0..self.groups.len()).map(GroupId).find(|&s| {
+            s != gid
+                && self.groups[s.0].as_ref().is_some_and(|sg| {
+                    sg.warp == warp
+                        && sg.status == GroupStatus::SlipSuspended
+                        && sg.slip_pc == Some(pc)
+                        && self.warps[warp].arrived_lanes(sg.mask) == sg.mask
+                        && self.group(gid).local_ctx_compatible(sg)
+                })
+        }) {
             self.merge_into(gid, s, Cycle::ZERO);
             self.stats.slip_merges.incr();
         }
@@ -941,15 +1002,15 @@ impl Wpu {
     /// run-ahead can no longer revisit them: stalled at a branch, at a
     /// barrier, or terminated).
     fn release_slip_catchups(&mut self, warp: usize, now: Cycle) {
-        let ids: Vec<GroupId> = self
-            .groups
-            .iter()
-            .enumerate()
-            .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
-            .filter(|(_, g)| g.warp == warp && g.status == GroupStatus::SlipSuspended)
-            .map(|(i, _)| GroupId(i))
-            .collect();
-        for gid in ids {
+        // Direct index scan (no candidate list): releasing a group flips it
+        // out of SlipSuspended, so later indices still see the original set.
+        for gid in (0..self.groups.len()).map(GroupId) {
+            let matches = self.groups[gid.0]
+                .as_ref()
+                .is_some_and(|g| g.warp == warp && g.status == GroupStatus::SlipSuspended);
+            if !matches {
+                continue;
+            }
             let arrived = {
                 let g = self.group(gid);
                 self.warps[warp].arrived_lanes(g.mask) == g.mask
@@ -1170,9 +1231,11 @@ impl Wpu {
                     {
                         // The sibling takes its threads' share of any
                         // serialization context.
-                        let local = Self::partition_local_frames(
+                        let mut local = std::mem::take(&mut self.group_mut(sib).local_stack);
+                        Self::partition_local_frames(
                             &mut self.groups[gid.0].as_mut().expect("live").local_stack,
                             park_mask,
+                            &mut local,
                         );
                         let lrpc = self.group(gid).local_rpc;
                         let s = self.group_mut(sib);
@@ -1253,164 +1316,181 @@ impl Wpu {
         let warp = self.group(gid).warp;
         let mask = self.group(gid).mask;
 
+        // Borrow the per-tick scratch buffers out of `self` for the
+        // duration of the access (restored at the end).
+        let mut ops = std::mem::take(&mut self.scratch.ops);
+        let mut accesses = std::mem::take(&mut self.scratch.accesses);
+        let mut outcomes = std::mem::take(&mut self.scratch.outcomes);
+        let mut miss_lines = std::mem::take(&mut self.scratch.miss_lines);
+        ops.clear();
+        accesses.clear();
+        miss_lines.clear();
+
         // Decode per-lane addresses (no functional effect yet).
-        let mut ops: Vec<(usize, StepOutcome)> = Vec::with_capacity(mask.count() as usize);
         for lane in mask.iter() {
             let out = self.warps[warp].threads[lane].state.execute(inst);
             ops.push((lane, out));
         }
-        let accesses: Vec<LaneAccess> = ops
-            .iter()
-            .map(|&(lane, out)| match out {
-                StepOutcome::Load { addr, .. } => LaneAccess {
-                    lane,
-                    addr,
-                    kind: AccessKind::Load,
-                },
-                StepOutcome::Store { addr, .. } => LaneAccess {
-                    lane,
-                    addr,
-                    kind: AccessKind::Store,
-                },
-                other => unreachable!("memory inst produced {other:?}"),
-            })
-            .collect();
+        accesses.extend(ops.iter().map(|&(lane, out)| match out {
+            StepOutcome::Load { addr, .. } => LaneAccess {
+                lane,
+                addr,
+                kind: AccessKind::Load,
+            },
+            StepOutcome::Store { addr, .. } => LaneAccess {
+                lane,
+                addr,
+                kind: AccessKind::Store,
+            },
+            other => unreachable!("memory inst produced {other:?}"),
+        }));
 
-        let Some(outcomes) = mem.warp_access(now, self.cfg.id, &accesses) else {
-            // MSHRs exhausted: structural stall; retry this group shortly
-            // while other groups issue.
-            let g = self.group_mut(gid);
-            g.ready_at = now + 1;
-            self.current = None;
-            return false;
-        };
-
-        self.stats.on_issue(mask.count());
-        match inst {
-            Inst::Load { .. } => self.stats.loads.add(mask.count() as u64),
-            _ => self.stats.stores.add(mask.count() as u64),
-        }
-
-        // Functional effects (data-race-free kernels make ordering benign).
-        for &(lane, out) in &ops {
-            match out {
-                StepOutcome::Load { addr, dst } => {
-                    let v = data.load_word(addr);
-                    self.warps[warp].threads[lane].state.set_reg(dst, v);
-                }
-                StepOutcome::Store { addr, value } => {
-                    data.store_word(addr, value);
-                }
-                _ => unreachable!(),
+        let issued = 'body: {
+            if !mem.warp_access_into(now, self.cfg.id, &accesses, &mut outcomes) {
+                // MSHRs exhausted: structural stall; retry this group
+                // shortly while other groups issue.
+                let g = self.group_mut(gid);
+                g.ready_at = now + 1;
+                self.current = None;
+                break 'body false;
             }
-        }
 
-        // Classify outcomes.
-        let mut hit_mask = Mask::EMPTY;
-        let mut miss_mask = Mask::EMPTY;
-        let mut hit_ready = now;
-        let mut miss_lines: Vec<u64> = Vec::new();
-        for (o, a) in outcomes.iter().zip(&accesses) {
-            match o.outcome {
-                AccessOutcome::Hit { ready_at } => {
-                    hit_mask.set(o.lane);
-                    hit_ready = hit_ready.max(ready_at);
+            self.stats.on_issue(mask.count());
+            match inst {
+                Inst::Load { .. } => self.stats.loads.add(mask.count() as u64),
+                _ => self.stats.stores.add(mask.count() as u64),
+            }
+
+            // Functional effects (data-race-free kernels make ordering benign).
+            for &(lane, out) in &ops {
+                match out {
+                    StepOutcome::Load { addr, dst } => {
+                        let v = data.load_word(addr);
+                        self.warps[warp].threads[lane].state.set_reg(dst, v);
+                    }
+                    StepOutcome::Store { addr, value } => {
+                        data.store_word(addr, value);
+                    }
+                    _ => unreachable!(),
                 }
-                AccessOutcome::Miss { request } => {
-                    miss_mask.set(o.lane);
-                    self.warps[warp].threads[o.lane].pending = Some(request);
-                    self.warps[warp].threads[o.lane].miss_count += 1;
-                    self.req_map.insert(request, (warp, o.lane));
-                    let line = a.addr / 128;
-                    if !miss_lines.contains(&line) {
-                        miss_lines.push(line);
+            }
+
+            // Classify outcomes.
+            let mut hit_mask = Mask::EMPTY;
+            let mut miss_mask = Mask::EMPTY;
+            let mut hit_ready = now;
+            for (o, a) in outcomes.iter().zip(&accesses) {
+                match o.outcome {
+                    AccessOutcome::Hit { ready_at } => {
+                        hit_mask.set(o.lane);
+                        hit_ready = hit_ready.max(ready_at);
+                    }
+                    AccessOutcome::Miss { request } => {
+                        miss_mask.set(o.lane);
+                        self.warps[warp].threads[o.lane].pending = Some(request);
+                        self.warps[warp].threads[o.lane].miss_count += 1;
+                        self.req_map.insert(request, (warp, o.lane));
+                        let line = a.addr / 128;
+                        if !miss_lines.contains(&line) {
+                            miss_lines.push(line);
+                        }
                     }
                 }
             }
-        }
-        let any_miss = !miss_mask.is_empty();
-        let divergent = (any_miss && !hit_mask.is_empty()) || miss_lines.len() > 1;
-        self.stats.on_mem_access(any_miss, divergent);
+            let any_miss = !miss_mask.is_empty();
+            let divergent = (any_miss && !hit_mask.is_empty()) || miss_lines.len() > 1;
+            self.stats.on_mem_access(any_miss, divergent);
 
-        self.group_mut(gid).pc = pc + 1;
+            self.group_mut(gid).pc = pc + 1;
 
-        if !any_miss {
-            let g = self.group_mut(gid);
-            g.status = GroupStatus::Ready;
-            g.ready_at = hit_ready;
-            if self.dws_pc_based() {
-                self.try_pc_merge_at(gid, now);
+            if !any_miss {
+                let g = self.group_mut(gid);
+                g.status = GroupStatus::Ready;
+                g.ready_at = hit_ready;
+                if self.dws_pc_based() {
+                    self.try_pc_merge_at(gid, now);
+                }
+                self.current = None; // switch on every cache access
+                break 'body true;
+            }
+
+            let mem_divergent = !hit_mask.is_empty();
+            match self.cfg.policy {
+                Policy::Dws(c) if c.mem_split.is_some() && mem_divergent => {
+                    let scheme = c.mem_split.expect("checked");
+                    let others_ready = self
+                        .groups
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
+                        .any(|(i, g)| {
+                            GroupId(i) != gid && g.slotted && g.status == GroupStatus::Ready
+                        });
+                    let split_now = match scheme {
+                        MemSplit::Aggressive => true,
+                        MemSplit::Lazy | MemSplit::Revive => !others_ready,
+                    } && self.splits_allowed();
+                    if !self.splits_allowed() {
+                        self.stats.throttle_suppressed.incr();
+                    }
+                    if split_now && self.wst.can_split(warp) {
+                        self.split_on_mem(gid, hit_mask, miss_mask, hit_ready, now);
+                        self.stats.mem_splits.incr();
+                    } else {
+                        if split_now {
+                            self.stats.wst_full_events.incr();
+                        } else {
+                            self.stats.lazy_suppressed.incr();
+                        }
+                        self.group_mut(gid).status = GroupStatus::WaitMem;
+                    }
+                }
+                Policy::Slip(_) if mem_divergent => {
+                    let allowed = self.slip_suspended_count(warp) + miss_mask.count()
+                        <= self.slip.max_div
+                        && !self.group(gid).slip_catchup;
+                    if allowed {
+                        // Fall-behind threads suspend *at* the memory PC; they
+                        // re-execute it (as hits) when re-united.
+                        let sib = self.spawn_group(warp, pc, miss_mask);
+                        {
+                            let mut local = std::mem::take(&mut self.group_mut(sib).local_stack);
+                            Self::partition_local_frames(
+                                &mut self.groups[gid.0].as_mut().expect("live").local_stack,
+                                miss_mask,
+                                &mut local,
+                            );
+                            let lrpc = self.group(gid).local_rpc;
+                            let s = self.group_mut(sib);
+                            s.status = GroupStatus::SlipSuspended;
+                            s.slip_pc = Some(pc);
+                            s.local_stack = local;
+                            s.local_rpc = lrpc;
+                            s.slotted = false;
+                        }
+                        let g = self.group_mut(gid);
+                        g.mask = hit_mask;
+                        g.status = GroupStatus::Ready;
+                        g.ready_at = hit_ready;
+                        self.stats.slip_events.incr();
+                    } else {
+                        self.group_mut(gid).status = GroupStatus::WaitMem;
+                    }
+                }
+                _ => {
+                    // Conventional: the whole group waits for the slowest lane.
+                    self.group_mut(gid).status = GroupStatus::WaitMem;
+                }
             }
             self.current = None; // switch on every cache access
-            return true;
-        }
+            true
+        };
 
-        let mem_divergent = !hit_mask.is_empty();
-        match self.cfg.policy {
-            Policy::Dws(c) if c.mem_split.is_some() && mem_divergent => {
-                let scheme = c.mem_split.expect("checked");
-                let others_ready = self
-                    .groups
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
-                    .any(|(i, g)| GroupId(i) != gid && g.slotted && g.status == GroupStatus::Ready);
-                let split_now = match scheme {
-                    MemSplit::Aggressive => true,
-                    MemSplit::Lazy | MemSplit::Revive => !others_ready,
-                } && self.splits_allowed();
-                if !self.splits_allowed() {
-                    self.stats.throttle_suppressed.incr();
-                }
-                if split_now && self.wst.can_split(warp) {
-                    self.split_on_mem(gid, hit_mask, miss_mask, hit_ready, now);
-                    self.stats.mem_splits.incr();
-                } else {
-                    if split_now {
-                        self.stats.wst_full_events.incr();
-                    } else {
-                        self.stats.lazy_suppressed.incr();
-                    }
-                    self.group_mut(gid).status = GroupStatus::WaitMem;
-                }
-            }
-            Policy::Slip(_) if mem_divergent => {
-                let allowed = self.slip_suspended_count(warp) + miss_mask.count()
-                    <= self.slip.max_div
-                    && !self.group(gid).slip_catchup;
-                if allowed {
-                    // Fall-behind threads suspend *at* the memory PC; they
-                    // re-execute it (as hits) when re-united.
-                    let sib = self.spawn_group(warp, pc, miss_mask);
-                    {
-                        let local = Self::partition_local_frames(
-                            &mut self.groups[gid.0].as_mut().expect("live").local_stack,
-                            miss_mask,
-                        );
-                        let lrpc = self.group(gid).local_rpc;
-                        let s = self.group_mut(sib);
-                        s.status = GroupStatus::SlipSuspended;
-                        s.slip_pc = Some(pc);
-                        s.local_stack = local;
-                        s.local_rpc = lrpc;
-                        s.slotted = false;
-                    }
-                    let g = self.group_mut(gid);
-                    g.mask = hit_mask;
-                    g.status = GroupStatus::Ready;
-                    g.ready_at = hit_ready;
-                    self.stats.slip_events.incr();
-                } else {
-                    self.group_mut(gid).status = GroupStatus::WaitMem;
-                }
-            }
-            _ => {
-                // Conventional: the whole group waits for the slowest lane.
-                self.group_mut(gid).status = GroupStatus::WaitMem;
-            }
-        }
-        self.current = None; // switch on every cache access
-        true
+        self.scratch.ops = ops;
+        self.scratch.accesses = accesses;
+        self.scratch.outcomes = outcomes;
+        self.scratch.miss_lines = miss_lines;
+        issued
     }
 
     /// Splits `gid` into a run-ahead (hit) group and the waiting remainder.
@@ -1426,9 +1506,11 @@ impl Wpu {
         let pc = self.group(gid).pc;
         let run_ahead = self.spawn_group(warp, pc, hit_mask);
         {
-            let local = Self::partition_local_frames(
+            let mut local = std::mem::take(&mut self.group_mut(run_ahead).local_stack);
+            Self::partition_local_frames(
                 &mut self.groups[gid.0].as_mut().expect("live").local_stack,
                 hit_mask,
+                &mut local,
             );
             let lrpc = self.group(gid).local_rpc;
             let s = self.group_mut(run_ahead);
@@ -1476,9 +1558,11 @@ impl Wpu {
         let pc = self.group(gid).pc;
         let run_ahead = self.spawn_group(warp, pc, arrived);
         {
-            let local = Self::partition_local_frames(
+            let mut local = std::mem::take(&mut self.group_mut(run_ahead).local_stack);
+            Self::partition_local_frames(
                 &mut self.groups[gid.0].as_mut().expect("live").local_stack,
                 arrived,
+                &mut local,
             );
             let lrpc = self.group(gid).local_rpc;
             let s = self.group_mut(run_ahead);
@@ -1573,23 +1657,22 @@ impl Wpu {
     pub fn release_barrier(&mut self, now: Cycle) {
         self.trace(TraceEvent::BarrierRelease { cycle: now });
         for warp in 0..self.cfg.n_warps {
-            let ids: Vec<GroupId> = self
+            // Oldest waiter survives; found by scan, no candidate list.
+            let survivor = self
                 .groups
                 .iter()
                 .enumerate()
                 .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
                 .filter(|(_, g)| g.warp == warp && g.status == GroupStatus::WaitBarrier)
-                .map(|(i, _)| GroupId(i))
-                .collect();
-            if ids.is_empty() {
-                continue;
-            }
-            let survivor = *ids
-                .iter()
-                .min_by_key(|&&i| self.group(i).seq)
-                .expect("nonempty");
-            for &i in &ids {
-                if i != survivor {
+                .min_by_key(|(_, g)| g.seq)
+                .map(|(i, _)| GroupId(i));
+            let Some(survivor) = survivor else { continue };
+            for i in (0..self.groups.len()).map(GroupId) {
+                let is_waiter = i != survivor
+                    && self.groups[i.0]
+                        .as_ref()
+                        .is_some_and(|g| g.warp == warp && g.status == GroupStatus::WaitBarrier);
+                if is_waiter {
                     let mask = self.group(i).mask;
                     self.group_mut(survivor).mask = self.group(survivor).mask | mask;
                     self.kill_group(i);

@@ -600,7 +600,7 @@ fn mask_status_invariants_sampled() {
     let mut mem = MemorySystem::new(MemConfig::paper(1, 16));
     let mut data = chase_data(n);
     let mut now = Cycle(0);
-    for _ in 0..200_000 {
+    while now.0 < 200_000 {
         if wpu.done() {
             break;
         }

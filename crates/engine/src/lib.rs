@@ -7,7 +7,8 @@
 //! * [`Cycle`] — a strongly-typed simulation timestamp,
 //! * [`EventQueue`] — a deterministic future-event list used to schedule
 //!   memory-request completions and other timed callbacks,
-//! * [`stats`] — counter/histogram infrastructure used by every component.
+//! * [`stats`] — counter/histogram infrastructure used by every component,
+//! * [`rng`] — a vendored deterministic PRNG for benchmark input generation.
 //!
 //! # Example
 //!
@@ -23,6 +24,7 @@
 //! ```
 
 pub mod event;
+pub mod rng;
 pub mod stats;
 
 pub use event::EventQueue;

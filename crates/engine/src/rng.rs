@@ -1,0 +1,169 @@
+//! Vendored deterministic PRNG for input generation.
+//!
+//! The benchmark input generators need a small, seedable, reproducible
+//! random source — nothing cryptographic. Depending on an external crate
+//! for this made the whole workspace unbuildable without registry access,
+//! so the generator is vendored here: SplitMix64 (Steele, Lea & Flood,
+//! "Fast splittable pseudorandom number generators", OOPSLA 2014), the
+//! same mixer `rand` uses to seed its small RNGs. Identical seeds produce
+//! identical streams on every platform and in every build profile, which
+//! is what keeps benchmark inputs — and therefore simulated cycle counts —
+//! byte-stable across hosts.
+
+/// A seedable SplitMix64 generator.
+///
+/// ```
+/// use dws_engine::rng::Rng64;
+///
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.range_f64(-1.0, 1.0);
+/// assert!((-1.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed; equal seeds give equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64: an additive Weyl sequence through a bijective mixer.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.range_u64(span) as i64)
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn range_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        self.range_u64(n as u64) as usize
+    }
+
+    /// Uniform `u64` in `[0, n)` via Lemire's multiply-shift reduction
+    /// (the bias of a plain modulo would be invisible at these range
+    /// sizes, but debiasing is cheap enough to just do it right).
+    #[inline]
+    fn range_u64(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// True with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_splitmix64_vector() {
+        // Reference outputs for seed 1234567 from the canonical C
+        // implementation (Vigna, prng.di.unimi.it/splitmix64.c).
+        let mut r = Rng64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+        assert_eq!(r.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::new(99);
+        let mut b = Rng64::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::new(100);
+        assert_ne!(Rng64::new(99).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng64::new(7);
+        for _ in 0..10_000 {
+            let f = r.range_f64(-2.5, 7.5);
+            assert!((-2.5..7.5).contains(&f));
+            let i = r.range_i64(-10, 10);
+            assert!((-10..10).contains(&i));
+            let u = r.range_usize(3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn range_i64_covers_endpoints() {
+        let mut r = Rng64::new(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[(r.range_i64(-2, 2) + 2) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true, true]);
+    }
+
+    #[test]
+    fn f64_distribution_is_sane() {
+        let mut r = Rng64::new(11);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

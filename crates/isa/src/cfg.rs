@@ -91,10 +91,8 @@ impl Cfg {
                         leader[pc + 1] = true;
                     }
                 }
-                Inst::Halt => {
-                    if pc + 1 < n {
-                        leader[pc + 1] = true;
-                    }
+                Inst::Halt if pc + 1 < n => {
+                    leader[pc + 1] = true;
                 }
                 _ => {}
             }
@@ -102,8 +100,8 @@ impl Cfg {
         let mut blocks = Vec::new();
         let mut block_of = vec![0usize; n];
         let mut start = 0usize;
-        for pc in 0..n {
-            if pc > start && leader[pc] {
+        for (pc, &is_leader) in leader.iter().enumerate() {
+            if pc > start && is_leader {
                 blocks.push(Block {
                     start,
                     end: pc,
@@ -118,15 +116,12 @@ impl Cfg {
             succs: Vec::new(),
         });
         for (bi, b) in blocks.iter().enumerate() {
-            for pc in b.start..b.end {
-                block_of[pc] = bi;
-            }
+            block_of[b.start..b.end].fill(bi);
         }
         // Successors.
         let first_block_at = |pc: usize| block_of[pc];
-        let nb = blocks.len();
-        for bi in 0..nb {
-            let last = blocks[bi].end - 1;
+        for b in &mut blocks {
+            let last = b.end - 1;
             let succs: Vec<usize> = match insts[last] {
                 Inst::Branch { target, .. } => {
                     let mut s = vec![first_block_at(target)];
@@ -145,7 +140,7 @@ impl Cfg {
                     }
                 }
             };
-            blocks[bi].succs = succs;
+            b.succs = succs;
         }
         let ipdom_block = post_dominators(&blocks);
         Cfg {

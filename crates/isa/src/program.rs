@@ -33,10 +33,8 @@ impl Program {
         let n = insts.len();
         for (pc, inst) in insts.iter().enumerate() {
             match *inst {
-                Inst::Branch { target, .. } | Inst::Jump { target } => {
-                    if target >= n {
-                        return Err(format!("pc {pc}: branch target @{target} out of range"));
-                    }
+                Inst::Branch { target, .. } | Inst::Jump { target } if target >= n => {
+                    return Err(format!("pc {pc}: branch target @{target} out of range"));
                 }
                 _ => {}
             }

@@ -1,0 +1,138 @@
+//! Randomized tests of the IR semantics and CFG analysis, driven by the
+//! vendored deterministic PRNG (plus explicit edge cases that a random
+//! stream is unlikely to hit).
+
+use dws_engine::rng::Rng64;
+use dws_isa::cfg::RECONV_NONE;
+use dws_isa::interp::{eval_alu, eval_un};
+use dws_isa::{AluOp, CondOp, KernelBuilder, Operand, UnOp};
+
+/// Random i64 pairs plus the boundary values where wrapping arithmetic bites.
+fn i64_pairs(seed: u64, n: usize) -> Vec<(i64, i64)> {
+    let mut rng = Rng64::new(seed);
+    let edges = [i64::MIN, -1, 0, 1, i64::MAX];
+    let mut out: Vec<(i64, i64)> = edges
+        .iter()
+        .flat_map(|&a| edges.iter().map(move |&b| (a, b)))
+        .collect();
+    out.extend((0..n).map(|_| (rng.next_u64() as i64, rng.next_u64() as i64)));
+    out
+}
+
+#[test]
+fn add_sub_round_trip() {
+    for (a, b) in i64_pairs(1, 1000) {
+        let sum = eval_alu(AluOp::Add, a as u64, b as u64);
+        let back = eval_alu(AluOp::Sub, sum, b as u64);
+        assert_eq!(back as i64, a);
+    }
+}
+
+#[test]
+fn div_rem_identity() {
+    for (a, b) in i64_pairs(2, 1000) {
+        if b == 0 || (a == i64::MIN && b == -1) {
+            continue; // totalized wrapping edges, covered elsewhere
+        }
+        let q = eval_alu(AluOp::Div, a as u64, b as u64) as i64;
+        let r = eval_alu(AluOp::Rem, a as u64, b as u64) as i64;
+        assert_eq!(q.wrapping_mul(b).wrapping_add(r), a, "{a} / {b}");
+    }
+}
+
+#[test]
+fn division_by_zero_is_total() {
+    for (a, _) in i64_pairs(3, 200) {
+        assert_eq!(eval_alu(AluOp::Div, a as u64, 0), 0);
+        assert_eq!(eval_alu(AluOp::Rem, a as u64, 0), 0);
+    }
+}
+
+#[test]
+fn min_max_partition() {
+    for (a, b) in i64_pairs(4, 1000) {
+        let lo = eval_alu(AluOp::Min, a as u64, b as u64) as i64;
+        let hi = eval_alu(AluOp::Max, a as u64, b as u64) as i64;
+        assert!(lo <= hi);
+        assert!((lo == a && hi == b) || (lo == b && hi == a));
+    }
+}
+
+#[test]
+fn float_ops_match_host() {
+    let mut rng = Rng64::new(5);
+    for _ in 0..1000 {
+        let a = rng.range_f64(-1e12, 1e12);
+        let b = rng.range_f64(-1e12, 1e12);
+        let fa = a.to_bits();
+        let fb = b.to_bits();
+        assert_eq!(f64::from_bits(eval_alu(AluOp::FAdd, fa, fb)), a + b);
+        assert_eq!(f64::from_bits(eval_alu(AluOp::FMul, fa, fb)), a * b);
+        assert_eq!(f64::from_bits(eval_un(UnOp::FNeg, fa)), -a);
+        assert_eq!(f64::from_bits(eval_un(UnOp::FAbs, fa)), a.abs());
+    }
+}
+
+#[test]
+fn not_is_involutive() {
+    let mut rng = Rng64::new(6);
+    for _ in 0..1000 {
+        let a = rng.next_u64();
+        assert_eq!(eval_un(UnOp::Not, eval_un(UnOp::Not, a)), a);
+    }
+}
+
+#[test]
+fn cond_trichotomy() {
+    for (a, b) in i64_pairs(7, 1000) {
+        let (ua, ub) = (a as u64, b as u64);
+        let lt = CondOp::Lt.eval(ua, ub);
+        let eq = CondOp::Eq.eval(ua, ub);
+        let gt = CondOp::Gt.eval(ua, ub);
+        assert_eq!(lt as u8 + eq as u8 + gt as u8, 1, "exactly one holds");
+        assert_eq!(CondOp::Le.eval(ua, ub), lt || eq);
+        assert_eq!(CondOp::Ge.eval(ua, ub), gt || eq);
+        assert_eq!(CondOp::Ne.eval(ua, ub), !eq);
+    }
+}
+
+/// Structured control flow always yields branches with a real
+/// re-convergence PC strictly after the branch.
+#[test]
+fn structured_branches_reconverge() {
+    for n_ifs in 1usize..6 {
+        for loop_trips in 1i64..5 {
+            let mut b = KernelBuilder::new();
+            let v = b.reg();
+            let i = b.reg();
+            b.for_range(
+                i,
+                Operand::Imm(0),
+                Operand::Imm(loop_trips),
+                Operand::Imm(1),
+                |b| {
+                    for k in 0..n_ifs {
+                        b.if_then_else(
+                            CondOp::Gt,
+                            Operand::Reg(v),
+                            Operand::Imm(k as i64),
+                            |b| b.add(v, Operand::Reg(v), Operand::Imm(1)),
+                            |b| b.sub(v, Operand::Reg(v), Operand::Imm(1)),
+                        );
+                    }
+                },
+            );
+            b.halt();
+            let p = b.build().unwrap();
+            for (pc, info) in p.branches() {
+                assert_ne!(info.ipdom, RECONV_NONE, "branch at {pc} has no ipdom");
+                assert!(
+                    info.ipdom > pc || info.taken <= pc,
+                    "forward branch at {} must reconverge later (ipdom {})",
+                    pc,
+                    info.ipdom
+                );
+            }
+        }
+    }
+}

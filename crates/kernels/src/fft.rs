@@ -19,9 +19,8 @@
 //! ```
 
 use crate::spec::{close, KernelSpec, Scale};
+use dws_engine::rng::Rng64;
 use dws_isa::{KernelBuilder, Operand, Program, VecMemory};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::f64::consts::PI;
 
 /// Problem size per scale (must be a power of two).
@@ -67,10 +66,10 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
 
 fn init_memory(n: usize, seed: u64) -> VecMemory {
     let mut m = VecMemory::new((6 * n * 8) as u64);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     for i in 0..n {
-        m.write_f64((i * 8) as u64, rng.gen_range(-1.0..1.0));
-        m.write_f64(((n + i) * 8) as u64, rng.gen_range(-1.0..1.0));
+        m.write_f64((i * 8) as u64, rng.range_f64(-1.0, 1.0));
+        m.write_f64(((n + i) * 8) as u64, rng.range_f64(-1.0, 1.0));
     }
     for k in 0..n / 2 {
         let ang = -2.0 * PI * k as f64 / n as f64;
@@ -298,8 +297,8 @@ mod tests {
     fn host_fft_parseval() {
         // Energy is preserved up to the scale factor n.
         let n = 128;
-        let mut rng = SmallRng::seed_from_u64(1);
-        let orig: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut rng = Rng64::new(1);
+        let orig: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
         let mut re = orig.clone();
         let mut im = vec![0.0; n];
         host_fft(&mut re, &mut im);

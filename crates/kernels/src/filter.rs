@@ -8,9 +8,8 @@
 //! Layout: input image `W*H` f64 at word 0; output at word `W*H`.
 
 use crate::spec::{close, KernelSpec, Scale};
+use dws_engine::rng::Rng64;
 use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Image dimensions per scale.
 pub fn size(scale: Scale) -> (usize, usize) {
@@ -34,10 +33,10 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
         .collect();
     let expect = host_filter(&img, w, h);
     KernelSpec::new("Filter", program, memory, move |mem| {
-        for p in 0..w * h {
+        for (p, &e) in expect.iter().enumerate() {
             let got = mem.read_f64(((w * h + p) * 8) as u64);
-            if !close(got, expect[p], 1e-9) {
-                return Err(format!("Filter out[{p}] = {got}, expected {}", expect[p]));
+            if !close(got, e, 1e-9) {
+                return Err(format!("Filter out[{p}] = {got}, expected {e}"));
             }
         }
         Ok(())
@@ -46,9 +45,9 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
 
 fn init_memory(w: usize, h: usize, seed: u64) -> VecMemory {
     let mut m = VecMemory::new((2 * w * h * 8) as u64);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     for i in 0..w * h {
-        m.write_f64((i * 8) as u64, rng.gen_range(0.0..255.0));
+        m.write_f64((i * 8) as u64, rng.range_f64(0.0, 255.0));
     }
     m
 }

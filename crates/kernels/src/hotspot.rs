@@ -10,9 +10,8 @@
 //! `T1`.
 
 use crate::spec::{close, KernelSpec, Scale};
+use dws_engine::rng::Rng64;
 use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Grid edge and iteration count per scale.
 pub fn size(scale: Scale) -> (usize, usize) {
@@ -42,10 +41,10 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
     let expect = host_hotspot(&t0, &p, n, iters);
     let out_words = if iters % 2 == 0 { 0 } else { n * n };
     KernelSpec::new("HotSpot", program, memory, move |mem| {
-        for i in 0..n * n {
+        for (i, &e) in expect.iter().enumerate() {
             let got = mem.read_f64(((out_words + i) * 8) as u64);
-            if !close(got, expect[i], 1e-9) {
-                return Err(format!("HotSpot T[{i}] = {got}, expected {}", expect[i]));
+            if !close(got, e, 1e-9) {
+                return Err(format!("HotSpot T[{i}] = {got}, expected {e}"));
             }
         }
         Ok(())
@@ -54,10 +53,10 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
 
 fn init_memory(n: usize, seed: u64) -> VecMemory {
     let mut m = VecMemory::new((3 * n * n * 8) as u64);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     for i in 0..n * n {
-        m.write_f64((i * 8) as u64, rng.gen_range(40.0..90.0));
-        m.write_f64(((2 * n * n + i) * 8) as u64, rng.gen_range(0.0..2.0));
+        m.write_f64((i * 8) as u64, rng.range_f64(40.0, 90.0));
+        m.write_f64(((2 * n * n + i) * 8) as u64, rng.range_f64(0.0, 2.0));
     }
     m
 }
@@ -240,13 +239,9 @@ mod tests {
             .collect();
         ReferenceRunner::new(&program, 16).run(&mut mem).unwrap();
         let expect = host_hotspot(&t0, &p, n, iters);
-        for i in 0..n * n {
+        for (i, &e) in expect.iter().enumerate() {
             let got = mem.read_f64(((n * n + i) * 8) as u64);
-            assert!(
-                close(got, expect[i], 1e-9),
-                "cell {i}: {got} vs {}",
-                expect[i]
-            );
+            assert!(close(got, e, 1e-9), "cell {i}: {got} vs {e}");
         }
     }
 }

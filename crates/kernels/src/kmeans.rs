@@ -16,9 +16,8 @@
 //! ```
 
 use crate::spec::{close, KernelSpec, Scale};
+use dws_engine::rng::Rng64;
 use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// (points, dims, clusters, iterations) per scale.
 pub fn size(scale: Scale) -> (usize, usize, usize, usize) {
@@ -42,22 +41,16 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
         .collect();
     let (expect_cent, expect_assign) = host_kmeans(&pts, &cent0, n, d, k, iters);
     KernelSpec::new("KMeans", program, memory, move |mem| {
-        for i in 0..k * d {
+        for (i, &e) in expect_cent.iter().enumerate() {
             let got = mem.read_f64(((n * d + i) * 8) as u64);
-            if !close(got, expect_cent[i], 1e-9) {
-                return Err(format!(
-                    "KMeans centroid[{i}] = {got}, expected {}",
-                    expect_cent[i]
-                ));
+            if !close(got, e, 1e-9) {
+                return Err(format!("KMeans centroid[{i}] = {got}, expected {e}"));
             }
         }
-        for p in 0..n {
+        for (p, &ea) in expect_assign.iter().enumerate() {
             let got = mem.read_i64(((n * d + k * d + p) * 8) as u64);
-            if got != expect_assign[p] {
-                return Err(format!(
-                    "KMeans assign[{p}] = {got}, expected {}",
-                    expect_assign[p]
-                ));
+            if got != ea {
+                return Err(format!("KMeans assign[{p}] = {got}, expected {}", ea));
             }
         }
         Ok(())
@@ -66,7 +59,7 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
 
 fn init_memory(n: usize, d: usize, k: usize, seed: u64) -> VecMemory {
     let mut m = VecMemory::new(((n * d + k * d + n) * 8) as u64);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     // Clustered blobs so iterations actually move the centroids.
     for p in 0..n {
         let blob = p % k;
@@ -74,7 +67,7 @@ fn init_memory(n: usize, d: usize, k: usize, seed: u64) -> VecMemory {
             let center = (blob * 7 + dim) as f64;
             m.write_f64(
                 ((p * d + dim) * 8) as u64,
-                center + rng.gen_range(-1.5..1.5),
+                center + rng.range_f64(-1.5, 1.5),
             );
         }
     }
@@ -84,7 +77,7 @@ fn init_memory(n: usize, d: usize, k: usize, seed: u64) -> VecMemory {
             let v = m.read_f64(((c * d + dim) * 8) as u64);
             m.write_f64(
                 ((n * d + c * d + dim) * 8) as u64,
-                v + rng.gen_range(-0.5..0.5),
+                v + rng.range_f64(-0.5, 0.5),
             );
         }
     }

@@ -10,9 +10,8 @@
 //! factored in place into `L\U` (unit lower triangle implicit).
 
 use crate::spec::{close, KernelSpec, Scale};
+use dws_engine::rng::Rng64;
 use dws_isa::{KernelBuilder, Operand, Program, VecMemory};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Matrix edge per scale.
 pub fn size(scale: Scale) -> usize {
@@ -33,15 +32,10 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
         .collect();
     let expect = host_lu(&a, n);
     KernelSpec::new("LU", program, memory, move |mem| {
-        for i in 0..n * n {
+        for (i, &e) in expect.iter().enumerate() {
             let got = mem.read_f64((i * 8) as u64);
-            if !close(got, expect[i], 1e-6) {
-                return Err(format!(
-                    "LU A[{},{}] = {got}, expected {}",
-                    i / n,
-                    i % n,
-                    expect[i]
-                ));
+            if !close(got, e, 1e-6) {
+                return Err(format!("LU A[{},{}] = {got}, expected {e}", i / n, i % n));
             }
         }
         Ok(())
@@ -50,14 +44,14 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
 
 fn init_memory(n: usize, seed: u64) -> VecMemory {
     let mut m = VecMemory::new((n * n * 8) as u64);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     for r in 0..n {
         for c in 0..n {
             let v = if r == c {
                 // Diagonal dominance keeps the factorization stable.
-                n as f64 + rng.gen_range(1.0..2.0)
+                n as f64 + rng.range_f64(1.0, 2.0)
             } else {
-                rng.gen_range(-1.0..1.0)
+                rng.range_f64(-1.0, 1.0)
             };
             m.write_f64(((r * n + c) * 8) as u64, v);
         }
@@ -225,8 +219,8 @@ mod tests {
         let a: Vec<f64> = (0..n * n).map(|i| mem.read_f64((i * 8) as u64)).collect();
         ReferenceRunner::new(&program, 1).run(&mut mem).unwrap();
         let expect = host_lu(&a, n);
-        for i in 0..n * n {
-            assert!(close(mem.read_f64((i * 8) as u64), expect[i], 1e-9));
+        for (i, &e) in expect.iter().enumerate() {
+            assert!(close(mem.read_f64((i * 8) as u64), e, 1e-9));
         }
     }
 }

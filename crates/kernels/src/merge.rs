@@ -10,9 +10,8 @@
 //! result lands in `A` when the number of passes is even, `B` otherwise.
 
 use crate::spec::{KernelSpec, Scale};
+use dws_engine::rng::Rng64;
 use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Element count per scale (deliberately not a power of two, to exercise
 /// ragged final runs).
@@ -42,12 +41,12 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
     let memory = init_memory(n, seed);
     let mut expect: Vec<i64> = (0..n).map(|i| memory.read_i64((i * 8) as u64)).collect();
     expect.sort_unstable();
-    let out_word = if passes(n) % 2 == 0 { 0 } else { n };
+    let out_word = if passes(n).is_multiple_of(2) { 0 } else { n };
     KernelSpec::new("Merge", program, memory, move |mem| {
-        for i in 0..n {
+        for (i, &e) in expect.iter().enumerate() {
             let got = mem.read_i64(((out_word + i) * 8) as u64);
-            if got != expect[i] {
-                return Err(format!("Merge out[{i}] = {got}, expected {}", expect[i]));
+            if got != e {
+                return Err(format!("Merge out[{i}] = {got}, expected {e}"));
             }
         }
         Ok(())
@@ -56,9 +55,9 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
 
 fn init_memory(n: usize, seed: u64) -> VecMemory {
     let mut m = VecMemory::new((2 * n * 8) as u64);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     for i in 0..n {
-        m.write_i64((i * 8) as u64, rng.gen_range(-1_000_000..1_000_000));
+        m.write_i64((i * 8) as u64, rng.range_i64(-1_000_000, 1_000_000));
     }
     m
 }
@@ -195,9 +194,9 @@ mod tests {
         let mut expect: Vec<i64> = (0..n).map(|i| mem.read_i64((i * 8) as u64)).collect();
         expect.sort_unstable();
         ReferenceRunner::new(&program, 1).run(&mut mem).unwrap();
-        let out = if passes(n) % 2 == 0 { 0 } else { n };
-        for i in 0..n {
-            assert_eq!(mem.read_i64(((out + i) * 8) as u64), expect[i]);
+        let out = if passes(n).is_multiple_of(2) { 0 } else { n };
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(mem.read_i64(((out + i) * 8) as u64), e);
         }
     }
 
@@ -210,7 +209,7 @@ mod tests {
             mem.write_i64((i * 8) as u64, i as i64);
         }
         ReferenceRunner::new(&program, 7).run(&mut mem).unwrap();
-        let out = if passes(n) % 2 == 0 { 0 } else { n };
+        let out = if passes(n).is_multiple_of(2) { 0 } else { n };
         for i in 0..n {
             assert_eq!(mem.read_i64(((out + i) * 8) as u64), i as i64);
         }

@@ -11,9 +11,8 @@
 //! is at 0 if `steps` is even, else at `c`.
 
 use crate::spec::{KernelSpec, Scale};
+use dws_engine::rng::Rng64;
 use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Half-width of the predecessor window.
 pub const WINDOW: i64 = 3;
@@ -52,10 +51,10 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
     let expect = host_short(&row0, steps);
     let out_word = if steps % 2 == 0 { 0 } else { c };
     KernelSpec::new("Short", program, memory, move |mem| {
-        for i in 0..c {
+        for (i, &e) in expect.iter().enumerate() {
             let got = mem.read_i64(((out_word + i) * 8) as u64);
-            if got != expect[i] {
-                return Err(format!("Short cost[{i}] = {got}, expected {}", expect[i]));
+            if got != e {
+                return Err(format!("Short cost[{i}] = {got}, expected {e}"));
             }
         }
         Ok(())
@@ -65,9 +64,9 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
 fn init_memory(c: usize, seed: u64) -> VecMemory {
     // Layout: prev row, next row, then the cost table.
     let mut m = VecMemory::new(((2 * c) as u64 + COST_TABLE as u64) * 8);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     for i in 0..c {
-        m.write_i64((i * 8) as u64, rng.gen_range(0..1000));
+        m.write_i64((i * 8) as u64, rng.range_i64(0, 1000));
     }
     for idx in 0..COST_TABLE {
         m.write_i64(((2 * c) as u64 + idx as u64) * 8, cost_value(idx));

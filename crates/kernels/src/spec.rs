@@ -14,6 +14,9 @@ pub enum Scale {
     Paper,
 }
 
+/// A boxed final-memory checker against a host-computed reference.
+type Verifier = Box<dyn Fn(&VecMemory) -> Result<(), String> + Send + Sync>;
+
 /// A ready-to-simulate benchmark: program, initialized memory, verifier.
 pub struct KernelSpec {
     /// Benchmark name (paper spelling).
@@ -23,7 +26,7 @@ pub struct KernelSpec {
     /// Initialized functional memory (inputs + zeroed outputs).
     pub memory: VecMemory,
     /// Checks the final memory against a host-computed reference.
-    verifier: Box<dyn Fn(&VecMemory) -> Result<(), String> + Send + Sync>,
+    verifier: Verifier,
 }
 
 impl KernelSpec {

@@ -15,9 +15,8 @@
 //! ```
 
 use crate::spec::{close, KernelSpec, Scale};
+use dws_engine::rng::Rng64;
 use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Responses below this threshold are clamped to zero.
 pub const THRESHOLD: f64 = 1.10;
@@ -45,10 +44,10 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
     let expect = host_svm(&x, &sv, n, d, m);
     let out_base = n * d + m * d;
     KernelSpec::new("SVM", program, memory, move |mem| {
-        for i in 0..n * m {
+        for (i, &e) in expect.iter().enumerate() {
             let got = mem.read_f64(((out_base + i) * 8) as u64);
-            if !close(got, expect[i], 1e-9) {
-                return Err(format!("SVM K[{i}] = {got}, expected {}", expect[i]));
+            if !close(got, e, 1e-9) {
+                return Err(format!("SVM K[{i}] = {got}, expected {e}"));
             }
         }
         Ok(())
@@ -57,12 +56,12 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
 
 fn init_memory(n: usize, d: usize, m: usize, seed: u64) -> VecMemory {
     let mut mem = VecMemory::new(((n * d + m * d + n * m) * 8) as u64);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     for i in 0..n * d {
-        mem.write_f64((i * 8) as u64, rng.gen_range(-1.0..1.0));
+        mem.write_f64((i * 8) as u64, rng.range_f64(-1.0, 1.0));
     }
     for i in 0..m * d {
-        mem.write_f64(((n * d + i) * 8) as u64, rng.gen_range(-1.0..1.0));
+        mem.write_f64(((n * d + i) * 8) as u64, rng.range_f64(-1.0, 1.0));
     }
     mem
 }

@@ -43,7 +43,7 @@ fn all_scales_construct() {
     for bench in Benchmark::ALL {
         for scale in [Scale::Test, Scale::Bench, Scale::Paper] {
             let spec = bench.build(scale, 1);
-            assert!(spec.program.len() > 0, "{bench} {scale:?}");
+            assert!(!spec.program.is_empty(), "{bench} {scale:?}");
             assert!(spec.memory.size_bytes() > 0, "{bench} {scale:?}");
             // Every conditional branch in structured kernels re-converges.
             for (pc, info) in spec.program.branches() {

@@ -154,6 +154,22 @@ pub struct MemStats {
     pub mlp: Distribution,
 }
 
+/// Reusable per-call buffers for [`MemorySystem::warp_access_into`]. These
+/// keep the per-instruction hot path free of heap allocation: each vector
+/// is `take`n at entry, cleared, and put back at exit, so capacity persists
+/// across calls.
+#[derive(Default)]
+struct WarpScratch {
+    /// Distinct lines touched this access: `(line, any_store)`.
+    groups: Vec<(u64, bool)>,
+    /// For each access index, the index of its line group.
+    lane_group: Vec<usize>,
+    /// Distinct `(bank, word)` pairs in first-appearance order.
+    bank_words: Vec<(u64, u64)>,
+    /// Per-access bank-queueing delay in cycles.
+    lane_delay: Vec<u64>,
+}
+
 /// The full memory system shared by all WPUs.
 pub struct MemorySystem {
     cfg: MemConfig,
@@ -165,6 +181,7 @@ pub struct MemorySystem {
     events: EventQueue<(usize, MshrId)>,
     next_req: u64,
     stats: MemStats,
+    scratch: WarpScratch,
 }
 
 impl std::fmt::Debug for MemorySystem {
@@ -202,6 +219,7 @@ impl MemorySystem {
             events: EventQueue::new(),
             next_req: 0,
             stats: MemStats::default(),
+            scratch: WarpScratch::default(),
             cfg,
         }
     }
@@ -235,140 +253,193 @@ impl MemorySystem {
         l1: usize,
         accesses: &[LaneAccess],
     ) -> Option<Vec<LaneOutcome>> {
+        let mut out = Vec::new();
+        self.warp_access_into(now, l1, accesses, &mut out)
+            .then_some(out)
+    }
+
+    /// Allocation-free form of [`warp_access`](Self::warp_access): outcomes
+    /// are written into the caller-owned `out` (cleared first, then one
+    /// entry per access in input order). Returns `false` — with `out` left
+    /// empty and no state modified — when MSHR resources are exhausted and
+    /// the WPU must retry next cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l1` is out of range or `accesses` is empty.
+    pub fn warp_access_into(
+        &mut self,
+        now: Cycle,
+        l1: usize,
+        accesses: &[LaneAccess],
+        out: &mut Vec<LaneOutcome>,
+    ) -> bool {
         assert!(!accesses.is_empty(), "warp access with no lanes");
         assert!(l1 < self.l1s.len(), "L1 index out of range");
+        out.clear();
 
-        // Group lanes by line, preserving first-appearance order.
-        let mut lines: Vec<(u64, Vec<usize>, bool)> = Vec::new(); // (line, access idxs, any_store)
-        for (i, a) in accesses.iter().enumerate() {
+        // Borrow the scratch buffers out of `self` so the loops below can
+        // still use `self` freely; put back (with capacity intact) at exit.
+        let mut groups = std::mem::take(&mut self.scratch.groups);
+        let mut lane_group = std::mem::take(&mut self.scratch.lane_group);
+        let mut bank_words = std::mem::take(&mut self.scratch.bank_words);
+        let mut lane_delay = std::mem::take(&mut self.scratch.lane_delay);
+        groups.clear();
+        lane_group.clear();
+        bank_words.clear();
+        lane_delay.clear();
+
+        // Group lanes by line, preserving first-appearance order. Warp
+        // width is small (<= 64), so linear scans beat hashing here.
+        for a in accesses {
             let line = self.line_of(a.addr);
             let is_store = a.kind == AccessKind::Store;
-            match lines.iter_mut().find(|(l, _, _)| *l == line) {
-                Some((_, idxs, st)) => {
-                    idxs.push(i);
-                    *st |= is_store;
+            match groups.iter_mut().position(|(l, _)| *l == line) {
+                Some(g) => {
+                    groups[g].1 |= is_store;
+                    lane_group.push(g);
                 }
-                None => lines.push((line, vec![i], is_store)),
+                None => {
+                    groups.push((line, is_store));
+                    lane_group.push(groups.len() - 1);
+                }
             }
         }
 
-        // Feasibility check (no mutation): count fresh MSHRs needed and
-        // verify merge capacity.
-        {
-            let l1c = &self.l1s[l1];
-            let mut fresh_needed = 0usize;
-            for (line, idxs, any_store) in &lines {
-                let state = l1c.array.peek(*line);
+        let accepted = 'body: {
+            // Feasibility check (no mutation): count fresh MSHRs needed and
+            // verify merge capacity.
+            {
+                let l1c = &self.l1s[l1];
+                let mut fresh_needed = 0usize;
+                for (g, (line, any_store)) in groups.iter().enumerate() {
+                    let state = l1c.array.peek(*line);
+                    let is_hit = state.valid() && (!any_store || state.writable());
+                    if is_hit {
+                        continue;
+                    }
+                    match l1c.mshrs.find(*line) {
+                        Some(id) => {
+                            let merging = lane_group.iter().filter(|&&x| x == g).count();
+                            if !l1c.mshrs.can_merge(id, merging) {
+                                self.stats.rejections.incr();
+                                break 'body false;
+                            }
+                        }
+                        None => fresh_needed += 1,
+                    }
+                }
+                if fresh_needed > l1c.mshrs.capacity() - l1c.mshrs.in_use() {
+                    self.stats.rejections.incr();
+                    break 'body false;
+                }
+            }
+
+            // Bank queueing: unique words per bank serialize. The delay of
+            // a word is its rank among distinct same-bank words.
+            let banks = self.cfg.l1d.banks as u64;
+            let penalty = self.cfg.bank_conflict_penalty;
+            for a in accesses {
+                let word = a.addr / 8;
+                let bank = word % banks;
+                let pos = match bank_words
+                    .iter()
+                    .filter(|(b, _)| *b == bank)
+                    .position(|(_, w)| *w == word)
+                {
+                    Some(p) => p,
+                    None => {
+                        let p = bank_words.iter().filter(|(b, _)| *b == bank).count();
+                        bank_words.push((bank, word));
+                        p
+                    }
+                };
+                let delay = pos as u64 * penalty;
+                lane_delay.push(delay);
+                self.stats.bank_conflict_cycles.add(delay);
+            }
+
+            self.stats.l1d_lane_accesses.add(accesses.len() as u64);
+            // Placeholder entries; every slot is overwritten below because
+            // each access belongs to exactly one line group.
+            out.extend(accesses.iter().map(|a| LaneOutcome {
+                lane: a.lane,
+                outcome: AccessOutcome::Hit {
+                    ready_at: Cycle::ZERO,
+                },
+            }));
+
+            for (g, &(line, any_store)) in groups.iter().enumerate() {
+                self.stats.l1d_line_accesses.incr();
+                let state = self.l1s[l1].array.probe(line);
                 let is_hit = state.valid() && (!any_store || state.writable());
                 if is_hit {
+                    self.stats.l1d_hits.incr();
+                    // Store to E silently upgrades to M.
+                    if any_store && state == MesiState::Exclusive {
+                        self.l1s[l1].array.set_state(line, MesiState::Modified);
+                    }
+                    for (i, _) in lane_group.iter().enumerate().filter(|(_, &x)| x == g) {
+                        let ready = now + self.cfg.l1d.hit_latency + lane_delay[i];
+                        out[i] = LaneOutcome {
+                            lane: accesses[i].lane,
+                            outcome: AccessOutcome::Hit {
+                                ready_at: Cycle(ready.raw()),
+                            },
+                        };
+                    }
                     continue;
                 }
-                match l1c.mshrs.find(*line) {
+
+                // Miss path.
+                let mshr_id = match self.l1s[l1].mshrs.find(line) {
                     Some(id) => {
-                        if !l1c.mshrs.can_merge(id, idxs.len()) {
-                            self.stats.rejections.incr();
-                            return None;
+                        self.stats.l1d_mshr_merges.incr();
+                        if any_store && !self.l1s[l1].mshrs.get(id).exclusive {
+                            // Late upgrade: claim exclusivity now; invalidate
+                            // other sharers through the directory (no extra
+                            // latency charged — the window is a few cycles).
+                            self.l1s[l1].mshrs.set_exclusive(id);
+                            self.invalidate_other_sharers(line, l1);
                         }
+                        id
                     }
-                    None => fresh_needed += 1,
-                }
-            }
-            if fresh_needed > l1c.mshrs.capacity() - l1c.mshrs.in_use() {
-                self.stats.rejections.incr();
-                return None;
-            }
-        }
-
-        // Bank queueing: unique words per bank serialize.
-        let banks = self.cfg.l1d.banks as u64;
-        let penalty = self.cfg.bank_conflict_penalty;
-        let mut bank_words: HashMap<u64, Vec<u64>> = HashMap::new();
-        let mut lane_delay = vec![0u64; accesses.len()];
-        for (i, a) in accesses.iter().enumerate() {
-            let word = a.addr / 8;
-            let bank = word % banks;
-            let q = bank_words.entry(bank).or_default();
-            let pos = match q.iter().position(|&w| w == word) {
-                Some(p) => p,
-                None => {
-                    q.push(word);
-                    q.len() - 1
-                }
-            };
-            lane_delay[i] = pos as u64 * penalty;
-            self.stats.bank_conflict_cycles.add(lane_delay[i]);
-        }
-
-        self.stats.l1d_lane_accesses.add(accesses.len() as u64);
-        let mut outcomes: Vec<Option<LaneOutcome>> = vec![None; accesses.len()];
-
-        for (line, idxs, any_store) in &lines {
-            self.stats.l1d_line_accesses.incr();
-            let state = self.l1s[l1].array.probe(*line);
-            let is_hit = state.valid() && (!any_store || state.writable());
-            if is_hit {
-                self.stats.l1d_hits.incr();
-                // Store to E silently upgrades to M.
-                if *any_store && state == MesiState::Exclusive {
-                    self.l1s[l1].array.set_state(*line, MesiState::Modified);
-                }
-                for &i in idxs {
-                    let ready = now + self.cfg.l1d.hit_latency + lane_delay[i];
-                    outcomes[i] = Some(LaneOutcome {
+                    None => {
+                        self.stats.l1d_misses.incr();
+                        let upgrade = state == MesiState::Shared && any_store;
+                        if upgrade {
+                            self.stats.upgrades.incr();
+                        }
+                        let fill_at = self.process_l2_request(now, l1, line, any_store, upgrade);
+                        let id = self.l1s[l1].mshrs.allocate(line, any_store, fill_at);
+                        if upgrade {
+                            self.l1s[l1].mshrs.set_upgrade(id);
+                        }
+                        self.events.push(fill_at, (l1, id));
+                        self.stats.mlp.record(self.events.len() as f64);
+                        id
+                    }
+                };
+                for (i, _) in lane_group.iter().enumerate().filter(|(_, &x)| x == g) {
+                    let req = self.fresh_request();
+                    self.l1s[l1].mshrs.add_target(mshr_id, req);
+                    out[i] = LaneOutcome {
                         lane: accesses[i].lane,
-                        outcome: AccessOutcome::Hit {
-                            ready_at: Cycle(ready.raw()),
-                        },
-                    });
+                        outcome: AccessOutcome::Miss { request: req },
+                    };
                 }
-                continue;
             }
+            true
+        };
 
-            // Miss path.
-            let mshr_id = match self.l1s[l1].mshrs.find(*line) {
-                Some(id) => {
-                    self.stats.l1d_mshr_merges.incr();
-                    if *any_store && !self.l1s[l1].mshrs.get(id).exclusive {
-                        // Late upgrade: claim exclusivity now; invalidate
-                        // other sharers through the directory (no extra
-                        // latency charged — the window is a few cycles).
-                        self.l1s[l1].mshrs.set_exclusive(id);
-                        self.invalidate_other_sharers(*line, l1);
-                    }
-                    id
-                }
-                None => {
-                    self.stats.l1d_misses.incr();
-                    let upgrade = state == MesiState::Shared && *any_store;
-                    if upgrade {
-                        self.stats.upgrades.incr();
-                    }
-                    let fill_at = self.process_l2_request(now, l1, *line, *any_store, upgrade);
-                    let id = self.l1s[l1].mshrs.allocate(*line, *any_store, fill_at);
-                    if upgrade {
-                        self.l1s[l1].mshrs.set_upgrade(id);
-                    }
-                    self.events.push(fill_at, (l1, id));
-                    self.stats.mlp.record(self.events.len() as f64);
-                    id
-                }
-            };
-            for &i in idxs {
-                let req = self.fresh_request();
-                self.l1s[l1].mshrs.add_target(mshr_id, req);
-                outcomes[i] = Some(LaneOutcome {
-                    lane: accesses[i].lane,
-                    outcome: AccessOutcome::Miss { request: req },
-                });
-            }
+        self.scratch.groups = groups;
+        self.scratch.lane_group = lane_group;
+        self.scratch.bank_words = bank_words;
+        self.scratch.lane_delay = lane_delay;
+        if !accepted {
+            out.clear();
         }
-
-        Some(
-            outcomes
-                .into_iter()
-                .map(|o| o.expect("every lane classified"))
-                .collect(),
-        )
+        accepted
     }
 
     /// Handles an L1 miss at the L2/directory, returning the cycle at which
@@ -545,6 +616,15 @@ impl MemorySystem {
     /// the L1 arrays and returning the coalesced request completions.
     pub fn drain_completions(&mut self, now: Cycle) -> Vec<Completion> {
         let mut out = Vec::new();
+        self.drain_completions_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`drain_completions`](Self::drain_completions):
+    /// completions are appended to the caller-owned `out` (cleared first), so
+    /// the run loop can reuse one buffer across cycles.
+    pub fn drain_completions_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
+        out.clear();
         while let Some((at, (l1, mshr_id))) = self.events.pop_ready(now) {
             let entry = self.l1s[l1].mshrs.release(mshr_id);
             let line = entry.line_addr;
@@ -580,7 +660,6 @@ impl MemorySystem {
                 });
             }
         }
-        out
     }
 
     fn handle_l1_eviction(&mut self, now: Cycle, l1: usize, line: u64, state: MesiState) {

@@ -1,12 +1,13 @@
-//! Property tests of the cache array against a naive reference model, and
-//! whole-hierarchy invariants under random access streams.
+//! Randomized tests of the cache array against a naive reference model, and
+//! whole-hierarchy invariants under random access streams. Driven by the
+//! vendored deterministic PRNG over many seeds.
 
+use dws_engine::rng::Rng64;
 use dws_engine::Cycle;
 use dws_mem::{
     AccessKind, AccessOutcome, CacheArray, CacheConfig, LaneAccess, MemConfig, MemorySystem,
     MesiState,
 };
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// A naive set-associative LRU model: per set, a vector ordered by recency.
@@ -55,50 +56,67 @@ fn small_cfg() -> CacheConfig {
     }
 }
 
-proptest! {
-    #[test]
-    fn cache_array_matches_reference_lru(lines in prop::collection::vec(0u64..64, 1..400)) {
+#[test]
+fn cache_array_matches_reference_lru() {
+    for seed in 0..48u64 {
+        let mut rng = Rng64::new(seed);
+        let n = 1 + rng.range_usize(399);
         let cfg = small_cfg();
         let mut dut = CacheArray::new(&cfg);
         let mut reference = RefCache::new(&cfg);
-        for &line in &lines {
+        for _ in 0..n {
+            let line = rng.range_i64(0, 64) as u64;
             let expect_hit = reference.access(line);
             let got = dut.probe(line);
-            prop_assert_eq!(got.valid(), expect_hit, "line {}", line);
+            assert_eq!(got.valid(), expect_hit, "seed {seed} line {line}");
             if !got.valid() {
                 dut.fill(line, MesiState::Shared);
             }
         }
     }
+}
 
-    #[test]
-    fn resident_lines_never_exceed_capacity(lines in prop::collection::vec(0u64..4096, 1..400)) {
+#[test]
+fn resident_lines_never_exceed_capacity() {
+    for seed in 0..48u64 {
+        let mut rng = Rng64::new(seed);
+        let n = 1 + rng.range_usize(399);
         let cfg = small_cfg();
         let mut dut = CacheArray::new(&cfg);
-        for &line in &lines {
+        for _ in 0..n {
+            let line = rng.range_i64(0, 4096) as u64;
             if !dut.probe(line).valid() {
                 dut.fill(line, MesiState::Exclusive);
             }
-            prop_assert!(dut.resident_lines() <= 8);
+            assert!(dut.resident_lines() <= 8, "seed {seed}");
         }
     }
+}
 
-    /// Every miss eventually completes, exactly once per issued request.
-    #[test]
-    fn hierarchy_completes_every_request(
-        ops in prop::collection::vec((0u64..2048, any::<bool>(), 0usize..4), 1..120)
-    ) {
+/// Every miss eventually completes, exactly once per issued request.
+#[test]
+fn hierarchy_completes_every_request() {
+    for seed in 0..32u64 {
+        let mut rng = Rng64::new(seed);
+        let n = 1 + rng.range_usize(119);
         let mut m = MemorySystem::new(MemConfig::paper(4, 16));
         let mut outstanding: HashMap<u64, usize> = HashMap::new(); // request -> count
         let mut now = Cycle(0);
         let mut issued = 0u64;
         let mut completed = 0u64;
-        for &(word, store, l1) in &ops {
+        for _ in 0..n {
+            let word = rng.range_i64(0, 2048) as u64;
+            let store = rng.chance(0.5);
+            let l1 = rng.range_usize(4);
             now += 3;
             let access = LaneAccess {
                 lane: (word % 16) as usize,
                 addr: word * 8,
-                kind: if store { AccessKind::Store } else { AccessKind::Load },
+                kind: if store {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                },
             };
             if let Some(out) = m.warp_access(now, l1, &[access]) {
                 for o in out {
@@ -110,40 +128,51 @@ proptest! {
             }
             for c in m.drain_completions(now) {
                 let e = outstanding.get_mut(&c.request.0).expect("known request");
-                prop_assert_eq!(*e, 1, "double completion");
+                assert_eq!(*e, 1, "double completion (seed {seed})");
                 *e = 0;
                 completed += 1;
             }
         }
         // Drain the tail.
         while m.pending_fills() > 0 {
-            let at = m.next_completion_at().expect("pending implies a next event");
+            let at = m
+                .next_completion_at()
+                .expect("pending implies a next event");
             for c in m.drain_completions(at) {
                 let e = outstanding.get_mut(&c.request.0).expect("known request");
-                prop_assert_eq!(*e, 1, "double completion");
+                assert_eq!(*e, 1, "double completion (seed {seed})");
                 *e = 0;
                 completed += 1;
             }
         }
-        prop_assert_eq!(issued, completed);
-        prop_assert!(outstanding.values().all(|&v| v == 0));
+        assert_eq!(issued, completed, "seed {seed}");
+        assert!(outstanding.values().all(|&v| v == 0), "seed {seed}");
     }
+}
 
-    /// Coherence safety: after any access stream, no line is Modified or
-    /// Exclusive in two different L1s at once.
-    #[test]
-    fn single_writer_invariant(
-        ops in prop::collection::vec((0u64..32, any::<bool>(), 0usize..4), 1..150)
-    ) {
+/// Coherence safety: after any access stream, no line is Modified or
+/// Exclusive in two different L1s at once.
+#[test]
+fn single_writer_invariant() {
+    for seed in 0..24u64 {
+        let mut rng = Rng64::new(seed);
+        let n = 1 + rng.range_usize(149);
         let mut m = MemorySystem::new(MemConfig::paper(4, 16));
         let mut now = Cycle(0);
-        for &(word, store, l1) in &ops {
+        for _ in 0..n {
+            let word = rng.range_i64(0, 32) as u64;
+            let store = rng.chance(0.5);
+            let l1 = rng.range_usize(4);
             now += 5;
             let addr = word * 128; // one word per line, 32 distinct lines
             let access = LaneAccess {
                 lane: 0,
                 addr,
-                kind: if store { AccessKind::Store } else { AccessKind::Load },
+                kind: if store {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                },
             };
             let _ = m.warp_access(now, l1, &[access]);
             // Settle all fills before checking the invariant.
@@ -156,16 +185,15 @@ proptest! {
             }
             for line_word in 0u64..32 {
                 let a = line_word * 128;
-                let owners = (0..4)
-                    .filter(|&i| m.l1_line_state(i, a).writable())
-                    .count();
-                prop_assert!(owners <= 1, "line {:#x} has {} writers", a, owners);
+                let owners = (0..4).filter(|&i| m.l1_line_state(i, a).writable()).count();
+                assert!(
+                    owners <= 1,
+                    "line {a:#x} has {owners} writers (seed {seed})"
+                );
                 // If anyone holds it writable, nobody else holds it at all.
                 if owners == 1 {
-                    let sharers = (0..4)
-                        .filter(|&i| m.l1_line_state(i, a).valid())
-                        .count();
-                    prop_assert_eq!(sharers, 1, "writable line {:#x} also shared", a);
+                    let sharers = (0..4).filter(|&i| m.l1_line_state(i, a).valid()).count();
+                    assert_eq!(sharers, 1, "writable line {a:#x} also shared (seed {seed})");
                 }
             }
         }

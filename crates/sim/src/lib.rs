@@ -21,7 +21,9 @@ pub mod config;
 pub mod machine;
 pub mod metrics;
 pub mod presets;
+pub mod sweep;
 
 pub use config::{SimConfig, SimError};
 pub use machine::Machine;
 pub use metrics::RunResult;
+pub use sweep::{SweepOutcome, SweepRunner};

@@ -17,6 +17,9 @@ pub struct Machine {
     data: dws_isa::VecMemory,
     now: Cycle,
     last_class: Vec<TickClass>,
+    /// Reusable completion buffer: [`step`](Self::step) drains into this
+    /// instead of allocating a `Vec` every cycle.
+    completions: Vec<dws_mem::Completion>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -57,6 +60,7 @@ impl Machine {
             mem: MemorySystem::new(config.mem),
             data: spec.memory.clone(),
             now: Cycle::ZERO,
+            completions: Vec::new(),
         }
     }
 
@@ -83,7 +87,8 @@ impl Machine {
     /// Advances the machine one cycle. Returns true if any WPU issued.
     pub fn step(&mut self) -> bool {
         let now = self.now;
-        for c in self.mem.drain_completions(now) {
+        self.mem.drain_completions_into(now, &mut self.completions);
+        for c in &self.completions {
             self.wpus[c.l1].on_completion(c.request, c.at);
         }
         let mut any_busy = false;
@@ -108,11 +113,15 @@ impl Machine {
     }
 
     /// When nothing issued this cycle, the next cycle at which something
-    /// can happen (a fill completes or a ready group wakes).
+    /// can happen (a fill completes or a ready group wakes). Uses the wake
+    /// time each WPU cached during its last stalled tick rather than
+    /// rescanning every group list; `run` only consults this right after a
+    /// step in which no WPU issued, which is exactly when every cache is
+    /// fresh.
     fn next_event(&self) -> Option<Cycle> {
         let mut next = self.mem.next_completion_at();
         for w in &self.wpus {
-            if let Some(c) = w.next_wake_at(self.now) {
+            if let Some(c) = w.cached_next_wake() {
                 next = Some(match next {
                     Some(n) => n.min(c),
                     None => c,
@@ -198,16 +207,39 @@ mod tests {
 
     #[test]
     fn step_api_matches_run() {
-        let spec = Benchmark::Merge.build(Scale::Test, 9);
-        let cfg = SimConfig::paper(Policy::dws_revive()).with_wpus(1);
-        let by_run = Machine::run(&cfg, &spec).unwrap();
-        // Step-by-step (no skipping) must produce the same final memory.
-        let mut m = Machine::new(&cfg, &spec);
-        while !m.done() {
-            m.step();
-            assert!(m.now().raw() < 50_000_000);
+        // `run` skips fully-stalled stretches and charges them through
+        // `account_skipped_stall`; stepping cycle-by-cycle takes the slow
+        // path. Both must agree on the final memory, the total cycle count,
+        // and the per-stall-class accounting. (Policies here are
+        // non-adaptive: Slip/throttled variants tune themselves on
+        // absolute-cycle schedules and legitimately diverge under skipping.)
+        for policy in [
+            Policy::conventional(),
+            Policy::dws_aggress(),
+            Policy::dws_revive(),
+        ] {
+            let spec = Benchmark::Merge.build(Scale::Test, 9);
+            let cfg = SimConfig::paper(policy).with_wpus(1);
+            let by_run = Machine::run(&cfg, &spec).unwrap();
+            let mut m = Machine::new(&cfg, &spec);
+            while !m.done() {
+                m.step();
+                assert!(m.now().raw() < 50_000_000);
+            }
+            let by_step = RunResult::collect(&m.wpus, &m.mem, m.now.raw(), m.data);
+            assert_eq!(by_step.memory.words(), by_run.memory.words());
+            assert_eq!(by_step.cycles, by_run.cycles, "{policy:?}");
+            for (s, r) in by_step.per_wpu.iter().zip(&by_run.per_wpu) {
+                assert_eq!(s.busy_cycles.get(), r.busy_cycles.get(), "{policy:?}");
+                assert_eq!(
+                    s.mem_stall_cycles.get(),
+                    r.mem_stall_cycles.get(),
+                    "{policy:?}"
+                );
+                assert_eq!(s.idle_cycles.get(), r.idle_cycles.get(), "{policy:?}");
+                assert_eq!(s.warp_insts.get(), r.warp_insts.get(), "{policy:?}");
+            }
         }
-        assert_eq!(m.data.words(), by_run.memory.words());
     }
 
     #[test]

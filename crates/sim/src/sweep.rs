@@ -1,0 +1,262 @@
+//! Parallel sweep execution.
+//!
+//! The paper's evaluation is a wall of independent simulations — up to
+//! eight benchmarks times many configurations per figure — and each
+//! simulation is single-threaded and deterministic. `SweepRunner` fans
+//! those `(label, SimConfig, Arc<KernelSpec>)` jobs over a scoped worker
+//! pool: workers claim jobs through an atomic index (work stealing by
+//! next-job-wins), each kernel's generated inputs are shared via `Arc`
+//! instead of regenerated per point, and results are returned in
+//! submission order so anything printed from them is byte-identical to a
+//! serial run.
+//!
+//! Worker count comes from the `DWS_JOBS` environment variable when set
+//! (with `DWS_JOBS=1` falling back to a strictly in-order inline loop),
+//! otherwise from [`std::thread::available_parallelism`].
+//!
+//! # Example
+//!
+//! ```
+//! use dws_core::Policy;
+//! use dws_kernels::{Benchmark, Scale};
+//! use dws_sim::{SimConfig, SweepRunner};
+//! use std::sync::Arc;
+//!
+//! let spec = Arc::new(Benchmark::Filter.build(Scale::Test, 1));
+//! let mut sweep = SweepRunner::new();
+//! let conv = sweep.add("conv", SimConfig::paper(Policy::conventional()).with_wpus(1), &spec);
+//! let dws = sweep.add("dws", SimConfig::paper(Policy::dws_revive()).with_wpus(1), &spec);
+//! let results = sweep.run();
+//! assert_eq!(results.len(), 2);
+//! assert!(results[conv].result.is_ok() && results[dws].result.is_ok());
+//! ```
+
+use crate::config::{SimConfig, SimError};
+use crate::machine::Machine;
+use crate::metrics::RunResult;
+use dws_kernels::KernelSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One queued simulation: a labelled `(config, kernel)` point.
+pub struct SweepJob {
+    /// Display label (policy name, config description, ...).
+    pub label: String,
+    /// Machine configuration for this point.
+    pub config: SimConfig,
+    /// The kernel, shared across all points that simulate it.
+    pub spec: Arc<KernelSpec>,
+}
+
+/// The completed form of a [`SweepJob`].
+pub struct SweepOutcome {
+    /// The job's label, carried through for reporting.
+    pub label: String,
+    /// The kernel the job simulated (for verification).
+    pub spec: Arc<KernelSpec>,
+    /// The simulation result or failure.
+    pub result: Result<RunResult, SimError>,
+    /// Host wall-clock seconds this single simulation took.
+    pub host_seconds: f64,
+}
+
+/// Worker count for a sweep: `DWS_JOBS` if set and >= 1, else the host's
+/// available parallelism, else 1.
+#[must_use]
+pub fn default_workers() -> usize {
+    match std::env::var("DWS_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// A queue of independent simulation jobs executed by a worker pool.
+#[derive(Default)]
+pub struct SweepRunner {
+    jobs: Vec<SweepJob>,
+    workers: Option<usize>,
+}
+
+impl SweepRunner {
+    /// An empty sweep; worker count resolved from the environment at
+    /// [`run`](Self::run) time.
+    #[must_use]
+    pub fn new() -> Self {
+        SweepRunner::default()
+    }
+
+    /// Overrides the worker count (tests; callers normally use `DWS_JOBS`).
+    #[must_use]
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = Some(n.max(1));
+        self
+    }
+
+    /// Queues one simulation and returns its job id — the index of its
+    /// outcome in the slice returned by [`run`](Self::run).
+    pub fn add(
+        &mut self,
+        label: impl Into<String>,
+        config: SimConfig,
+        spec: &Arc<KernelSpec>,
+    ) -> usize {
+        self.jobs.push(SweepJob {
+            label: label.into(),
+            config,
+            spec: Arc::clone(spec),
+        });
+        self.jobs.len() - 1
+    }
+
+    /// Number of queued jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs every queued job and returns outcomes in submission order.
+    pub fn run(self) -> Vec<SweepOutcome> {
+        self.run_with(|_, _| {})
+    }
+
+    /// Runs every queued job, invoking `on_complete(job_id, outcome)` as
+    /// each finishes (from whichever worker thread ran it; completion
+    /// order is nondeterministic with more than one worker). Outcomes are
+    /// returned in submission order regardless.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `on_complete` (e.g. verification failures).
+    pub fn run_with<F>(self, on_complete: F) -> Vec<SweepOutcome>
+    where
+        F: Fn(usize, &SweepOutcome) + Sync,
+    {
+        let n = self.jobs.len();
+        let workers = self.workers.unwrap_or_else(default_workers).min(n.max(1));
+        let jobs = self.jobs;
+
+        let run_one = |i: usize, job: &SweepJob| {
+            let t0 = Instant::now();
+            let result = Machine::run(&job.config, &job.spec);
+            let outcome = SweepOutcome {
+                label: job.label.clone(),
+                spec: Arc::clone(&job.spec),
+                result,
+                host_seconds: t0.elapsed().as_secs_f64(),
+            };
+            on_complete(i, &outcome);
+            outcome
+        };
+
+        if workers <= 1 {
+            // Strictly in-order inline execution: with DWS_JOBS=1 even the
+            // progress callback fires in submission order, so stderr (not
+            // just stdout) is byte-identical to the historical serial
+            // harness.
+            return jobs
+                .iter()
+                .enumerate()
+                .map(|(i, j)| run_one(i, j))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SweepOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = run_one(i, &jobs[i]);
+                    *slots[i].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("scope joined, so every job slot is filled")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_core::Policy;
+    use dws_kernels::{Benchmark, Scale};
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        assert!(SweepRunner::new().is_empty());
+        assert!(SweepRunner::new().run().is_empty());
+        assert!(SweepRunner::new().with_workers(8).run().is_empty());
+    }
+
+    #[test]
+    fn outcomes_come_back_in_submission_order() {
+        let spec = Arc::new(Benchmark::Short.build(Scale::Test, 3));
+        let mut sweep = SweepRunner::new().with_workers(4);
+        let mut ids = Vec::new();
+        for (i, policy) in [Policy::conventional(), Policy::dws_revive(), Policy::slip()]
+            .into_iter()
+            .enumerate()
+        {
+            ids.push(sweep.add(
+                format!("job{i}"),
+                SimConfig::paper(policy).with_wpus(1),
+                &spec,
+            ));
+        }
+        assert_eq!(sweep.len(), 3);
+        let out = sweep.run();
+        assert_eq!(ids, vec![0, 1, 2]);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.label, format!("job{i}"));
+            let r = o.result.as_ref().unwrap();
+            o.spec.verify(&r.memory).unwrap();
+            assert!(o.host_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn callback_sees_every_job_exactly_once() {
+        let spec = Arc::new(Benchmark::Filter.build(Scale::Test, 5));
+        let mut sweep = SweepRunner::new().with_workers(3);
+        for i in 0..7 {
+            sweep.add(
+                format!("p{i}"),
+                SimConfig::paper(Policy::dws_revive()).with_wpus(1),
+                &spec,
+            );
+        }
+        let seen = Mutex::new(vec![0u32; 7]);
+        sweep.run_with(|i, o| {
+            assert!(o.result.is_ok());
+            seen.lock().unwrap()[i] += 1;
+        });
+        assert_eq!(*seen.lock().unwrap(), vec![1; 7]);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

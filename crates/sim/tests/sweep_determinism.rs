@@ -1,0 +1,68 @@
+//! The parallel sweep harness must be invisible: for any worker count the
+//! outcomes (cycles, stats, final memory) are bit-identical to the strictly
+//! serial in-order run, in submission order, across repeated runs.
+
+use dws_core::Policy;
+use dws_kernels::{Benchmark, KernelSpec, Scale};
+use dws_sim::{SimConfig, SweepRunner};
+use std::sync::Arc;
+
+fn job_set() -> Vec<(String, SimConfig, Arc<KernelSpec>)> {
+    let policies = [
+        ("conv", Policy::conventional()),
+        ("aggress", Policy::dws_aggress()),
+        ("revive", Policy::dws_revive()),
+        ("slip", Policy::slip()),
+        ("throttled", Policy::dws_revive_throttled()),
+    ];
+    let mut jobs = Vec::new();
+    for bench in [Benchmark::Filter, Benchmark::Merge] {
+        let spec = Arc::new(bench.build(Scale::Test, 7));
+        for (name, policy) in policies {
+            jobs.push((
+                format!("{}-{name}", bench.name()),
+                SimConfig::paper(policy).with_wpus(2),
+                Arc::clone(&spec),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Everything observable about a sweep run, in submission order.
+fn fingerprint(workers: usize) -> Vec<(String, u64, u64, u64, u64, Vec<u64>)> {
+    let mut sweep = SweepRunner::new().with_workers(workers);
+    for (label, cfg, spec) in job_set() {
+        sweep.add(label, cfg, &spec);
+    }
+    sweep
+        .run()
+        .into_iter()
+        .map(|o| {
+            let r = o.result.expect("sweep job completes");
+            o.spec.verify(&r.memory).expect("correct result");
+            (
+                o.label,
+                r.cycles,
+                r.wpu.warp_insts.get(),
+                r.wpu.mem_stall_cycles.get(),
+                r.wpu.branch_splits.get() + r.wpu.mem_splits.get() + r.wpu.revive_splits.get(),
+                r.memory.words().to_vec(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let serial = fingerprint(1);
+    assert_eq!(serial.len(), job_set().len());
+    for workers in [2, dws_sim::sweep::default_workers().max(3)] {
+        assert_eq!(serial, fingerprint(workers), "workers={workers}");
+    }
+}
+
+#[test]
+fn repeated_serial_sweeps_are_deterministic() {
+    assert_eq!(fingerprint(1), fingerprint(1));
+}

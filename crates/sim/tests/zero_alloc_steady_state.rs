@@ -1,0 +1,84 @@
+//! Steady-state `Machine::step` must not touch the heap.
+//!
+//! The hot-path work of this optimization pass (caller-owned completion
+//! buffers, reusable issue scratch, flat scans instead of per-tick maps)
+//! is locked in by counting allocations with a wrapping global allocator:
+//! after a warm-up prefix has sized every scratch buffer, MSHR pool and
+//! event queue, a long stretch of `step` calls must perform zero
+//! allocations. This file holds exactly one test because the allocator
+//! hook is process-global.
+
+use dws_core::Policy;
+use dws_kernels::{Benchmark, Scale};
+use dws_sim::{Machine, SimConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static SIZES: [AtomicU64; 16] = [ZERO; 16];
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            let n = ALLOCS.fetch_add(1, Ordering::Relaxed);
+            if (n as usize) < SIZES.len() {
+                SIZES[n as usize].store(layout.size() as u64, Ordering::Relaxed);
+            }
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_step_does_not_allocate() {
+    // A memory-heavy, divergence-heavy workload under the most split-happy
+    // policy exercises every per-tick path: issue scratch, warp access
+    // grouping, MSHR allocation/merge, completion draining, WST traffic.
+    let spec = Benchmark::Merge.build(Scale::Test, 11);
+    let cfg = SimConfig::paper(Policy::dws_revive());
+    let mut m = Machine::new(&cfg, &spec);
+
+    // Warm up: let every scratch vector, pool and queue reach capacity.
+    let mut warmup = 0u64;
+    while !m.done() && warmup < 5_000 {
+        m.step();
+        warmup += 1;
+    }
+    assert!(!m.done(), "workload too small to have a steady state");
+
+    COUNTING.store(true, Ordering::SeqCst);
+    let mut steps = 0u64;
+    while !m.done() && steps < 20_000 {
+        m.step();
+        steps += 1;
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(steps > 1_000, "expected a long steady-state stretch");
+    let sizes: Vec<u64> = SIZES.iter().map(|s| s.load(Ordering::SeqCst)).collect();
+    assert_eq!(
+        allocs, 0,
+        "Machine::step allocated {allocs} times across {steps} steady-state cycles \
+         (first alloc sizes: {sizes:?})"
+    );
+}

@@ -1,5 +1,6 @@
 //! Compares every scheduling policy on one benchmark — a command-line
-//! mini version of the paper's Figure 13 row.
+//! mini version of the paper's Figure 13 row. The nine simulations run in
+//! parallel through `SweepRunner` (set `DWS_JOBS=1` to force serial).
 //!
 //! ```text
 //! cargo run --release --example policy_comparison [-- <benchmark> [scale]]
@@ -8,7 +9,8 @@
 
 use dws::core::Policy;
 use dws::kernels::{Benchmark, Scale};
-use dws::sim::{Machine, SimConfig};
+use dws::sim::{SimConfig, SweepRunner};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -25,7 +27,7 @@ fn main() {
         Some("paper") => Scale::Paper,
         _ => Scale::Bench,
     };
-    let spec = bench.build(scale, 42);
+    let spec = Arc::new(bench.build(scale, 42));
     println!("benchmark: {}  ({:?})", spec.name, scale);
 
     let policies = [
@@ -39,20 +41,26 @@ fn main() {
         Policy::slip(),
         Policy::slip_branch_bypass(),
     ];
+    let mut sweep = SweepRunner::new();
+    for policy in policies {
+        sweep.add(policy.paper_name(), SimConfig::paper(policy), &spec);
+    }
+    let results = sweep.run();
+
     let mut base = None;
     println!(
         "\n{:<24} {:>10} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8}",
         "policy", "cycles", "speedup", "busy%", "mem%", "width", "splits", "merges"
     );
-    for policy in policies {
-        let r = Machine::run(&SimConfig::paper(policy), &spec).expect("run completes");
-        spec.verify(&r.memory).expect("correct result");
+    for outcome in &results {
+        let r = outcome.result.as_ref().expect("run completes");
+        outcome.spec.verify(&r.memory).expect("correct result");
         let b = *base.get_or_insert(r.cycles);
         let splits = r.wpu.branch_splits.get() + r.wpu.mem_splits.get() + r.wpu.revive_splits.get();
         let merges = r.wpu.pc_merges.get() + r.wpu.stack_merges.get() + r.wpu.slip_merges.get();
         println!(
             "{:<24} {:>10} {:>7.2}x {:>6.1}% {:>6.1}% {:>7.2} {:>8} {:>8}",
-            policy.paper_name(),
+            outcome.label,
             r.cycles,
             b as f64 / r.cycles as f64,
             100.0 * r.busy_fraction(),

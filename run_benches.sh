@@ -1,13 +1,27 @@
 #!/bin/bash
 # Regenerates every table/figure in order of importance.
+#
+# Tables go to bench_output.txt; per-sweep host timings are appended to
+# bench_timings.jsonl as one JSON object per line. DWS_JOBS controls the
+# sweep worker pool (DWS_JOBS=1 reproduces the historical serial harness).
 cd /root/repo
 : > bench_output.txt
+: > bench_timings.jsonl
 for fig in table1_characterization fig13_schemes fig07_branch_dws fig11_branchlimited \
            fig19_energy fig16_l2lat fig17_dsize fig15_assoc fig20_sched_slots \
            fig21_wst_size fig14_heatmap fig01_motivation fig18_width_depth ablation extension_throttle; do
   echo "=== bench: $fig ===" | tee -a bench_output.txt
+  t0=$(date +%s.%N)
   cargo bench -p dws-bench --bench "$fig" 2>>bench_progress.log | tee -a bench_output.txt
+  status=${PIPESTATUS[0]}
+  t1=$(date +%s.%N)
+  dt=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f", b - a }')
+  printf '{"sweep": "%s", "host_seconds": %s, "workers": "%s", "scale": "%s", "status": %d}\n' \
+    "$fig" "$dt" "${DWS_JOBS:-auto}" "${DWS_SCALE:-bench}" "$status" \
+    >> bench_timings.jsonl
 done
+echo "=== bench: simspeed ===" | tee -a bench_output.txt
+cargo run --release --bin simspeed 2>>bench_progress.log | tee -a bench_output.txt
 echo "=== bench: micro (criterion) ===" | tee -a bench_output.txt
 cargo bench -p dws-bench --bench micro 2>>bench_progress.log | tee -a bench_output.txt
 echo ALL_BENCHES_DONE | tee -a bench_output.txt
