@@ -17,4 +17,23 @@ cargo build --release --workspace --offline
 echo "== cargo test (tier-1) =="
 cargo test -q --release --workspace --offline
 
+echo "== tier-1 equivalence guards (named, release) =="
+# The event-driven run loop and the incremental scheduler must stay
+# bit-identical to their exhaustive counterparts; run these by name so a
+# test-filter mistake can never silently drop them from the gate.
+cargo test -q --release --offline -p dws-sim --test zero_alloc_steady_state
+cargo test -q --release --offline -p dws-sim --test sweep_determinism
+cargo test -q --release --offline -p dws-sim --test event_equivalence
+cargo test -q --release --offline -p dws-core --test random_policies
+
+# Advisory perf check: compares the committed simspeed baseline against
+# the previous one when a bench run has left it behind. Regressions are
+# reported but do not fail CI (host speed varies across machines).
+if [[ -f BENCH_simspeed.prev.json && -f BENCH_simspeed.json ]]; then
+  echo "== perf-diff (advisory) =="
+  cargo run --release --offline --bin perf-diff -- \
+    BENCH_simspeed.prev.json BENCH_simspeed.json --max-regress 20 \
+    || echo "perf-diff: throughput regressed (advisory only)"
+fi
+
 echo "CI OK"

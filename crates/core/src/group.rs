@@ -64,6 +64,11 @@ pub struct Group {
     pub slotted: bool,
     /// Creation sequence, for deterministic slot promotion and merging.
     pub seq: u64,
+    /// Structural-stall memo: `(pc, mask, l1 generation)` of the last
+    /// rejected memory access. While the group spins on full MSHRs its
+    /// registers cannot change, so an identical attempt against an
+    /// unchanged L1 generation is re-rejected without re-probing the cache.
+    pub reject_memo: Option<(usize, Mask, u64)>,
 }
 
 impl Group {
@@ -81,6 +86,7 @@ impl Group {
             slip_catchup: false,
             slotted: false,
             seq,
+            reject_memo: None,
         }
     }
 

@@ -250,6 +250,19 @@ impl Policy {
         matches!(self, Policy::Dws(_))
     }
 
+    /// Whether the policy adapts itself from per-interval cycle statistics
+    /// (adaptive slip, duty-cycle throttling). Such controllers sample
+    /// counters as a function of *when ticks happen*, so the run loop must
+    /// keep all WPUs in lockstep instead of fast-forwarding them
+    /// individually to stay bit-identical with the stepped execution.
+    pub fn is_adaptive(&self) -> bool {
+        match self {
+            Policy::Slip(_) => true,
+            Policy::Dws(c) => c.adaptive_throttle,
+            Policy::Conventional => false,
+        }
+    }
+
     /// The paper's display name for the configuration.
     pub fn paper_name(&self) -> &'static str {
         match self {

@@ -14,7 +14,7 @@ use crate::stats::WpuStats;
 use crate::trace::{TraceEvent, Tracer};
 use crate::warp::{Frame, Warp};
 use crate::wst::WstAccounting;
-use dws_engine::Cycle;
+use dws_engine::{Cycle, ReadyRing, WakeHeap};
 use dws_isa::cfg::RECONV_NONE;
 use dws_isa::{Inst, MemoryAccess, Program, StepOutcome};
 use dws_mem::{AccessKind, AccessOutcome, LaneAccess, MemorySystem, RequestId};
@@ -155,12 +155,64 @@ pub struct Wpu {
     /// here instead of allocating, and dead groups return theirs, so group
     /// churn is heap-quiet once the pool has warmed up.
     frame_pool: Vec<Vec<Frame>>,
-    /// Min ready time over slotted ready groups, recomputed by the final
-    /// scan of every stalled [`tick`](Self::tick) (see
+    /// Min ready time over slotted ready groups, maintained from the
+    /// pending heap at the end of every stalled [`tick`](Self::tick) (see
     /// [`cached_next_wake`](Self::cached_next_wake)).
     next_wake: Option<Cycle>,
+    /// Issuable groups (slotted, `Ready`, `ready_at` reached), indexed by
+    /// slab position so [`ReadyRing::next_from`] reproduces the round-robin
+    /// order of the slab scan it replaced.
+    ready: ReadyRing,
+    /// Slotted ready groups whose `ready_at` is still in the future. Each
+    /// entry carries `(slab index, stamp)`; entries whose stamp no longer
+    /// matches [`SchedSlot::stamp`] are stale and dropped when popped.
+    pending: WakeHeap<(usize, u64)>,
+    /// Per-slab-slot scheduler bookkeeping, parallel to `groups`.
+    sched: Vec<SchedSlot>,
+    /// Live slotted groups (== the old `slots_in_use` scan).
+    n_slotted: usize,
+    /// Live slotted groups with status `Ready`.
+    n_slotted_ready: usize,
+    /// Live groups waiting on memory (`WaitMem` or `SlipSuspended`).
+    n_wait_mem: usize,
+    /// Lanes parked at the global barrier (== the old `barrier_waiting`
+    /// scan).
+    barrier_lanes: u64,
+    /// Test hook: route picks through the reference slab scan instead of
+    /// the ready ring (the indexes are still maintained either way).
+    use_scan_scheduler: bool,
     /// Statistics for this WPU.
     pub stats: WpuStats,
+}
+
+/// Scheduler-index bookkeeping for one slab slot.
+#[derive(Debug, Clone, Copy, Default)]
+struct SchedSlot {
+    /// The contribution this slot currently makes to the scheduler indexes
+    /// and counters (`None` while the slot is empty). [`Wpu::resched`]
+    /// diffs the group's live state against this to update incrementally.
+    key: Option<SchedKey>,
+    /// Bumped whenever the slot's heap membership changes; pending-heap
+    /// entries carrying an older stamp are stale. Never reset, so slab
+    /// index reuse cannot resurrect them.
+    stamp: u64,
+}
+
+/// The slice of group state the scheduler indexes depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SchedKey {
+    slotted: bool,
+    status: GroupStatus,
+    lanes: u32,
+    ready_at: Cycle,
+}
+
+impl SchedKey {
+    /// The part that decides ring/heap membership; `lanes` only feeds the
+    /// barrier counter, so mask-only changes skip the index churn.
+    fn membership(self) -> (bool, GroupStatus, Cycle) {
+        (self.slotted, self.status, self.ready_at)
+    }
 }
 
 impl std::fmt::Debug for Wpu {
@@ -208,6 +260,14 @@ impl Wpu {
             scratch: IssueScratch::default(),
             frame_pool: Vec::new(),
             next_wake: None,
+            ready: ReadyRing::new(),
+            pending: WakeHeap::new(),
+            sched: Vec::new(),
+            n_slotted: 0,
+            n_slotted_ready: 0,
+            n_wait_mem: 0,
+            barrier_lanes: 0,
+            use_scan_scheduler: false,
             stats: WpuStats::default(),
             program: Arc::clone(&program),
             cfg,
@@ -261,12 +321,15 @@ impl Wpu {
 
     /// Threads currently stalled at a global barrier.
     pub fn barrier_waiting(&self) -> u64 {
-        self.groups
-            .iter()
-            .flatten()
-            .filter(|g| g.status == GroupStatus::WaitBarrier)
-            .map(|g| g.mask.count() as u64)
-            .sum()
+        self.barrier_lanes
+    }
+
+    /// Test hook: route group selection through the reference slab scan
+    /// instead of the ready ring. The indexes are maintained either way,
+    /// so the oracle property test can compare full-run behavior.
+    #[doc(hidden)]
+    pub fn set_scan_scheduler(&mut self, on: bool) {
+        self.use_scan_scheduler = on;
     }
 
     /// Whether any thread is blocked on an outstanding memory request.
@@ -325,6 +388,154 @@ impl Wpu {
             .collect()
     }
 
+    // ---- scheduler indexes --------------------------------------------------
+
+    /// Re-indexes group `gid` after a mutation of its scheduling state
+    /// (`slotted`, `status`, `ready_at`, or — for groups parked at a
+    /// barrier — `mask`). Diffs the live state against the cached
+    /// [`SchedKey`] and incrementally updates the counters, the ready
+    /// ring, and the pending heap; superseded heap entries are invalidated
+    /// by stamp. Mask-only changes in other states may be reported lazily:
+    /// the cached contribution is what gets retracted, so the counters
+    /// stay consistent either way.
+    fn resched(&mut self, gid: GroupId) {
+        let i = gid.0;
+        let new = self.groups[i].as_ref().map(|g| SchedKey {
+            slotted: g.slotted,
+            status: g.status,
+            lanes: g.mask.count(),
+            ready_at: g.ready_at,
+        });
+        let old = self.sched[i].key;
+        if new == old {
+            return;
+        }
+        if let Some(k) = old {
+            if k.slotted {
+                self.n_slotted -= 1;
+                if k.status == GroupStatus::Ready {
+                    self.n_slotted_ready -= 1;
+                }
+            }
+            match k.status {
+                GroupStatus::WaitMem | GroupStatus::SlipSuspended => self.n_wait_mem -= 1,
+                GroupStatus::WaitBarrier => self.barrier_lanes -= u64::from(k.lanes),
+                _ => {}
+            }
+        }
+        if let Some(k) = new {
+            if k.slotted {
+                self.n_slotted += 1;
+                if k.status == GroupStatus::Ready {
+                    self.n_slotted_ready += 1;
+                }
+            }
+            match k.status {
+                GroupStatus::WaitMem | GroupStatus::SlipSuspended => self.n_wait_mem += 1,
+                GroupStatus::WaitBarrier => self.barrier_lanes += u64::from(k.lanes),
+                _ => {}
+            }
+        }
+        if new.map(SchedKey::membership) != old.map(SchedKey::membership) {
+            self.ready.remove(i);
+            self.sched[i].stamp += 1;
+            if let Some(k) = new {
+                if k.slotted && k.status == GroupStatus::Ready {
+                    self.pending.push(k.ready_at, (i, self.sched[i].stamp));
+                }
+            }
+        }
+        self.sched[i].key = new;
+    }
+
+    /// Surfaces pending-heap entries that have come due into the ready
+    /// ring, dropping entries a later [`resched`](Self::resched)
+    /// invalidated.
+    fn surface_ready(&mut self, now: Cycle) {
+        loop {
+            let (at, i, stamp) = match self.pending.peek() {
+                Some((at, &(i, stamp))) => (at, i, stamp),
+                None => return,
+            };
+            if at > now {
+                return;
+            }
+            self.pending.pop();
+            if self.sched[i].stamp == stamp {
+                self.ready.insert(i);
+            }
+        }
+    }
+
+    /// Recomputes `next_wake` from the pending heap, popping stale
+    /// entries off the top. Called at the end of every stalled tick, when
+    /// the ready ring is empty — every slotted ready group then has a live
+    /// pending entry at a strictly future cycle, so the heap minimum is
+    /// exactly the old fused-scan wake time.
+    fn refresh_next_wake(&mut self) {
+        loop {
+            match self.pending.peek() {
+                Some((at, &(i, stamp))) => {
+                    if self.sched[i].stamp == stamp {
+                        self.next_wake = Some(at);
+                        return;
+                    }
+                    self.pending.pop();
+                }
+                None => {
+                    self.next_wake = None;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Debug-build invariant check: the incremental counters, the ready
+    /// ring, and the cached wake time must agree with a fresh slab scan.
+    #[cfg(debug_assertions)]
+    fn assert_sched_sync(&self, now: Cycle) {
+        let mut n_slotted = 0;
+        let mut n_slotted_ready = 0;
+        let mut n_wait_mem = 0;
+        let mut barrier_lanes = 0u64;
+        for g in self.groups.iter().flatten() {
+            if g.slotted {
+                n_slotted += 1;
+                if g.status == GroupStatus::Ready {
+                    n_slotted_ready += 1;
+                }
+            }
+            match g.status {
+                GroupStatus::WaitMem | GroupStatus::SlipSuspended => n_wait_mem += 1,
+                GroupStatus::WaitBarrier => barrier_lanes += u64::from(g.mask.count()),
+                _ => {}
+            }
+        }
+        assert_eq!(self.n_slotted, n_slotted, "n_slotted drift at {now}");
+        assert_eq!(
+            self.n_slotted_ready, n_slotted_ready,
+            "n_slotted_ready drift at {now}"
+        );
+        assert_eq!(self.n_wait_mem, n_wait_mem, "n_wait_mem drift at {now}");
+        assert_eq!(
+            self.barrier_lanes, barrier_lanes,
+            "barrier_lanes drift at {now}"
+        );
+        for i in 0..self.groups.len() {
+            if self.ready.contains(i) {
+                assert!(
+                    self.groups[i].as_ref().is_some_and(|g| g.issuable(now)),
+                    "ready ring holds non-issuable group {i} at {now}"
+                );
+            }
+        }
+        assert_eq!(
+            self.next_wake,
+            self.next_wake_at(now),
+            "next_wake drift at {now}"
+        );
+    }
+
     // ---- group slab ---------------------------------------------------------
 
     fn spawn_group(&mut self, warp: usize, pc: usize, mask: Mask) -> GroupId {
@@ -335,18 +546,27 @@ impl Wpu {
             g.local_stack = stack;
         }
         self.wst.on_group_created(warp);
-        for (i, slot) in self.groups.iter_mut().enumerate() {
-            if slot.is_none() {
-                *slot = Some(g);
-                return GroupId(i);
+        let gid = match self.groups.iter().position(Option::is_none) {
+            Some(i) => {
+                self.groups[i] = Some(g);
+                GroupId(i)
             }
+            None => {
+                self.groups.push(Some(g));
+                GroupId(self.groups.len() - 1)
+            }
+        };
+        if self.sched.len() < self.groups.len() {
+            self.sched.resize(self.groups.len(), SchedSlot::default());
         }
-        self.groups.push(Some(g));
-        GroupId(self.groups.len() - 1)
+        self.ready.grow_to(self.groups.len());
+        self.resched(gid);
+        gid
     }
 
     fn kill_group(&mut self, gid: GroupId) {
         let mut g = self.groups[gid.0].take().expect("kill of dead group");
+        self.resched(gid);
         let mut stack = std::mem::take(&mut g.local_stack);
         if stack.capacity() > 0 {
             stack.clear();
@@ -378,6 +598,7 @@ impl Wpu {
                     l.status = GroupStatus::Ready;
                     l.slip_catchup = false;
                 }
+                self.resched(last);
                 self.try_slot(last);
             }
         }
@@ -392,7 +613,7 @@ impl Wpu {
     }
 
     fn slots_in_use(&self) -> usize {
-        self.groups.iter().flatten().filter(|g| g.slotted).count()
+        self.n_slotted
     }
 
     fn try_slot(&mut self, gid: GroupId) -> bool {
@@ -401,6 +622,7 @@ impl Wpu {
         }
         if self.slots_in_use() < self.cfg.sched_slots {
             self.group_mut(gid).slotted = true;
+            self.resched(gid);
             true
         } else {
             false
@@ -410,6 +632,7 @@ impl Wpu {
     fn release_slot(&mut self, gid: GroupId) {
         if self.group(gid).slotted {
             self.group_mut(gid).slotted = false;
+            self.resched(gid);
             self.promote_slot();
         }
     }
@@ -434,6 +657,7 @@ impl Wpu {
             .map(|(i, _)| i);
         if let Some(i) = candidate {
             self.groups[i].as_mut().expect("live").slotted = true;
+            self.resched(GroupId(i));
         }
     }
 
@@ -473,6 +697,7 @@ impl Wpu {
                 let g = self.group_mut(gid);
                 g.status = GroupStatus::Ready;
                 g.ready_at = at;
+                self.resched(gid);
                 if self.dws_pc_based() {
                     self.try_pc_merge_at(gid, at);
                 }
@@ -482,8 +707,8 @@ impl Wpu {
                 g.status = GroupStatus::Ready;
                 g.ready_at = at;
                 g.slip_pc = None;
-                let gid2 = gid;
-                self.try_slot(gid2);
+                self.resched(gid);
+                self.try_slot(gid);
             }
             _ => {}
         }
@@ -593,21 +818,14 @@ impl Wpu {
             self.next_wake = None;
             return TickClass::Done;
         }
-        // One fused scan classifies the stall and caches the earliest wake
-        // time, so the run loop's skip logic needn't rescan the group list.
-        let mut mem_stall = false;
-        let mut wake: Option<Cycle> = None;
-        for g in self.groups.iter().flatten() {
-            if g.status == GroupStatus::WaitMem || g.status == GroupStatus::SlipSuspended {
-                mem_stall = true;
-            }
-            if g.slotted && g.status == GroupStatus::Ready {
-                let at = g.ready_at.max(now);
-                wake = Some(wake.map_or(at, |w| w.min(at)));
-            }
-        }
-        self.next_wake = wake;
-        if mem_stall {
+        // The incremental counters classify the stall, and the pending heap
+        // yields the earliest wake time — no slab rescan. At this point the
+        // ready ring is empty (pick_group returned None), so every slotted
+        // ready group sits in the heap at a strictly future cycle.
+        self.refresh_next_wake();
+        #[cfg(debug_assertions)]
+        self.assert_sched_sync(now);
+        if self.n_wait_mem > 0 {
             self.stats.mem_stall_cycles.incr();
             TickClass::StallMem
         } else {
@@ -617,28 +835,47 @@ impl Wpu {
     }
 
     fn any_slotted_ready(&self) -> bool {
-        self.groups
-            .iter()
-            .flatten()
-            .any(|g| g.slotted && g.status == GroupStatus::Ready)
+        self.n_slotted_ready > 0
     }
 
-    /// Round-robin over slotted ready groups.
+    /// Round-robin over slotted ready groups, via the ready ring. Pending
+    /// groups whose wake time has come surface into the ring first; a
+    /// debug-build oracle checks each pick against the slab scan this
+    /// replaced.
     fn pick_group(&mut self, now: Cycle) -> Option<GroupId> {
+        if self.use_scan_scheduler {
+            return self.pick_group_scan(now);
+        }
+        self.surface_ready(now);
+        let picked = self.ready.next_from(self.rr_cursor);
+        debug_assert_eq!(
+            picked.map(GroupId),
+            self.scan_next_issuable(now),
+            "ready ring diverged from slab scan at {now}"
+        );
+        let i = picked?;
+        self.rr_cursor = (i + 1) % self.groups.len();
+        Some(GroupId(i))
+    }
+
+    /// The reference implementation `pick_group` replaced: a modular slab
+    /// scan from the round-robin cursor. Kept as the oracle for the
+    /// debug-build pick assertion and the randomized equivalence test.
+    fn pick_group_scan(&mut self, now: Cycle) -> Option<GroupId> {
+        self.surface_ready(now); // keep the ring in lockstep for the oracle
+        let gid = self.scan_next_issuable(now)?;
+        self.rr_cursor = (gid.0 + 1) % self.groups.len();
+        Some(gid)
+    }
+
+    /// First issuable group at or after the round-robin cursor, by slab
+    /// scan; does not advance the cursor.
+    fn scan_next_issuable(&self, now: Cycle) -> Option<GroupId> {
         let n = self.groups.len();
-        if n == 0 {
-            return None;
-        }
-        for off in 0..n {
-            let i = (self.rr_cursor + off) % n;
-            if let Some(g) = &self.groups[i] {
-                if g.issuable(now) {
-                    self.rr_cursor = (i + 1) % n;
-                    return Some(GroupId(i));
-                }
-            }
-        }
-        None
+        (0..n)
+            .map(|off| (self.rr_cursor + off) % n)
+            .find(|&i| self.groups[i].as_ref().is_some_and(|g| g.issuable(now)))
+            .map(GroupId)
     }
 
     /// Zero-cost bookkeeping before issuing at the group's PC: local-stack
@@ -703,10 +940,12 @@ impl Wpu {
                         // post-dominator on their own; park the run-ahead
                         // and let them catch up independently.
                         self.group_mut(gid).status = GroupStatus::SlipStalledAtBranch;
+                        self.resched(gid);
                         self.release_slot(gid);
                         self.release_slip_catchups(warp, now);
                     } else {
                         self.group_mut(gid).status = GroupStatus::WaitReconv;
+                        self.resched(gid);
                         self.release_slot(gid);
                         self.try_stack_merge(warp, now);
                     }
@@ -725,6 +964,7 @@ impl Wpu {
                 && self.group(gid).local_rpc.is_none()
             {
                 self.group_mut(gid).status = GroupStatus::WaitReconv;
+                self.resched(gid);
                 self.release_slot(gid);
                 self.try_stack_merge(warp, now);
                 return PreIssue::Redirect;
@@ -747,6 +987,7 @@ impl Wpu {
                 && self.has_slip_suspended(warp)
             {
                 self.group_mut(gid).status = GroupStatus::SlipStalledAtBranch;
+                self.resched(gid);
                 self.release_slot(gid);
                 self.release_slip_catchups(warp, now);
                 return PreIssue::Redirect;
@@ -873,6 +1114,7 @@ impl Wpu {
             g.status = GroupStatus::Ready;
             g.ready_at = now;
         }
+        self.resched(survivor);
         let (spc, smask) = {
             let g = self.group(survivor);
             (g.pc, g.mask)
@@ -954,6 +1196,7 @@ impl Wpu {
             vframes.clear();
             self.frame_pool.push(vframes);
         }
+        self.resched(survivor);
         if !self.group(survivor).slotted {
             self.try_slot(survivor);
         }
@@ -1021,6 +1264,7 @@ impl Wpu {
                 g.status = GroupStatus::Ready;
                 g.ready_at = now;
                 g.slip_pc = None;
+                self.resched(gid);
                 self.try_slot(gid);
             }
         }
@@ -1121,6 +1365,7 @@ impl Wpu {
             // Anything beyond a 1-cycle hit: retry when the line arrives.
             let g = self.group_mut(gid);
             g.ready_at = fetch_ready;
+            self.resched(gid);
             self.current = None;
             return false;
         }
@@ -1160,6 +1405,7 @@ impl Wpu {
                 self.stats.on_issue(mask.count());
                 let g = self.group_mut(gid);
                 g.status = GroupStatus::WaitBarrier;
+                self.resched(gid);
                 self.release_slot(gid);
                 // Fall-behind slip threads must be able to reach the
                 // barrier on their own.
@@ -1243,6 +1489,7 @@ impl Wpu {
                         s.local_rpc = lrpc;
                         s.ready_at = now;
                     }
+                    self.resched(sib);
                     self.try_slot(sib);
                     let g = self.group_mut(gid);
                     g.mask = run_mask;
@@ -1316,6 +1563,19 @@ impl Wpu {
         let warp = self.group(gid).warp;
         let mask = self.group(gid).mask;
 
+        // Structural-stall memo: while the group spins on full MSHRs its
+        // registers are frozen, so the same `(pc, mask)` against an
+        // unchanged L1 generation decodes to the same addresses and must be
+        // rejected again — skip the per-lane decode and cache probe.
+        if self.group(gid).reject_memo == Some((pc, mask, mem.l1_generation(self.cfg.id))) {
+            mem.count_repeat_rejection();
+            let g = self.group_mut(gid);
+            g.ready_at = now + 1;
+            self.resched(gid);
+            self.current = None;
+            return false;
+        }
+
         // Borrow the per-tick scratch buffers out of `self` for the
         // duration of the access (restored at the end).
         let mut ops = std::mem::take(&mut self.scratch.ops);
@@ -1348,9 +1608,14 @@ impl Wpu {
         let issued = 'body: {
             if !mem.warp_access_into(now, self.cfg.id, &accesses, &mut outcomes) {
                 // MSHRs exhausted: structural stall; retry this group
-                // shortly while other groups issue.
+                // shortly while other groups issue. Rejection leaves the L1
+                // untouched, so the generation read here stays valid for
+                // the memo until something mutates the L1.
+                let memo = Some((pc, mask, mem.l1_generation(self.cfg.id)));
                 let g = self.group_mut(gid);
+                g.reject_memo = memo;
                 g.ready_at = now + 1;
+                self.resched(gid);
                 self.current = None;
                 break 'body false;
             }
@@ -1407,6 +1672,7 @@ impl Wpu {
                 let g = self.group_mut(gid);
                 g.status = GroupStatus::Ready;
                 g.ready_at = hit_ready;
+                self.resched(gid);
                 if self.dws_pc_based() {
                     self.try_pc_merge_at(gid, now);
                 }
@@ -1418,14 +1684,13 @@ impl Wpu {
             match self.cfg.policy {
                 Policy::Dws(c) if c.mem_split.is_some() && mem_divergent => {
                     let scheme = c.mem_split.expect("checked");
-                    let others_ready = self
-                        .groups
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, g)| g.as_ref().map(|g| (i, g)))
-                        .any(|(i, g)| {
-                            GroupId(i) != gid && g.slotted && g.status == GroupStatus::Ready
-                        });
+                    // `gid` itself is slotted and Ready here (it just
+                    // issued), so "any other slotted ready group" is a
+                    // counter comparison.
+                    debug_assert!(
+                        self.group(gid).slotted && self.group(gid).status == GroupStatus::Ready
+                    );
+                    let others_ready = self.n_slotted_ready >= 2;
                     let split_now = match scheme {
                         MemSplit::Aggressive => true,
                         MemSplit::Lazy | MemSplit::Revive => !others_ready,
@@ -1443,6 +1708,7 @@ impl Wpu {
                             self.stats.lazy_suppressed.incr();
                         }
                         self.group_mut(gid).status = GroupStatus::WaitMem;
+                        self.resched(gid);
                     }
                 }
                 Policy::Slip(_) if mem_divergent => {
@@ -1468,18 +1734,22 @@ impl Wpu {
                             s.local_rpc = lrpc;
                             s.slotted = false;
                         }
+                        self.resched(sib);
                         let g = self.group_mut(gid);
                         g.mask = hit_mask;
                         g.status = GroupStatus::Ready;
                         g.ready_at = hit_ready;
+                        self.resched(gid);
                         self.stats.slip_events.incr();
                     } else {
                         self.group_mut(gid).status = GroupStatus::WaitMem;
+                        self.resched(gid);
                     }
                 }
                 _ => {
                     // Conventional: the whole group waits for the slowest lane.
                     self.group_mut(gid).status = GroupStatus::WaitMem;
+                    self.resched(gid);
                 }
             }
             self.current = None; // switch on every cache access
@@ -1518,10 +1788,12 @@ impl Wpu {
             s.local_rpc = lrpc;
             s.ready_at = hit_ready;
         }
+        self.resched(run_ahead);
         self.try_slot(run_ahead);
         let g = self.group_mut(gid);
         g.mask = miss_mask;
         g.status = GroupStatus::WaitMem;
+        self.resched(gid);
         self.trace(TraceEvent::MemSplit {
             cycle: now,
             warp,
@@ -1570,9 +1842,11 @@ impl Wpu {
             s.local_rpc = lrpc;
             s.ready_at = now + 1;
         }
+        self.resched(run_ahead);
         self.try_slot(run_ahead);
         let g = self.group_mut(gid);
         g.mask = g.mask - arrived;
+        self.resched(gid);
         self.stats.revive_splits.incr();
         self.trace(TraceEvent::Revive {
             cycle: now,
@@ -1608,6 +1882,7 @@ impl Wpu {
                             g.mask = live;
                             g.status = GroupStatus::Ready;
                             g.ready_at = now;
+                            self.resched(gid);
                             return;
                         }
                     }
@@ -1631,6 +1906,7 @@ impl Wpu {
                     g.mask = live;
                     g.status = GroupStatus::Ready;
                     g.ready_at = now;
+                    self.resched(gid);
                     return;
                 }
             }
@@ -1684,6 +1960,7 @@ impl Wpu {
             g.ready_at = now;
             g.pc += 1;
             g.slip_catchup = false;
+            self.resched(survivor);
             self.try_slot(survivor);
         }
     }
@@ -1708,19 +1985,18 @@ impl Wpu {
     /// Debug helper: one line per live group (used by diagnostics and
     /// deadlock reports).
     pub fn dump_groups(&self) -> String {
+        use std::fmt::Write as _;
         let mut s = String::new();
         for g in self.groups.iter().flatten() {
-            s.push_str(&format!(
-                "warp={} pc={} mask={} status={:?} ready_at={} lrpc={:?} ldepth={} slot={} catchup={} slip_pc={:?}\n",
+            let _ = writeln!(
+                s,
+                "warp={} pc={} mask={} status={:?} ready_at={} lrpc={:?} ldepth={} slot={} catchup={} slip_pc={:?}",
                 g.warp, g.pc, g.mask, g.status, g.ready_at, g.local_rpc,
                 g.local_stack.len(), g.slotted, g.slip_catchup, g.slip_pc
-            ));
+            );
         }
         for w in &self.warps {
-            s.push_str(&format!(
-                "warp {} stack={:?} halted={}\n",
-                w.id, w.stack, w.halted
-            ));
+            let _ = writeln!(s, "warp {} stack={:?} halted={}", w.id, w.stack, w.halted);
         }
         s
     }

@@ -169,12 +169,28 @@ fn emit(b: &mut KernelBuilder, stmts: &[Stmt], regs: &[Reg], addr: Reg, tmp: Reg
 
 /// Runs the program on a 2-warp, 8-wide WPU under `policy`.
 fn run_policy(program: &Program, policy: Policy, mem0: &VecMemory) -> VecMemory {
+    run_policy_with(program, policy, mem0, false).0
+}
+
+/// Observable fingerprint of one WPU-level run: final memory, end cycle,
+/// and the stall/issue/split accounting the figures are built from.
+type RunFingerprint = (VecMemory, u64, [u64; 7]);
+
+/// As [`run_policy`], optionally forcing the legacy linear-scan scheduler
+/// ([`Wpu::set_scan_scheduler`]) instead of the ready-ring + wake-heap.
+fn run_policy_with(
+    program: &Program,
+    policy: Policy,
+    mem0: &VecMemory,
+    scan: bool,
+) -> RunFingerprint {
     let program = Arc::new(program.clone());
     let mut cfg = WpuConfig::paper(0, policy);
     cfg.n_warps = 2;
     cfg.width = 8;
     cfg.sched_slots = 4;
     let mut wpu = Wpu::new(cfg, program, 0, 16);
+    wpu.set_scan_scheduler(scan);
     let mut mem = MemorySystem::new(MemConfig::paper(1, 8));
     let mut data = mem0.clone();
     let mut now = Cycle(0);
@@ -192,7 +208,17 @@ fn run_policy(program: &Program, policy: Policy, mem0: &VecMemory) -> VecMemory 
         now += 1;
         assert!(now.raw() < 20_000_000, "policy {policy:?} did not finish");
     }
-    data
+    let s = &wpu.stats;
+    let fp = [
+        s.busy_cycles.get(),
+        s.mem_stall_cycles.get(),
+        s.idle_cycles.get(),
+        s.warp_insts.get(),
+        s.branch_splits.get(),
+        s.mem_splits.get(),
+        s.revive_splits.get(),
+    ];
+    (data, now.raw(), fp)
 }
 
 fn output_region(mem: &VecMemory) -> &[u64] {
@@ -232,6 +258,58 @@ fn random_kernels_agree_across_policies() {
                 output_region(&out),
                 output_region(&reference),
                 "seed {seed}: policy {} diverged from reference ({stmts:?})",
+                policy.paper_name()
+            );
+        }
+    }
+}
+
+/// Scheduler-oracle property: the incremental ready-ring + wake-heap
+/// scheduler must pick the *same group on the same cycle* as the legacy
+/// exhaustive round-robin scan, for every policy, on randomly generated
+/// divergent kernels. Fingerprints cover final memory, total cycles, and
+/// the stall/issue/split accounting — any divergence in pick order would
+/// shift at least one of these.
+#[test]
+fn event_scheduler_matches_scan_oracle() {
+    for seed in 0..12u64 {
+        let mut rng = Rng64::new(0x5C4EDA7E ^ seed);
+        let mut budget = 24usize;
+        let top_len = 1 + rng.range_usize(7);
+        let stmts = gen_block(&mut rng, 3, top_len, &mut budget);
+        let program = compile(&stmts);
+        let mem0 = VecMemory::new(MEM_WORDS as u64 * 8);
+        for policy in [
+            Policy::conventional(),
+            Policy::dws_branch_stack(),
+            Policy::dws_branch_only(),
+            Policy::dws_mem_only(),
+            Policy::dws_aggress(),
+            Policy::dws_lazy(),
+            Policy::dws_revive(),
+            Policy::dws_revive_throttled(),
+            Policy::dws_branch_limited(MemSplit::Revive),
+            Policy::slip(),
+            Policy::slip_branch_bypass(),
+        ] {
+            let event = run_policy_with(&program, policy, &mem0, false);
+            let scan = run_policy_with(&program, policy, &mem0, true);
+            assert_eq!(
+                event.1,
+                scan.1,
+                "seed {seed}: policy {} cycle count diverged from scan oracle",
+                policy.paper_name()
+            );
+            assert_eq!(
+                event.2,
+                scan.2,
+                "seed {seed}: policy {} accounting diverged from scan oracle",
+                policy.paper_name()
+            );
+            assert_eq!(
+                event.0.words(),
+                scan.0.words(),
+                "seed {seed}: policy {} memory diverged from scan oracle ({stmts:?})",
                 policy.paper_name()
             );
         }

@@ -5,41 +5,12 @@
 //! of every cycle. Events scheduled for the same cycle are delivered in
 //! insertion order (FIFO), which keeps whole-system simulation deterministic
 //! — a property the test suite relies on heavily.
+//!
+//! The ordering machinery lives in [`WakeHeap`](crate::sched::WakeHeap);
+//! `EventQueue` is the drain-oriented view of it.
 
+use crate::sched::WakeHeap;
 use crate::Cycle;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// A pending event: ready time, insertion sequence number, payload.
-struct Entry<T> {
-    at: Cycle,
-    seq: u64,
-    payload: T,
-}
-
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<T> Eq for Entry<T> {}
-
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (and, within a
-        // cycle, the first-inserted) entry is popped first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// A future-event list ordered by ready cycle, FIFO within a cycle.
 ///
@@ -56,8 +27,7 @@ impl<T> Ord for Entry<T> {
 /// assert_eq!(drained, vec!['a', 'b', 'c']);
 /// ```
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
-    next_seq: u64,
+    heap: WakeHeap<T>,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -70,26 +40,18 @@ impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            heap: WakeHeap::new(),
         }
     }
 
     /// Schedules `payload` to become ready at cycle `at`.
     pub fn push(&mut self, at: Cycle, payload: T) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
+        self.heap.push(at, payload);
     }
 
     /// Pops the earliest event if it is ready at or before `now`.
     pub fn pop_ready(&mut self, now: Cycle) -> Option<(Cycle, T)> {
-        if self.heap.peek().map(|e| e.at <= now).unwrap_or(false) {
-            let e = self.heap.pop().expect("peeked entry must exist");
-            Some((e.at, e.payload))
-        } else {
-            None
-        }
+        self.heap.pop_ready(now)
     }
 
     /// Drains every event ready at or before `now`, in deterministic order.
@@ -102,7 +64,7 @@ impl<T> EventQueue<T> {
     /// The top-level run loop uses this to skip ahead over cycles in which
     /// every warp is stalled waiting for memory.
     pub fn next_ready_at(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.next_at()
     }
 
     /// Number of pending events.

@@ -7,6 +7,8 @@
 //! * [`Cycle`] — a strongly-typed simulation timestamp,
 //! * [`EventQueue`] — a deterministic future-event list used to schedule
 //!   memory-request completions and other timed callbacks,
+//! * [`sched`] — the event-driven scheduling primitives ([`WakeHeap`],
+//!   [`ReadyRing`]) shared by the WPU scheduler and the memory system,
 //! * [`stats`] — counter/histogram infrastructure used by every component,
 //! * [`rng`] — a vendored deterministic PRNG for benchmark input generation.
 //!
@@ -25,9 +27,11 @@
 
 pub mod event;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 
 pub use event::EventQueue;
+pub use sched::{ReadyRing, WakeHeap};
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};

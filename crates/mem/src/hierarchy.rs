@@ -16,7 +16,7 @@ use crate::config::{CacheConfig, MemConfig};
 use crate::link::{Crossbar, Dram};
 use crate::mshr::{MshrFile, MshrId};
 use dws_engine::stats::{Counter, Distribution};
-use dws_engine::{Cycle, EventQueue};
+use dws_engine::{Cycle, EventQueue, WakeHeap};
 use std::collections::HashMap;
 
 /// Size of a coherence/request control message on the crossbar, in bytes.
@@ -93,6 +93,14 @@ struct DirEntry {
 struct L1 {
     array: CacheArray,
     mshrs: MshrFile,
+    /// Mirror of this L1's outstanding fill times (a per-L1 view of the
+    /// global event list), so the run loop can wake one WPU at a time.
+    fills: WakeHeap<()>,
+    /// Bumped on every array/MSHR mutation. An identical warp access
+    /// re-attempted against an unchanged generation must reach the same
+    /// accept/reject decision, so rejected groups can skip the re-probe
+    /// while they spin on full MSHRs ([`MemorySystem::l1_generation`]).
+    gen: u64,
 }
 
 struct L2 {
@@ -200,6 +208,8 @@ impl MemorySystem {
             .map(|_| L1 {
                 array: CacheArray::new(&cfg.l1d),
                 mshrs: MshrFile::new(cfg.l1d.mshrs, cfg.l1d.mshr_targets),
+                fills: WakeHeap::new(),
+                gen: 0,
             })
             .collect();
         let icaches = (0..cfg.n_l1s).map(|_| CacheArray::new(&cfg.l1i)).collect();
@@ -416,6 +426,7 @@ impl MemorySystem {
                             self.l1s[l1].mshrs.set_upgrade(id);
                         }
                         self.events.push(fill_at, (l1, id));
+                        self.l1s[l1].fills.push(fill_at, ());
                         self.stats.mlp.record(self.events.len() as f64);
                         id
                     }
@@ -429,6 +440,9 @@ impl MemorySystem {
                     };
                 }
             }
+            // Accepted accesses mutate this L1 (MSHR allocations/merges,
+            // MESI upgrades, recency), so retry memos against it expire.
+            self.l1s[l1].gen += 1;
             true
         };
 
@@ -489,9 +503,11 @@ impl MemorySystem {
                     }
                     if exclusive {
                         self.l1s[o].array.invalidate(line);
+                        self.l1s[o].gen += 1;
                         self.stats.invalidations.incr();
                     } else if prev.valid() {
                         self.l1s[o].array.set_state(line, MesiState::Shared);
+                        self.l1s[o].gen += 1;
                     }
                 }
             }
@@ -514,6 +530,7 @@ impl MemorySystem {
                     for o in 0..self.l1s.len() {
                         if sharers & (1 << o) != 0 {
                             self.l1s[o].array.invalidate(line);
+                            self.l1s[o].gen += 1;
                             self.stats.invalidations.incr();
                         }
                     }
@@ -576,6 +593,7 @@ impl MemorySystem {
                 for o in 0..self.l1s.len() {
                     if others & (1 << o) != 0 {
                         let prev = self.l1s[o].array.invalidate(line);
+                        self.l1s[o].gen += 1;
                         self.stats.invalidations.incr();
                         if prev == MesiState::Modified {
                             self.stats.l1_writebacks.incr();
@@ -597,6 +615,7 @@ impl MemorySystem {
         for o in 0..self.l1s.len() {
             if entry.sharers & (1 << o) != 0 {
                 let prev = self.l1s[o].array.invalidate(line);
+                self.l1s[o].gen += 1;
                 self.stats.invalidations.incr();
                 if prev == MesiState::Modified {
                     dirty = true;
@@ -626,7 +645,14 @@ impl MemorySystem {
     pub fn drain_completions_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
         out.clear();
         while let Some((at, (l1, mshr_id))) = self.events.pop_ready(now) {
+            // Keep the per-L1 mirror in lockstep with the global list. The
+            // global (time, insertion) pop order restricted to one L1 is
+            // that L1's own (time, insertion) order, so the mirror's
+            // minimum is always the entry being drained.
+            let mirrored = self.l1s[l1].fills.pop();
+            debug_assert_eq!(mirrored.map(|(t, ())| t), Some(at), "fill mirror drift");
             let entry = self.l1s[l1].mshrs.release(mshr_id);
+            self.l1s[l1].gen += 1;
             let line = entry.line_addr;
             // Decide the install state from the directory at fill time.
             let state = if entry.exclusive {
@@ -682,6 +708,28 @@ impl MemorySystem {
     /// Earliest pending fill, if any (lets the run loop skip idle cycles).
     pub fn next_completion_at(&self) -> Option<Cycle> {
         self.events.next_ready_at()
+    }
+
+    /// Earliest pending fill destined for L1 `l1`, if any — the per-WPU
+    /// wakeup signal for the event-driven run loop.
+    pub fn next_completion_at_l1(&self, l1: usize) -> Option<Cycle> {
+        self.l1s[l1].fills.next_at()
+    }
+
+    /// Mutation generation of L1 `l1`. Strictly increases on every change
+    /// to that L1's array or MSHR file. A warp access re-attempted with the
+    /// same lanes against the same generation must reach the same
+    /// accept/reject decision, which lets a structurally-stalled group
+    /// cache its rejection instead of re-probing every cycle.
+    pub fn l1_generation(&self, l1: usize) -> u64 {
+        self.l1s[l1].gen
+    }
+
+    /// Records a rejection replayed from a caller's memo without re-running
+    /// [`warp_access_into`](Self::warp_access_into), keeping the rejection
+    /// counter identical to the un-memoized execution.
+    pub fn count_repeat_rejection(&mut self) {
+        self.stats.rejections.incr();
     }
 
     /// Number of in-flight fills.

@@ -94,6 +94,14 @@ pub enum SimError {
         /// Per-WPU group dumps.
         diagnostics: String,
     },
+    /// The final memory image failed the kernel's verifier (streaming
+    /// sweeps check on arrival, before the image is dropped).
+    VerifyFailed {
+        /// Label of the sweep job that failed.
+        label: String,
+        /// The verifier's mismatch report.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -104,6 +112,9 @@ impl fmt::Display for SimError {
             }
             SimError::Deadlock { cycles, .. } => {
                 write!(f, "simulation deadlocked at cycle {cycles}")
+            }
+            SimError::VerifyFailed { label, message } => {
+                write!(f, "verification failed for {label}: {message}")
             }
         }
     }

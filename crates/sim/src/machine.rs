@@ -112,26 +112,22 @@ impl Machine {
         any_busy
     }
 
-    /// When nothing issued this cycle, the next cycle at which something
-    /// can happen (a fill completes or a ready group wakes). Uses the wake
-    /// time each WPU cached during its last stalled tick rather than
-    /// rescanning every group list; `run` only consults this right after a
-    /// step in which no WPU issued, which is exactly when every cache is
-    /// fresh.
-    fn next_event(&self) -> Option<Cycle> {
-        let mut next = self.mem.next_completion_at();
-        for w in &self.wpus {
-            if let Some(c) = w.cached_next_wake() {
-                next = Some(match next {
-                    Some(n) => n.min(c),
-                    None => c,
-                });
-            }
-        }
-        next
-    }
-
     /// Runs `config` + `spec` to completion and collects metrics.
+    ///
+    /// Event-driven: each WPU carries its own wakeup time (the wake time it
+    /// cached during its last stalled tick, or the next fill completion
+    /// destined for its L1), and the loop only processes cycles at which
+    /// some WPU is due. Cycles a WPU sleeps through are charged lazily via
+    /// [`Wpu::account_skipped_stall`] in the class of its last tick — valid
+    /// because a stalled WPU's state is frozen between external events, so
+    /// the ticks it skips would all have repeated that classification. The
+    /// result is bit-identical to stepping [`Machine::step`] cycle by
+    /// cycle.
+    ///
+    /// Adaptive policies ([`Policy::is_adaptive`]) sample cycle counters on
+    /// their own tick cadence, so they run in lockstep instead: every live
+    /// WPU ticks on every processed cycle, which reproduces the historical
+    /// all-or-nothing fast-forward exactly.
     ///
     /// # Errors
     ///
@@ -139,8 +135,54 @@ impl Machine {
     /// [`SimError::Deadlock`] when no progress is possible.
     pub fn run(config: &SimConfig, spec: &KernelSpec) -> Result<RunResult, SimError> {
         let mut m = Machine::new(config, spec);
+        let n = m.wpus.len();
+        let lockstep = config.policy.is_adaptive();
+        // The next cycle each WPU must tick; `None` once it is done (or,
+        // transiently, when only a fill completion can wake it).
+        let mut wake: Vec<Option<Cycle>> = vec![Some(Cycle::ZERO); n];
+        // The cycle up to which each WPU's stall time has been accounted.
+        let mut charged: Vec<Cycle> = vec![Cycle::ZERO; n];
         loop {
-            let busy = m.step();
+            let now = m.now;
+            m.mem.drain_completions_into(now, &mut m.completions);
+            for c in &m.completions {
+                m.wpus[c.l1].on_completion(c.request, c.at);
+                // Whatever the completion changed, the owner re-evaluates
+                // this cycle (a tick that finds nothing issuable just
+                // refreshes its wake time).
+                wake[c.l1] = Some(wake[c.l1].map_or(now, |w| w.min(now)));
+            }
+            for i in 0..n {
+                if wake[i].is_none_or(|w| w > now) {
+                    continue;
+                }
+                let lag = now - charged[i];
+                if lag > 0 {
+                    m.wpus[i].account_skipped_stall(lag, m.last_class[i]);
+                }
+                let t = m.wpus[i].tick(now, &mut m.mem, &mut m.data);
+                m.last_class[i] = t;
+                charged[i] = now + 1;
+                wake[i] = match t {
+                    TickClass::Busy => Some(now + 1),
+                    TickClass::Done => None,
+                    TickClass::StallMem | TickClass::Idle => m.wpus[i].cached_next_wake(),
+                };
+            }
+            // Global barrier: release once every live thread has arrived.
+            // Arrival counts only change when a WPU ticks, so checking on
+            // processed cycles is exhaustive.
+            let live: u64 = m.wpus.iter().map(|w| w.live_threads()).sum();
+            let waiting: u64 = m.wpus.iter().map(|w| w.barrier_waiting()).sum();
+            if live > 0 && waiting == live {
+                for (i, w) in m.wpus.iter_mut().enumerate() {
+                    w.release_barrier(now);
+                    if !w.done() {
+                        wake[i] = Some(now + 1);
+                    }
+                }
+            }
+            m.now += 1;
             if m.done() {
                 break;
             }
@@ -150,40 +192,55 @@ impl Machine {
                     diagnostics: m.diagnostics(),
                 });
             }
-            if !busy {
-                // Skip ahead over a fully-stalled stretch, charging the
-                // skipped cycles to each WPU's stall class.
-                match m.next_event() {
-                    Some(at) if at > m.now => {
-                        let skip = at - m.now;
-                        for (i, w) in m.wpus.iter_mut().enumerate() {
-                            w.account_skipped_stall(skip, m.last_class[i]);
-                        }
-                        m.now = at;
-                    }
-                    Some(_) => {}
-                    None => {
-                        return Err(SimError::Deadlock {
-                            cycles: m.now.raw(),
-                            diagnostics: m.diagnostics(),
-                        });
+            // Sleep until the earliest per-WPU event: a cached group wake
+            // or a fill bound for that WPU's L1.
+            let mut next: Option<Cycle> = None;
+            for (i, &w) in wake.iter().enumerate() {
+                for c in [w, m.mem.next_completion_at_l1(i)].into_iter().flatten() {
+                    next = Some(next.map_or(c, |x: Cycle| x.min(c)));
+                }
+            }
+            let Some(next) = next else {
+                return Err(SimError::Deadlock {
+                    cycles: m.now.raw(),
+                    diagnostics: m.diagnostics(),
+                });
+            };
+            let at = next.max(m.now);
+            if lockstep {
+                for (i, w) in m.wpus.iter().enumerate() {
+                    if !w.done() {
+                        wake[i] = Some(at);
                     }
                 }
             }
+            m.now = at;
         }
         Ok(RunResult::collect(&m.wpus, &m.mem, m.now.raw(), m.data))
     }
 
+    /// Consumes a stepped machine and collects the same metrics
+    /// [`Machine::run`] returns, so step-level drivers (tests, interactive
+    /// tooling) can compare against the event-driven loop.
+    #[must_use]
+    pub fn into_result(self) -> RunResult {
+        RunResult::collect(&self.wpus, &self.mem, self.now.raw(), self.data)
+    }
+
     /// Per-WPU group dumps for error reports.
     pub fn diagnostics(&self) -> String {
+        use std::fmt::Write as _;
         let mut s = String::new();
+        let _ = writeln!(s, "now={}", self.now);
         for (i, w) in self.wpus.iter().enumerate() {
-            s.push_str(&format!(
-                "WPU {i}: live={} barrier_waiting={}\n{}",
+            let _ = writeln!(
+                s,
+                "WPU {i}: live={} barrier_waiting={} last_class={:?}",
                 w.live_threads(),
                 w.barrier_waiting(),
-                w.dump_groups()
-            ));
+                self.last_class[i]
+            );
+            s.push_str(&w.dump_groups());
         }
         s
     }

@@ -143,6 +143,42 @@ impl SweepRunner {
     where
         F: Fn(usize, &SweepOutcome) + Sync,
     {
+        self.run_map(|i, o| {
+            on_complete(i, &o);
+            o
+        })
+    }
+
+    /// Streaming execution: each `RunResult` is verified against its
+    /// kernel's spec on the worker that produced it, and the final memory
+    /// image is dropped before the outcome is collected. Peak RSS stays
+    /// one machine per worker instead of one memory image per job, which
+    /// is what makes paper-scale grids practical. A verifier mismatch
+    /// surfaces as [`SimError::VerifyFailed`] in that job's outcome.
+    pub fn run_streaming(self) -> Vec<SweepOutcome> {
+        self.run_map(|_, mut o| {
+            if let Ok(r) = &mut o.result {
+                match o.spec.verify(&r.memory) {
+                    Ok(()) => r.memory = dws_isa::VecMemory::new(0),
+                    Err(message) => {
+                        o.result = Err(SimError::VerifyFailed {
+                            label: o.label.clone(),
+                            message,
+                        });
+                    }
+                }
+            }
+            o
+        })
+    }
+
+    /// Shared driver: runs each job, pipes its outcome through `map` on
+    /// the worker thread, and returns the mapped outcomes in submission
+    /// order.
+    fn run_map<F>(self, map: F) -> Vec<SweepOutcome>
+    where
+        F: Fn(usize, SweepOutcome) -> SweepOutcome + Sync,
+    {
         let n = self.jobs.len();
         let workers = self.workers.unwrap_or_else(default_workers).min(n.max(1));
         let jobs = self.jobs;
@@ -156,8 +192,7 @@ impl SweepRunner {
                 result,
                 host_seconds: t0.elapsed().as_secs_f64(),
             };
-            on_complete(i, &outcome);
-            outcome
+            map(i, outcome)
         };
 
         if workers <= 1 {
@@ -258,5 +293,50 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn streaming_verifies_and_drops_memory() {
+        let spec = Arc::new(Benchmark::Filter.build(Scale::Test, 5));
+        let mut sweep = SweepRunner::new().with_workers(2);
+        for i in 0..4 {
+            sweep.add(
+                format!("s{i}"),
+                SimConfig::paper(Policy::dws_revive()).with_wpus(1),
+                &spec,
+            );
+        }
+        let out = sweep.run_streaming();
+        assert_eq!(out.len(), 4);
+        for o in &out {
+            let r = o.result.as_ref().unwrap();
+            assert!(r.memory.words().is_empty(), "image dropped after verify");
+            assert!(r.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn streaming_reports_verifier_mismatch() {
+        let good = Benchmark::Short.build(Scale::Test, 3);
+        let bad = Arc::new(dws_kernels::KernelSpec::new(
+            "short",
+            good.program.clone(),
+            good.memory.clone(),
+            |_| Err("forced mismatch".into()),
+        ));
+        let mut sweep = SweepRunner::new().with_workers(1);
+        sweep.add(
+            "bad",
+            SimConfig::paper(Policy::conventional()).with_wpus(1),
+            &bad,
+        );
+        let out = sweep.run_streaming();
+        match &out[0].result {
+            Err(SimError::VerifyFailed { label, message }) => {
+                assert_eq!(label, "bad");
+                assert!(message.contains("forced mismatch"));
+            }
+            other => panic!("expected VerifyFailed, got {other:?}"),
+        }
     }
 }

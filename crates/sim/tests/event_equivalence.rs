@@ -1,0 +1,112 @@
+//! The event-driven run loop must be invisible: [`Machine::run`] skips
+//! cycles on a per-WPU basis (each WPU sleeps until its own next wake or
+//! fill completion) and charges the skipped stretch lazily, so its results
+//! must be bit-identical to stepping [`Machine::step`] one cycle at a time.
+//! These tests drive multi-WPU machines so some WPUs sleep while others
+//! issue — the path the in-crate single-WPU test cannot reach.
+
+use dws_core::Policy;
+use dws_kernels::{Benchmark, Scale};
+use dws_sim::{Machine, RunResult, SimConfig};
+
+fn by_step(cfg: &SimConfig, spec: &dws_kernels::KernelSpec) -> RunResult {
+    let mut m = Machine::new(cfg, spec);
+    while !m.done() {
+        m.step();
+        assert!(m.now().raw() < 200_000_000, "step loop runaway");
+    }
+    m.into_result()
+}
+
+fn assert_equivalent(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.memory.words(), b.memory.words(), "{what}: memory");
+    assert_eq!(a.wst_peaks, b.wst_peaks, "{what}: wst peaks");
+    assert_eq!(
+        a.per_thread_misses, b.per_thread_misses,
+        "{what}: per-thread misses"
+    );
+    for (i, (x, y)) in a.per_wpu.iter().zip(&b.per_wpu).enumerate() {
+        assert_eq!(
+            x.busy_cycles.get(),
+            y.busy_cycles.get(),
+            "{what}: wpu{i} busy"
+        );
+        assert_eq!(
+            x.mem_stall_cycles.get(),
+            y.mem_stall_cycles.get(),
+            "{what}: wpu{i} mem stall"
+        );
+        assert_eq!(
+            x.idle_cycles.get(),
+            y.idle_cycles.get(),
+            "{what}: wpu{i} idle"
+        );
+        assert_eq!(
+            x.warp_insts.get(),
+            y.warp_insts.get(),
+            "{what}: wpu{i} insts"
+        );
+        assert_eq!(
+            x.branch_splits.get() + x.mem_splits.get() + x.revive_splits.get(),
+            y.branch_splits.get() + y.mem_splits.get() + y.revive_splits.get(),
+            "{what}: wpu{i} splits"
+        );
+    }
+}
+
+/// Non-adaptive policies on two-WPU machines: WPUs stall at different
+/// times, so the run loop's per-WPU skipping (one WPU asleep while its
+/// neighbour issues) must still reproduce the stepped machine exactly.
+#[test]
+fn run_matches_step_on_multi_wpu_machines() {
+    for policy in [
+        Policy::conventional(),
+        Policy::dws_aggress(),
+        Policy::dws_lazy(),
+        Policy::dws_revive(),
+    ] {
+        for bench in [Benchmark::Merge, Benchmark::Fft] {
+            let spec = bench.build(Scale::Test, 11);
+            let cfg = SimConfig::paper(policy).with_wpus(2);
+            let run = Machine::run(&cfg, &spec).unwrap();
+            spec.verify(&run.memory).unwrap();
+            let step = by_step(&cfg, &spec);
+            assert_equivalent(
+                &run,
+                &step,
+                &format!("{} under {}", bench.name(), policy.paper_name()),
+            );
+        }
+    }
+}
+
+/// Adaptive policies (slip, adaptive throttle) sample cycle counters on
+/// their own tick cadence, so `run` keeps them in lockstep rather than
+/// skipping per WPU. They can legitimately differ from `step` (which never
+/// fast-forwards idle stretches the same way the historical loop did), but
+/// `run` itself must stay deterministic and correct.
+#[test]
+fn adaptive_policies_run_deterministically() {
+    for policy in [Policy::slip(), Policy::dws_revive_throttled()] {
+        let spec = Benchmark::Merge.build(Scale::Test, 11);
+        let cfg = SimConfig::paper(policy).with_wpus(2);
+        let a = Machine::run(&cfg, &spec).unwrap();
+        spec.verify(&a.memory).unwrap();
+        let b = Machine::run(&cfg, &spec).unwrap();
+        assert_equivalent(&a, &b, policy.paper_name());
+    }
+}
+
+/// The paper machine (4 WPUs, 4 L1s) exercises per-L1 completion wakeups:
+/// each WPU's sleep horizon is the min of its own group wake and the next
+/// fill bound for its L1, not a machine-global event time.
+#[test]
+fn run_matches_step_on_paper_machine() {
+    let spec = Benchmark::Filter.build(Scale::Test, 11);
+    let cfg = SimConfig::paper(Policy::dws_revive());
+    let run = Machine::run(&cfg, &spec).unwrap();
+    spec.verify(&run.memory).unwrap();
+    let step = by_step(&cfg, &spec);
+    assert_equivalent(&run, &step, "filter on the 4-WPU paper machine");
+}

@@ -21,7 +21,16 @@ for fig in table1_characterization fig13_schemes fig07_branch_dws fig11_branchli
     >> bench_timings.jsonl
 done
 echo "=== bench: simspeed ===" | tee -a bench_output.txt
+# Keep the previous throughput report so perf-diff can show the trend.
+[ -f BENCH_simspeed.json ] && cp BENCH_simspeed.json BENCH_simspeed.prev.json
 cargo run --release --bin simspeed 2>>bench_progress.log | tee -a bench_output.txt
+if [ -f BENCH_simspeed.prev.json ]; then
+  echo "=== simspeed trend (perf-diff, advisory) ===" | tee -a bench_output.txt
+  cargo run --release --bin perf-diff -- \
+    BENCH_simspeed.prev.json BENCH_simspeed.json 2>>bench_progress.log \
+    | tee -a bench_output.txt
+  printf '{"sweep": "simspeed_trend", "status": %d}\n' "${PIPESTATUS[0]}" >> bench_timings.jsonl
+fi
 echo "=== bench: micro (criterion) ===" | tee -a bench_output.txt
 cargo bench -p dws-bench --bench micro 2>>bench_progress.log | tee -a bench_output.txt
 echo ALL_BENCHES_DONE | tee -a bench_output.txt
