@@ -25,6 +25,7 @@ cargo test -q --release --offline -p dws-sim --test zero_alloc_steady_state
 cargo test -q --release --offline -p dws-sim --test sweep_determinism
 cargo test -q --release --offline -p dws-sim --test event_equivalence
 cargo test -q --release --offline -p dws-core --test random_policies
+cargo test -q --release --offline -p dws-core --test uop_differential
 
 # Advisory perf check: compares the committed simspeed baseline against
 # the previous one when a bench run has left it behind. Regressions are

@@ -77,7 +77,7 @@ fn main() {
                 .iter()
                 .map(|&(name, thr)| {
                     let mut spec = build(bench);
-                    spec.program = spec.program.with_subdiv_threshold(thr);
+                    spec.program = Arc::new(spec.program.with_subdiv_threshold(thr));
                     sweep.add(
                         name,
                         &SimConfig::paper(Policy::dws_revive()),

@@ -27,9 +27,11 @@
 //! * [`WpuStats`] — everything the paper's figures need, from per-thread
 //!   miss maps (Figure 14) to divergence characterization (Table 1).
 
+mod exec;
 pub mod group;
 pub mod mask;
 pub mod policy;
+pub mod regfile;
 pub mod stats;
 pub mod trace;
 pub mod warp;
@@ -39,6 +41,7 @@ pub mod wst;
 pub use group::{Group, GroupId, GroupStatus};
 pub use mask::Mask;
 pub use policy::{BranchHandling, DwsConfig, MemSplit, Policy, ReconvMode, SlipConfig};
+pub use regfile::{LaneView, RegFile};
 pub use stats::WpuStats;
 pub use trace::{TraceEvent, Tracer};
 pub use warp::{Frame, Warp};

@@ -1,7 +1,8 @@
 //! Warps: thread contexts, the re-convergence stack, and halt tracking.
 
 use crate::mask::Mask;
-use dws_isa::{Program, ThreadState};
+use crate::regfile::RegFile;
+use dws_isa::Program;
 use dws_mem::RequestId;
 
 /// One frame of a re-convergence stack (Fung-style).
@@ -22,11 +23,10 @@ pub struct Frame {
     pub mask: Mask,
 }
 
-/// Per-thread bookkeeping within a warp.
+/// Per-thread bookkeeping within a warp (registers live in the warp's SoA
+/// [`RegFile`]).
 #[derive(Debug)]
 pub struct ThreadSlot {
-    /// Architectural registers.
-    pub state: ThreadState,
     /// Set once the thread executes `Halt`.
     pub halted: bool,
     /// The outstanding miss this thread is blocked on, if any.
@@ -40,7 +40,9 @@ pub struct ThreadSlot {
 pub struct Warp {
     /// Warp index within its WPU.
     pub id: usize,
-    /// Thread contexts, one per lane.
+    /// Architectural registers of all lanes, SoA.
+    pub regs: RegFile,
+    /// Per-thread bookkeeping, one slot per lane.
     pub threads: Vec<ThreadSlot>,
     /// The architectural re-convergence stack.
     pub stack: Vec<Frame>,
@@ -54,8 +56,7 @@ impl Warp {
     /// Creates a warp whose lane `l` runs global thread `base_tid + l`.
     pub fn new(id: usize, width: usize, base_tid: u64, nthreads: u64, program: &Program) -> Self {
         let threads = (0..width)
-            .map(|l| ThreadSlot {
-                state: ThreadState::new(program, base_tid + l as u64, nthreads),
+            .map(|_| ThreadSlot {
                 halted: false,
                 pending: None,
                 miss_count: 0,
@@ -63,6 +64,7 @@ impl Warp {
             .collect();
         Warp {
             id,
+            regs: RegFile::new(program.num_regs(), width, base_tid, nthreads),
             threads,
             stack: vec![Frame {
                 pc: 0,
@@ -123,8 +125,8 @@ mod tests {
         assert_eq!(w.tos().pc, 0);
         assert!(!w.all_halted(8));
         // Lane 3 runs global thread 19.
-        assert_eq!(w.threads[3].state.reg(dws_isa::Reg(0)), 19);
-        assert_eq!(w.threads[3].state.reg(dws_isa::Reg(1)), 64);
+        assert_eq!(w.regs.get(0, 3), 19);
+        assert_eq!(w.regs.get(1, 3), 64);
     }
 
     #[test]

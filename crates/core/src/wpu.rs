@@ -7,6 +7,7 @@
 //! paper's Section 3.3), groups stall on misses, and the configured
 //! [`Policy`] decides when warps subdivide and when splits re-converge.
 
+use crate::exec;
 use crate::group::{Group, GroupId, GroupStatus};
 use crate::mask::Mask;
 use crate::policy::{BranchHandling, MemSplit, Policy, ReconvMode};
@@ -14,11 +15,10 @@ use crate::stats::WpuStats;
 use crate::trace::{TraceEvent, Tracer};
 use crate::warp::{Frame, Warp};
 use crate::wst::WstAccounting;
-use dws_engine::{Cycle, ReadyRing, WakeHeap};
+use dws_engine::{Cycle, FastHashMap, ReadyRing, WakeHeap};
 use dws_isa::cfg::RECONV_NONE;
-use dws_isa::{Inst, MemoryAccess, Program, StepOutcome};
+use dws_isa::{execute_lane, CondOp, ExecOp, MemoryAccess, Program, Reg, Src, StepOutcome};
 use dws_mem::{AccessKind, AccessOutcome, LaneAccess, MemorySystem, RequestId};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Static configuration of one WPU.
@@ -145,7 +145,7 @@ pub struct Wpu {
     wst: WstAccounting,
     current: Option<GroupId>,
     rr_cursor: usize,
-    req_map: HashMap<RequestId, (usize, usize)>,
+    req_map: FastHashMap<RequestId, (usize, usize)>,
     live_threads: u64,
     slip: SlipCtl,
     throttle: ThrottleCtl,
@@ -181,6 +181,10 @@ pub struct Wpu {
     /// Test hook: route picks through the reference slab scan instead of
     /// the ready ring (the indexes are still maintained either way).
     use_scan_scheduler: bool,
+    /// Execute through the predecoded warp-wide µop kernels (the default).
+    /// Off routes every lane through the legacy per-lane interpreter —
+    /// kept as the differential oracle, like `use_scan_scheduler`.
+    use_uop_engine: bool,
     /// Statistics for this WPU.
     pub stats: WpuStats,
 }
@@ -241,7 +245,7 @@ impl Wpu {
             wst: WstAccounting::new(cfg.n_warps, cfg.wst_entries),
             current: None,
             rr_cursor: 0,
-            req_map: HashMap::new(),
+            req_map: FastHashMap::default(),
             live_threads: (cfg.width * cfg.n_warps) as u64,
             slip: SlipCtl {
                 max_div: cfg.width as u32,
@@ -268,6 +272,7 @@ impl Wpu {
             n_wait_mem: 0,
             barrier_lanes: 0,
             use_scan_scheduler: false,
+            use_uop_engine: true,
             stats: WpuStats::default(),
             program: Arc::clone(&program),
             cfg,
@@ -330,6 +335,16 @@ impl Wpu {
     #[doc(hidden)]
     pub fn set_scan_scheduler(&mut self, on: bool) {
         self.use_scan_scheduler = on;
+    }
+
+    /// Test hook: route execution through the legacy per-lane interpreter
+    /// (`off`) instead of the predecoded warp-wide µop kernels (`on`, the
+    /// default). Both paths are bit-identical; debug builds additionally
+    /// cross-check the µop engine against the per-lane oracle on every
+    /// executed instruction.
+    #[doc(hidden)]
+    pub fn set_uop_engine(&mut self, on: bool) {
+        self.use_uop_engine = on;
     }
 
     /// Whether any thread is blocked on an outstanding memory request.
@@ -954,12 +969,12 @@ impl Wpu {
             }
         }
 
-        let inst = *self.program.inst(self.group(gid).pc);
+        let op = *self.program.exec_op(self.group(gid).pc);
 
         // BranchLimited: splits must re-unite before any conditional branch.
         if let Policy::Dws(c) = self.cfg.policy {
             if c.branch_handling == BranchHandling::BranchLimited
-                && inst.is_branch()
+                && op.is_branch()
                 && self.wst.groups_of(warp) > 1
                 && self.group(gid).local_rpc.is_none()
             {
@@ -975,13 +990,13 @@ impl Wpu {
             // Fall-behind re-union: before the run-ahead executes a memory
             // instruction, completed fall-behind threads suspended at this
             // PC re-join it.
-            if inst.is_memory() && self.group(gid).slip_pc.is_none() {
+            if op.is_memory() && self.group(gid).slip_pc.is_none() {
                 self.slip_merge_at(gid);
             }
             // Plain slip: the run-ahead may not cross a conditional branch
             // while threads are left behind.
             if !sc.branch_bypass
-                && inst.is_branch()
+                && op.is_branch()
                 && self.group(gid).slip_pc.is_none()
                 && !self.group(gid).slip_catchup
                 && self.has_slip_suspended(warp)
@@ -1354,7 +1369,7 @@ impl Wpu {
         data: &mut dyn MemoryAccess,
     ) -> bool {
         let pc = self.group(gid).pc;
-        let inst = *self.program.inst(pc);
+        let op = *self.program.exec_op(pc);
         let mask = self.group(gid).mask;
         let warp = self.group(gid).warp;
         debug_assert!(!mask.is_empty(), "issue with empty mask at pc {pc}");
@@ -1370,15 +1385,11 @@ impl Wpu {
             return false;
         }
 
-        match inst {
-            Inst::Alu { .. } | Inst::Un { .. } | Inst::Set { .. } => {
+        match op {
+            ExecOp::Alu { .. } | ExecOp::Un { .. } | ExecOp::Set { .. } => {
                 self.stats.on_issue(mask.count());
-                let fp = is_fp_inst(&inst);
-                for lane in mask.iter() {
-                    let out = self.warps[warp].threads[lane].state.execute(&inst);
-                    debug_assert_eq!(out, StepOutcome::Next);
-                }
-                if fp {
+                self.exec_compute(warp, pc, mask, op);
+                if op.is_fp() {
                     self.stats.fp_ops.add(mask.count() as u64);
                 } else {
                     self.stats.int_ops.add(mask.count() as u64);
@@ -1386,22 +1397,22 @@ impl Wpu {
                 self.group_mut(gid).pc = pc + 1;
                 true
             }
-            Inst::Jump { target } => {
+            ExecOp::Jump { target } => {
                 self.stats.on_issue(mask.count());
                 self.stats.int_ops.add(mask.count() as u64);
-                self.group_mut(gid).pc = target;
+                self.group_mut(gid).pc = target as usize;
                 true
             }
-            Inst::Branch { .. } => {
+            ExecOp::Branch { cond, a, b, target } => {
                 self.stats.on_issue(mask.count());
                 self.stats.int_ops.add(mask.count() as u64);
-                self.exec_branch(gid, pc, &inst, now);
+                self.exec_branch(gid, pc, cond, a, b, target as usize, now);
                 true
             }
-            Inst::Load { .. } | Inst::Store { .. } => {
-                self.exec_memory(gid, pc, &inst, now, mem, data)
+            ExecOp::Load { .. } | ExecOp::Store { .. } => {
+                self.exec_memory(gid, pc, op, now, mem, data)
             }
-            Inst::Barrier => {
+            ExecOp::Barrier => {
                 self.stats.on_issue(mask.count());
                 let g = self.group_mut(gid);
                 g.status = GroupStatus::WaitBarrier;
@@ -1415,7 +1426,7 @@ impl Wpu {
                 self.current = None;
                 true
             }
-            Inst::Halt => {
+            ExecOp::Halt => {
                 self.stats.on_issue(mask.count());
                 self.exec_halt(gid, now);
                 self.current = None;
@@ -1424,22 +1435,108 @@ impl Wpu {
         }
     }
 
-    fn exec_branch(&mut self, gid: GroupId, pc: usize, inst: &Inst, now: Cycle) {
-        let warp = self.group(gid).warp;
-        let mask = self.group(gid).mask;
-        let mut taken = Mask::EMPTY;
-        for lane in mask.iter() {
-            match self.warps[warp].threads[lane].state.execute(inst) {
-                StepOutcome::Jump(_) => taken.set(lane),
-                StepOutcome::Next => {}
-                other => unreachable!("branch produced {other:?}"),
+    /// Executes an ALU/Un/Set instruction across the active lanes: through
+    /// the warp-wide kernels (one opcode dispatch for the whole warp) or,
+    /// with the µop engine off, through the legacy per-lane interpreter.
+    /// Debug builds precompute every lane's legacy result *before* the
+    /// kernel runs (the destination may alias a source) and assert the
+    /// engines agree.
+    fn exec_compute(&mut self, warp: usize, pc: usize, mask: Mask, op: ExecOp) {
+        // Fixed-size capture (a mask holds at most 64 lanes), so the debug
+        // oracle does not allocate — the zero-alloc steady-state guard also
+        // runs in debug builds.
+        #[cfg(debug_assertions)]
+        let mut expected: [Option<(u16, u64)>; 64] = [None; 64];
+        #[cfg(debug_assertions)]
+        {
+            let inst = self.program.inst(pc);
+            let rf = &self.warps[warp].regs;
+            for lane in mask.iter() {
+                let mut sh = rf.shadow(lane);
+                let out = execute_lane(&mut sh, inst);
+                debug_assert_eq!(out, StepOutcome::Next);
+                expected[lane] = sh.written();
             }
         }
-        let fallthrough = mask - taken;
-        let target = match *inst {
-            Inst::Branch { target, .. } => target,
-            _ => unreachable!("exec_branch on non-branch"),
+        if self.use_uop_engine {
+            let rf = &mut self.warps[warp].regs;
+            match op {
+                ExecOp::Alu { op, dst, a, b, .. } => exec::exec_alu(rf, mask, op, dst, a, b),
+                ExecOp::Un { op, dst, a, .. } => exec::exec_un(rf, mask, op, dst, a),
+                ExecOp::Set { cond, dst, a, b } => exec::exec_set(rf, mask, cond, dst, a, b),
+                _ => unreachable!("exec_compute on non-compute µop"),
+            }
+        } else {
+            let inst = *self.program.inst(pc);
+            let rf = &mut self.warps[warp].regs;
+            for lane in mask.iter() {
+                let out = execute_lane(&mut rf.lane(lane), &inst);
+                debug_assert_eq!(out, StepOutcome::Next);
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let rf = &self.warps[warp].regs;
+            for lane in mask.iter() {
+                if let Some((r, v)) = expected[lane] {
+                    assert_eq!(
+                        rf.get(r, lane),
+                        v,
+                        "µop engine diverged from per-lane oracle at pc {pc} lane {lane} reg r{r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_branch(
+        &mut self,
+        gid: GroupId,
+        pc: usize,
+        cond: CondOp,
+        a: Src,
+        b: Src,
+        target: usize,
+        now: Cycle,
+    ) {
+        let warp = self.group(gid).warp;
+        let mask = self.group(gid).mask;
+        let taken = if self.use_uop_engine {
+            let taken = exec::branch_taken(&self.warps[warp].regs, mask, cond, a, b);
+            #[cfg(debug_assertions)]
+            {
+                let inst = self.program.inst(pc);
+                let rf = &self.warps[warp].regs;
+                let mut expect = Mask::EMPTY;
+                for lane in mask.iter() {
+                    let mut sh = rf.shadow(lane);
+                    match execute_lane(&mut sh, inst) {
+                        StepOutcome::Jump(_) => expect.set(lane),
+                        StepOutcome::Next => {}
+                        other => unreachable!("branch produced {other:?}"),
+                    }
+                }
+                assert_eq!(
+                    taken, expect,
+                    "µop taken mask diverged from per-lane oracle at pc {pc}"
+                );
+            }
+            taken
+        } else {
+            let inst = *self.program.inst(pc);
+            let rf = &mut self.warps[warp].regs;
+            let mut taken = Mask::EMPTY;
+            for lane in mask.iter() {
+                match execute_lane(&mut rf.lane(lane), &inst) {
+                    StepOutcome::Jump(_) => taken.set(lane),
+                    StepOutcome::Next => {}
+                    other => unreachable!("branch produced {other:?}"),
+                }
+            }
+            taken
         };
+        let fallthrough = mask - taken;
         let divergent = !taken.is_empty() && !fallthrough.is_empty();
         self.stats.on_branch(divergent);
 
@@ -1555,7 +1652,7 @@ impl Wpu {
         &mut self,
         gid: GroupId,
         pc: usize,
-        inst: &Inst,
+        op: ExecOp,
         now: Cycle,
         mem: &mut MemorySystem,
         data: &mut dyn MemoryAccess,
@@ -1586,10 +1683,55 @@ impl Wpu {
         accesses.clear();
         miss_lines.clear();
 
-        // Decode per-lane addresses (no functional effect yet).
-        for lane in mask.iter() {
-            let out = self.warps[warp].threads[lane].state.execute(inst);
-            ops.push((lane, out));
+        // Decode per-lane addresses (no functional effect yet): one µop
+        // dispatch for the whole warp, with the register row streamed out
+        // of the SoA file.
+        if self.use_uop_engine {
+            let rf = &self.warps[warp].regs;
+            match op {
+                ExecOp::Load { dst, base, offset } => {
+                    for lane in mask.iter() {
+                        let addr = rf.get(base, lane).wrapping_add(offset);
+                        ops.push((
+                            lane,
+                            StepOutcome::Load {
+                                addr,
+                                dst: Reg(dst),
+                            },
+                        ));
+                    }
+                }
+                ExecOp::Store { src, base, offset } => {
+                    for lane in mask.iter() {
+                        let addr = rf.get(base, lane).wrapping_add(offset);
+                        let value = match src {
+                            Src::Reg(r) => rf.get(r, lane),
+                            Src::Imm(v) => v,
+                        };
+                        ops.push((lane, StepOutcome::Store { addr, value }));
+                    }
+                }
+                _ => unreachable!("exec_memory on non-memory µop"),
+            }
+            #[cfg(debug_assertions)]
+            {
+                let inst = self.program.inst(pc);
+                for &(lane, out) in &ops {
+                    let mut sh = rf.shadow(lane);
+                    let expect = execute_lane(&mut sh, inst);
+                    assert_eq!(
+                        out, expect,
+                        "µop address generation diverged from per-lane oracle at pc {pc} lane {lane}"
+                    );
+                }
+            }
+        } else {
+            let inst = *self.program.inst(pc);
+            let rf = &mut self.warps[warp].regs;
+            for lane in mask.iter() {
+                let out = execute_lane(&mut rf.lane(lane), &inst);
+                ops.push((lane, out));
+            }
         }
         accesses.extend(ops.iter().map(|&(lane, out)| match out {
             StepOutcome::Load { addr, .. } => LaneAccess {
@@ -1621,8 +1763,8 @@ impl Wpu {
             }
 
             self.stats.on_issue(mask.count());
-            match inst {
-                Inst::Load { .. } => self.stats.loads.add(mask.count() as u64),
+            match op {
+                ExecOp::Load { .. } => self.stats.loads.add(mask.count() as u64),
                 _ => self.stats.stores.add(mask.count() as u64),
             }
 
@@ -1631,7 +1773,7 @@ impl Wpu {
                 match out {
                     StepOutcome::Load { addr, dst } => {
                         let v = data.load_word(addr);
-                        self.warps[warp].threads[lane].state.set_reg(dst, v);
+                        self.warps[warp].regs.set(dst.0, lane, v);
                     }
                     StepOutcome::Store { addr, value } => {
                         data.store_word(addr, value);
@@ -1963,21 +2105,6 @@ impl Wpu {
             self.resched(survivor);
             self.try_slot(survivor);
         }
-    }
-}
-
-fn is_fp_inst(inst: &Inst) -> bool {
-    use dws_isa::{AluOp, UnOp};
-    match inst {
-        Inst::Alu { op, .. } => matches!(
-            op,
-            AluOp::FAdd | AluOp::FSub | AluOp::FMul | AluOp::FDiv | AluOp::FMin | AluOp::FMax
-        ),
-        Inst::Un { op, .. } => matches!(
-            op,
-            UnOp::FNeg | UnOp::FAbs | UnOp::FSqrt | UnOp::I2F | UnOp::F2I
-        ),
-        _ => false,
     }
 }
 

@@ -1,0 +1,108 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash with per-process random
+//! keys — HashDoS resistance the simulator does not need (keys are line
+//! addresses and request ids it generated itself), at a real cost on paths
+//! that hash once per cache miss. [`FastHasher`] is a Fibonacci
+//! multiply-and-rotate mixer (the FxHash construction): a couple of cycles
+//! per word, and fixed-seeded so map *contents* are reproducible across
+//! runs. Iteration order is still arbitrary — callers must never observe
+//! it, same as with the default hasher.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-and-rotate word mixer; see module docs.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+/// 2^64 / phi, the usual Fibonacci-hashing multiplier.
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0 ^ word).wrapping_mul(SEED).rotate_left(26);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+}
+
+/// A `HashMap` keyed with [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` keyed with [`FastHasher`].
+pub type FastHashSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_behaves_like_a_map() {
+        let mut m: FastHashMap<u64, u32> = FastHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 0x1_0001, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 0x1_0001)), Some(&(i as u32)));
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.remove(&0), Some(0));
+        assert_eq!(m.get(&0), None);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let hash = |v: u64| {
+            let mut h = FastHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+    }
+
+    #[test]
+    fn byte_writes_cover_partial_chunks() {
+        let mut a = FastHasher::default();
+        a.write(b"hello world"); // 11 bytes: one full chunk + remainder
+        let mut b = FastHasher::default();
+        b.write(b"hello worlc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

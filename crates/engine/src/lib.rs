@@ -26,11 +26,13 @@
 //! ```
 
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod sched;
 pub mod stats;
 
 pub use event::EventQueue;
+pub use hash::{FastHashMap, FastHashSet};
 pub use sched::{ReadyRing, WakeHeap};
 
 use std::fmt;

@@ -91,6 +91,15 @@ pub enum AluOp {
     FMax,
 }
 
+impl AluOp {
+    /// Whether the op counts as floating-point for the energy model.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        use AluOp::*;
+        matches!(self, FAdd | FSub | FMul | FDiv | FMin | FMax)
+    }
+}
+
 /// Unary operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
@@ -110,6 +119,16 @@ pub enum UnOp {
     I2F,
     /// Convert float to signed integer (truncating; saturates at i64 range).
     F2I,
+}
+
+impl UnOp {
+    /// Whether the op counts as floating-point for the energy model
+    /// (conversions exercise the FP datapath, so both count).
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        use UnOp::*;
+        matches!(self, FNeg | FAbs | FSqrt | I2F | F2I)
+    }
 }
 
 /// Comparison conditions used by branches and `Set`.
@@ -162,6 +181,7 @@ impl CondOp {
     }
 
     /// Evaluates the condition on two raw 64-bit values.
+    #[inline]
     pub fn eval(self, a: u64, b: u64) -> bool {
         use CondOp::*;
         let (ia, ib) = (a as i64, b as i64);

@@ -9,6 +9,7 @@ use crate::inst::{AluOp, Inst, Operand, Reg, UnOp};
 use crate::program::Program;
 
 /// Evaluates a binary ALU operation on raw 64-bit values.
+#[inline]
 pub fn eval_alu(op: AluOp, a: u64, b: u64) -> u64 {
     use AluOp::*;
     let (ia, ib) = (a as i64, b as i64);
@@ -48,6 +49,7 @@ pub fn eval_alu(op: AluOp, a: u64, b: u64) -> u64 {
 }
 
 /// Evaluates a unary operation on a raw 64-bit value.
+#[inline]
 pub fn eval_un(op: UnOp, a: u64) -> u64 {
     use UnOp::*;
     let ia = a as i64;
@@ -142,10 +144,91 @@ impl MemoryAccess for VecMemory {
     }
 }
 
+/// One lane's view of a register file.
+///
+/// The per-lane interpreter ([`execute_lane`]) is generic over this so the
+/// same semantics run against a standalone [`ThreadState`] *and* against a
+/// lane slice of the timing simulator's SoA register file — which is what
+/// lets the µop execution engine keep the legacy path as a differential
+/// oracle without duplicating instruction semantics.
+pub trait LaneRegs {
+    /// Reads a register.
+    fn reg(&self, r: Reg) -> u64;
+    /// Writes a register.
+    fn set_reg(&mut self, r: Reg, v: u64);
+
+    /// Evaluates an operand against this lane's registers.
+    #[inline]
+    fn operand(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v as u64,
+            Operand::ImmF(v) => v.to_bits(),
+        }
+    }
+}
+
+/// Executes one instruction's non-memory effects on one lane.
+///
+/// Compute instructions mutate registers and return [`StepOutcome::Next`];
+/// branches are evaluated (but the PC is owned by the caller); memory
+/// instructions return their resolved byte address without touching memory
+/// — the caller performs the access and, for loads, calls
+/// [`LaneRegs::set_reg`] with the loaded value.
+#[inline]
+pub fn execute_lane<R: LaneRegs + ?Sized>(regs: &mut R, inst: &Inst) -> StepOutcome {
+    match *inst {
+        Inst::Alu { op, dst, a, b } => {
+            let v = eval_alu(op, regs.operand(a), regs.operand(b));
+            regs.set_reg(dst, v);
+            StepOutcome::Next
+        }
+        Inst::Un { op, dst, a } => {
+            let v = eval_un(op, regs.operand(a));
+            regs.set_reg(dst, v);
+            StepOutcome::Next
+        }
+        Inst::Set { cond, dst, a, b } => {
+            let v = cond.eval(regs.operand(a), regs.operand(b)) as u64;
+            regs.set_reg(dst, v);
+            StepOutcome::Next
+        }
+        Inst::Load { dst, base, offset } => StepOutcome::Load {
+            addr: regs.reg(base).wrapping_add(offset as u64),
+            dst,
+        },
+        Inst::Store { src, base, offset } => StepOutcome::Store {
+            addr: regs.reg(base).wrapping_add(offset as u64),
+            value: regs.operand(src),
+        },
+        Inst::Branch { cond, a, b, target } => {
+            if cond.eval(regs.operand(a), regs.operand(b)) {
+                StepOutcome::Jump(target)
+            } else {
+                StepOutcome::Next
+            }
+        }
+        Inst::Jump { target } => StepOutcome::Jump(target),
+        Inst::Barrier => StepOutcome::Barrier,
+        Inst::Halt => StepOutcome::Halt,
+    }
+}
+
 /// The architectural state of one thread: its registers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadState {
     regs: Vec<u64>,
+}
+
+impl LaneRegs for ThreadState {
+    #[inline]
+    fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.0 as usize]
+    }
+    #[inline]
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.0 as usize] = v;
+    }
 }
 
 impl ThreadState {
@@ -184,48 +267,9 @@ impl ThreadState {
 
     /// Executes one instruction's non-memory effects and classifies it.
     ///
-    /// Compute instructions mutate registers and return
-    /// [`StepOutcome::Next`]; branches are evaluated (but the PC is owned by
-    /// the caller); memory instructions return their resolved byte address
-    /// without touching memory — the caller performs the access (in the
-    /// timing simulator, after the cache model resolves it) and, for loads,
-    /// calls [`ThreadState::set_reg`] with the loaded value.
+    /// Delegates to [`execute_lane`]; see there for the contract.
     pub fn execute(&mut self, inst: &Inst) -> StepOutcome {
-        match *inst {
-            Inst::Alu { op, dst, a, b } => {
-                let v = eval_alu(op, self.operand(a), self.operand(b));
-                self.set_reg(dst, v);
-                StepOutcome::Next
-            }
-            Inst::Un { op, dst, a } => {
-                let v = eval_un(op, self.operand(a));
-                self.set_reg(dst, v);
-                StepOutcome::Next
-            }
-            Inst::Set { cond, dst, a, b } => {
-                let v = cond.eval(self.operand(a), self.operand(b)) as u64;
-                self.set_reg(dst, v);
-                StepOutcome::Next
-            }
-            Inst::Load { dst, base, offset } => StepOutcome::Load {
-                addr: self.reg(base).wrapping_add(offset as u64),
-                dst,
-            },
-            Inst::Store { src, base, offset } => StepOutcome::Store {
-                addr: self.reg(base).wrapping_add(offset as u64),
-                value: self.operand(src),
-            },
-            Inst::Branch { cond, a, b, target } => {
-                if cond.eval(self.operand(a), self.operand(b)) {
-                    StepOutcome::Jump(target)
-                } else {
-                    StepOutcome::Next
-                }
-            }
-            Inst::Jump { target } => StepOutcome::Jump(target),
-            Inst::Barrier => StepOutcome::Barrier,
-            Inst::Halt => StepOutcome::Halt,
-        }
+        execute_lane(self, inst)
     }
 }
 

@@ -45,11 +45,16 @@ pub mod builder;
 pub mod cfg;
 pub mod inst;
 pub mod interp;
+pub mod predecode;
 pub mod program;
 
 pub use asm::{parse_asm, AsmError};
 pub use builder::{BuildError, KernelBuilder, Label};
 pub use cfg::{BranchInfo, Cfg};
 pub use inst::{AluOp, CondOp, Inst, Operand, Reg, UnOp};
-pub use interp::{MemoryAccess, ReferenceRunner, StepOutcome, ThreadState, VecMemory};
+pub use interp::{
+    eval_alu, eval_un, execute_lane, LaneRegs, MemoryAccess, ReferenceRunner, StepOutcome,
+    ThreadState, VecMemory,
+};
+pub use predecode::{ExecOp, Src};
 pub use program::Program;

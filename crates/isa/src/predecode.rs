@@ -1,0 +1,274 @@
+//! Predecode: lowering [`Inst`] into a flat, cache-dense µop table.
+//!
+//! The timing simulator interprets every dynamic instruction; with the
+//! scheduling side event-driven, that interpret loop dominates host time.
+//! [`predecode`] resolves once, at program build, everything the per-lane
+//! hot path used to re-derive on every executed lane:
+//!
+//! * operands become [`Src`] — a raw register *index* or the immediate's
+//!   64-bit raw value (`ImmF` is pre-converted to bits, `Imm` pre-cast),
+//! * load/store offsets are pre-wrapped into the `u64` address arithmetic,
+//! * branch/jump targets are narrowed to `u32`,
+//! * the FP/INT classification the energy model needs is a precomputed
+//!   flag instead of a per-issue opcode match.
+//!
+//! The result is one [`ExecOp`] per PC, stored in the
+//! [`Program`](crate::Program) and therefore shared by every machine that
+//! clones the program's `Arc` — warp-wide execution kernels dispatch on it
+//! once per *instruction* rather than once per lane.
+
+use crate::inst::{AluOp, CondOp, Inst, Operand, UnOp};
+
+/// A pre-resolved source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Read the register with this index.
+    Reg(u16),
+    /// An immediate, already converted to its raw 64-bit form.
+    Imm(u64),
+}
+
+impl Src {
+    /// Lowers an [`Operand`], folding both immediate kinds to raw bits.
+    #[inline]
+    pub fn from_operand(op: Operand) -> Src {
+        match op {
+            Operand::Reg(r) => Src::Reg(r.0),
+            Operand::Imm(v) => Src::Imm(v as u64),
+            Operand::ImmF(v) => Src::Imm(v.to_bits()),
+        }
+    }
+}
+
+/// One predecoded µop. Mirrors [`Inst`] with all operand resolution,
+/// immediate conversion and classification done ahead of time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecOp {
+    /// `dst = a <op> b`.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Whether the op counts as floating-point (energy model).
+        fp: bool,
+        /// Destination register index.
+        dst: u16,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// `dst = <op> a`.
+    Un {
+        /// The operation.
+        op: UnOp,
+        /// Whether the op counts as floating-point (energy model).
+        fp: bool,
+        /// Destination register index.
+        dst: u16,
+        /// Operand.
+        a: Src,
+    },
+    /// `dst = (a <cond> b) ? 1 : 0`.
+    Set {
+        /// The comparison.
+        cond: CondOp,
+        /// Destination register index.
+        dst: u16,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// `dst = mem[regs[base] + offset]`.
+    Load {
+        /// Destination register index.
+        dst: u16,
+        /// Base address register index.
+        base: u16,
+        /// Byte offset, pre-wrapped for `u64` address arithmetic.
+        offset: u64,
+    },
+    /// `mem[regs[base] + offset] = src`.
+    Store {
+        /// Value to store.
+        src: Src,
+        /// Base address register index.
+        base: u16,
+        /// Byte offset, pre-wrapped for `u64` address arithmetic.
+        offset: u64,
+    },
+    /// Conditional branch to `target`.
+    Branch {
+        /// The comparison.
+        cond: CondOp,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Absolute instruction index of the taken path.
+        target: u32,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Global barrier.
+    Barrier,
+    /// Thread termination.
+    Halt,
+}
+
+impl ExecOp {
+    /// Whether the µop accesses data memory.
+    #[inline]
+    pub fn is_memory(&self) -> bool {
+        matches!(self, ExecOp::Load { .. } | ExecOp::Store { .. })
+    }
+
+    /// Whether the µop is a conditional branch.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        matches!(self, ExecOp::Branch { .. })
+    }
+
+    /// Whether the µop counts as floating-point for the energy model
+    /// (`Set` is always integer, matching the historical classification).
+    #[inline]
+    pub fn is_fp(&self) -> bool {
+        matches!(
+            self,
+            ExecOp::Alu { fp: true, .. } | ExecOp::Un { fp: true, .. }
+        )
+    }
+}
+
+/// Lowers every instruction into its µop.
+///
+/// # Panics
+///
+/// Panics if a branch target exceeds `u32` range (programs are validated
+/// to at most `u32::MAX` instructions long before this runs).
+pub fn predecode(insts: &[Inst]) -> Vec<ExecOp> {
+    insts.iter().map(predecode_one).collect()
+}
+
+fn predecode_one(inst: &Inst) -> ExecOp {
+    let narrow = |target: usize| u32::try_from(target).expect("program fits u32 PCs");
+    match *inst {
+        Inst::Alu { op, dst, a, b } => ExecOp::Alu {
+            op,
+            fp: op.is_fp(),
+            dst: dst.0,
+            a: Src::from_operand(a),
+            b: Src::from_operand(b),
+        },
+        Inst::Un { op, dst, a } => ExecOp::Un {
+            op,
+            fp: op.is_fp(),
+            dst: dst.0,
+            a: Src::from_operand(a),
+        },
+        Inst::Set { cond, dst, a, b } => ExecOp::Set {
+            cond,
+            dst: dst.0,
+            a: Src::from_operand(a),
+            b: Src::from_operand(b),
+        },
+        Inst::Load { dst, base, offset } => ExecOp::Load {
+            dst: dst.0,
+            base: base.0,
+            offset: offset as u64,
+        },
+        Inst::Store { src, base, offset } => ExecOp::Store {
+            src: Src::from_operand(src),
+            base: base.0,
+            offset: offset as u64,
+        },
+        Inst::Branch { cond, a, b, target } => ExecOp::Branch {
+            cond,
+            a: Src::from_operand(a),
+            b: Src::from_operand(b),
+            target: narrow(target),
+        },
+        Inst::Jump { target } => ExecOp::Jump {
+            target: narrow(target),
+        },
+        Inst::Barrier => ExecOp::Barrier,
+        Inst::Halt => ExecOp::Halt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Reg;
+
+    #[test]
+    fn operands_fold_to_raw_bits() {
+        assert_eq!(Src::from_operand(Operand::Reg(Reg(7))), Src::Reg(7));
+        assert_eq!(Src::from_operand(Operand::Imm(-1)), Src::Imm(u64::MAX));
+        assert_eq!(
+            Src::from_operand(Operand::ImmF(2.5)),
+            Src::Imm(2.5f64.to_bits())
+        );
+    }
+
+    #[test]
+    fn classification_and_offsets() {
+        let ops = predecode(&[
+            Inst::Alu {
+                op: AluOp::FMul,
+                dst: Reg(2),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::ImmF(0.5),
+            },
+            Inst::Un {
+                op: UnOp::Neg,
+                dst: Reg(3),
+                a: Operand::Reg(Reg(2)),
+            },
+            Inst::Load {
+                dst: Reg(4),
+                base: Reg(3),
+                offset: -8,
+            },
+            Inst::Branch {
+                cond: CondOp::Lt,
+                a: Operand::Reg(Reg(4)),
+                b: Operand::Imm(0),
+                target: 4,
+            },
+            Inst::Halt,
+        ]);
+        assert!(ops[0].is_fp());
+        assert!(!ops[1].is_fp());
+        assert!(ops[2].is_memory());
+        match ops[2] {
+            ExecOp::Load { offset, .. } => {
+                assert_eq!(offset, (-8i64) as u64, "offset pre-wrapped");
+            }
+            ref other => panic!("expected load, got {other:?}"),
+        }
+        assert!(ops[3].is_branch());
+        match ops[3] {
+            ExecOp::Branch { target, .. } => assert_eq!(target, 4),
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+        assert!(!ops[4].is_memory() && !ops[4].is_branch() && !ops[4].is_fp());
+    }
+
+    #[test]
+    fn set_is_integer_classified() {
+        let ops = predecode(&[
+            Inst::Set {
+                cond: CondOp::FLt,
+                dst: Reg(2),
+                a: Operand::ImmF(1.0),
+                b: Operand::ImmF(2.0),
+            },
+            Inst::Halt,
+        ]);
+        assert!(!ops[0].is_fp(), "Set counts as integer, even on floats");
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::cfg::{BranchInfo, Cfg};
 use crate::inst::{Inst, Operand, Reg};
+use crate::predecode::{predecode, ExecOp};
 use std::fmt;
 
 /// A validated, analyzed kernel program.
@@ -14,6 +15,9 @@ use std::fmt;
 #[derive(Debug, Clone)]
 pub struct Program {
     insts: Vec<Inst>,
+    /// Predecoded µop per pc (see [`crate::predecode`]) — the timing
+    /// simulator's hot path dispatches on this instead of `insts`.
+    decoded: Vec<ExecOp>,
     /// Indexed by pc; `None` for non-branch instructions.
     branch_info: Vec<Option<BranchInfo>>,
     num_regs: u16,
@@ -46,6 +50,7 @@ impl Program {
         let branch_info = cfg.analyze_branches(&insts);
         let num_regs = max_reg(&insts) + 1;
         Ok(Program {
+            decoded: predecode(&insts),
             insts,
             branch_info,
             num_regs,
@@ -60,6 +65,21 @@ impl Program {
     #[inline]
     pub fn inst(&self, pc: usize) -> &Inst {
         &self.insts[pc]
+    }
+
+    /// The predecoded µop at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn exec_op(&self, pc: usize) -> &ExecOp {
+        &self.decoded[pc]
+    }
+
+    /// All predecoded µops in order (one per instruction).
+    pub fn decoded(&self) -> &[ExecOp] {
+        &self.decoded
     }
 
     /// All instructions in order.
@@ -95,6 +115,7 @@ impl Program {
         let cfg = Cfg::build(&self.insts);
         Program {
             insts: self.insts.clone(),
+            decoded: self.decoded.clone(),
             branch_info: cfg.analyze_branches_with(&self.insts, max_block),
             num_regs: self.num_regs,
         }

@@ -2,6 +2,7 @@
 
 use dws_isa::{Program, VecMemory};
 use std::fmt;
+use std::sync::Arc;
 
 /// Input-size presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,8 +22,9 @@ type Verifier = Box<dyn Fn(&VecMemory) -> Result<(), String> + Send + Sync>;
 pub struct KernelSpec {
     /// Benchmark name (paper spelling).
     pub name: &'static str,
-    /// The compiled kernel.
-    pub program: Program,
+    /// The compiled kernel, shared so simulators clone the handle (with the
+    /// predecoded µop table) instead of the instruction stream.
+    pub program: Arc<Program>,
     /// Initialized functional memory (inputs + zeroed outputs).
     pub memory: VecMemory,
     /// Checks the final memory against a host-computed reference.
@@ -33,13 +35,13 @@ impl KernelSpec {
     /// Assembles a spec (used by the per-benchmark modules).
     pub fn new(
         name: &'static str,
-        program: Program,
+        program: impl Into<Arc<Program>>,
         memory: VecMemory,
         verifier: impl Fn(&VecMemory) -> Result<(), String> + Send + Sync + 'static,
     ) -> Self {
         KernelSpec {
             name,
-            program,
+            program: program.into(),
             memory,
             verifier: Box::new(verifier),
         }

@@ -74,7 +74,10 @@ pub struct CacheStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CacheArray {
-    sets: Vec<Vec<Line>>,
+    /// All lines, flattened as `[set * assoc + way]` so a set's ways sit in
+    /// one cache-resident stretch.
+    lines: Vec<Line>,
+    assoc: usize,
     set_mask: u64,
     tick: u64,
     /// Aggregate statistics.
@@ -86,17 +89,15 @@ impl CacheArray {
     pub fn new(config: &CacheConfig) -> Self {
         let num_sets = config.num_sets();
         CacheArray {
-            sets: vec![
-                vec![
-                    Line {
-                        tag: 0,
-                        state: MesiState::Invalid,
-                        lru: 0,
-                    };
-                    config.assoc
-                ];
-                num_sets
+            lines: vec![
+                Line {
+                    tag: 0,
+                    state: MesiState::Invalid,
+                    lru: 0,
+                };
+                config.assoc * num_sets
             ],
+            assoc: config.assoc,
             set_mask: num_sets as u64 - 1,
             tick: 0,
             stats: CacheStats::default(),
@@ -113,13 +114,26 @@ impl CacheArray {
         line_addr >> self.set_mask.count_ones()
     }
 
+    #[inline]
+    fn set(&self, set: usize) -> &[Line] {
+        &self.lines[set * self.assoc..(set + 1) * self.assoc]
+    }
+
+    #[inline]
+    fn set_mut(&mut self, set: usize) -> &mut [Line] {
+        &mut self.lines[set * self.assoc..(set + 1) * self.assoc]
+    }
+
     /// Looks up a line, updating LRU and hit/miss statistics.
     pub fn probe(&mut self, line_addr: u64) -> MesiState {
         let set = self.set_of(line_addr);
         let tag = self.tag_of(line_addr);
         self.tick += 1;
         let tick = self.tick;
-        for line in &mut self.sets[set] {
+        let assoc = self.assoc;
+        // Field-level slice (not the `set_mut` helper) so `self.stats`
+        // stays borrowable inside the loop.
+        for line in &mut self.lines[set * assoc..(set + 1) * assoc] {
             if line.state.valid() && line.tag == tag {
                 line.lru = tick;
                 self.stats.hits.incr();
@@ -134,12 +148,52 @@ impl CacheArray {
     pub fn peek(&self, line_addr: u64) -> MesiState {
         let set = self.set_of(line_addr);
         let tag = self.tag_of(line_addr);
-        for line in &self.sets[set] {
+        for line in self.set(set) {
             if line.state.valid() && line.tag == tag {
                 return line.state;
             }
         }
         MesiState::Invalid
+    }
+
+    /// [`peek`](Self::peek) that also reports which way holds the line, so
+    /// a later [`touch`](Self::touch) can replay the LRU/statistics update
+    /// of a [`probe`](Self::probe) without re-scanning the set.
+    pub fn lookup(&self, line_addr: u64) -> (MesiState, Option<usize>) {
+        let set = self.set_of(line_addr);
+        let tag = self.tag_of(line_addr);
+        for (w, line) in self.set(set).iter().enumerate() {
+            if line.state.valid() && line.tag == tag {
+                return (line.state, Some(w));
+            }
+        }
+        (MesiState::Invalid, None)
+    }
+
+    /// Completes a [`lookup`](Self::lookup) with exactly the side effects a
+    /// [`probe`](Self::probe) would have had: the LRU bump and hit count on
+    /// a remembered way, the miss count otherwise. Falls back to a full
+    /// probe when the remembered way no longer holds the line (it was
+    /// invalidated between lookup and touch, e.g. by an L2 back-
+    /// invalidation), preserving probe-equivalence in every case.
+    pub fn touch(&mut self, line_addr: u64, way: Option<usize>) -> MesiState {
+        if let Some(w) = way {
+            let set = self.set_of(line_addr);
+            let tag = self.tag_of(line_addr);
+            self.tick += 1;
+            let tick = self.tick;
+            let line = &mut self.lines[set * self.assoc + w];
+            if line.state.valid() && line.tag == tag {
+                line.lru = tick;
+                let state = line.state;
+                self.stats.hits.incr();
+                return state;
+            }
+            // The speculative tick bump must not stand when the remembered
+            // way went stale: undo before the full-probe fallback re-bumps.
+            self.tick -= 1;
+        }
+        self.probe(line_addr)
     }
 
     /// Installs a line in `state`, evicting the LRU victim if the set is
@@ -155,7 +209,8 @@ impl CacheArray {
         self.tick += 1;
         let tick = self.tick;
         let set_bits = self.set_mask.count_ones();
-        let lines = &mut self.sets[set];
+        let assoc = self.assoc;
+        let lines = &mut self.lines[set * assoc..(set + 1) * assoc];
         debug_assert!(
             !lines.iter().any(|l| l.state.valid() && l.tag == tag),
             "fill of already-present line {line_addr:#x}"
@@ -200,7 +255,7 @@ impl CacheArray {
     pub fn set_state(&mut self, line_addr: u64, state: MesiState) {
         let set = self.set_of(line_addr);
         let tag = self.tag_of(line_addr);
-        for line in &mut self.sets[set] {
+        for line in self.set_mut(set) {
             if line.state.valid() && line.tag == tag {
                 line.state = state;
                 return;
@@ -213,7 +268,7 @@ impl CacheArray {
     pub fn invalidate(&mut self, line_addr: u64) -> MesiState {
         let set = self.set_of(line_addr);
         let tag = self.tag_of(line_addr);
-        for line in &mut self.sets[set] {
+        for line in self.set_mut(set) {
             if line.state.valid() && line.tag == tag {
                 let prev = line.state;
                 line.state = MesiState::Invalid;
@@ -225,11 +280,7 @@ impl CacheArray {
 
     /// Number of valid lines currently resident (test/diagnostic helper).
     pub fn resident_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|l| l.state.valid())
-            .count()
+        self.lines.iter().filter(|l| l.state.valid()).count()
     }
 }
 

@@ -16,8 +16,7 @@ use crate::config::{CacheConfig, MemConfig};
 use crate::link::{Crossbar, Dram};
 use crate::mshr::{MshrFile, MshrId};
 use dws_engine::stats::{Counter, Distribution};
-use dws_engine::{Cycle, EventQueue, WakeHeap};
-use std::collections::HashMap;
+use dws_engine::{Cycle, EventQueue, FastHashMap, WakeHeap};
 
 /// Size of a coherence/request control message on the crossbar, in bytes.
 const CTRL_MSG_BYTES: u64 = 8;
@@ -105,12 +104,12 @@ struct L1 {
 
 struct L2 {
     array: CacheArray,
-    dir: HashMap<u64, DirEntry>,
+    dir: FastHashMap<u64, DirEntry>,
     /// Analytic MSHR occupancy: when each entry frees.
     mshr_free_at: Vec<Cycle>,
     /// Lines currently being fetched from DRAM -> fill time, so concurrent
     /// requesters observe the in-flight fill instead of a fresh DRAM trip.
-    inflight: HashMap<u64, Cycle>,
+    inflight: FastHashMap<u64, Cycle>,
     cfg: CacheConfig,
 }
 
@@ -172,8 +171,22 @@ struct WarpScratch {
     groups: Vec<(u64, bool)>,
     /// For each access index, the index of its line group.
     lane_group: Vec<usize>,
-    /// Distinct `(bank, word)` pairs in first-appearance order.
-    bank_words: Vec<(u64, u64)>,
+    /// Per-group lane count, filled during grouping.
+    group_count: Vec<u32>,
+    /// Per-group tag lookup from the feasibility pass `(state, way)`, so
+    /// the apply pass replays it without re-scanning the set.
+    group_info: Vec<(MesiState, Option<usize>)>,
+    /// Prefix sums of `group_count` (`groups.len() + 1` entries).
+    group_start: Vec<u32>,
+    /// Write cursors for the counting sort into `group_lanes`.
+    group_cursor: Vec<u32>,
+    /// Access indices counting-sorted by group: group `g`'s lanes are
+    /// `group_lanes[group_start[g]..group_start[g + 1]]`, in input order.
+    group_lanes: Vec<u32>,
+    /// Distinct words in first-appearance order, with their bank delay.
+    word_delay: Vec<(u64, u64)>,
+    /// Distinct words seen so far per bank.
+    bank_count: Vec<u64>,
     /// Per-access bank-queueing delay in cycles.
     lane_delay: Vec<u64>,
 }
@@ -190,6 +203,11 @@ pub struct MemorySystem {
     next_req: u64,
     stats: MemStats,
     scratch: WarpScratch,
+    /// `log2(l1d.line_bytes)` when that is a power of two, so the per-lane
+    /// address-to-line conversion is a shift instead of a 64-bit divide.
+    l1d_shift: Option<u32>,
+    /// Same for the I-cache line size.
+    l1i_shift: Option<u32>,
 }
 
 impl std::fmt::Debug for MemorySystem {
@@ -215,9 +233,9 @@ impl MemorySystem {
         let icaches = (0..cfg.n_l1s).map(|_| CacheArray::new(&cfg.l1i)).collect();
         let l2 = L2 {
             array: CacheArray::new(&cfg.l2),
-            dir: HashMap::new(),
+            dir: FastHashMap::default(),
             mshr_free_at: vec![Cycle::ZERO; cfg.l2.mshrs],
-            inflight: HashMap::new(),
+            inflight: FastHashMap::default(),
             cfg: cfg.l2,
         };
         MemorySystem {
@@ -230,6 +248,16 @@ impl MemorySystem {
             next_req: 0,
             stats: MemStats::default(),
             scratch: WarpScratch::default(),
+            l1d_shift: cfg
+                .l1d
+                .line_bytes
+                .is_power_of_two()
+                .then(|| cfg.l1d.line_bytes.trailing_zeros()),
+            l1i_shift: cfg
+                .l1i
+                .line_bytes
+                .is_power_of_two()
+                .then(|| cfg.l1i.line_bytes.trailing_zeros()),
             cfg,
         }
     }
@@ -240,7 +268,10 @@ impl MemorySystem {
     }
 
     fn line_of(&self, addr: u64) -> u64 {
-        addr / self.cfg.l1d.line_bytes
+        match self.l1d_shift {
+            Some(s) => addr >> s,
+            None => addr / self.cfg.l1d.line_bytes,
+        }
     }
 
     fn fresh_request(&mut self) -> RequestId {
@@ -290,48 +321,70 @@ impl MemorySystem {
 
         // Borrow the scratch buffers out of `self` so the loops below can
         // still use `self` freely; put back (with capacity intact) at exit.
-        let mut groups = std::mem::take(&mut self.scratch.groups);
-        let mut lane_group = std::mem::take(&mut self.scratch.lane_group);
-        let mut bank_words = std::mem::take(&mut self.scratch.bank_words);
-        let mut lane_delay = std::mem::take(&mut self.scratch.lane_delay);
-        groups.clear();
-        lane_group.clear();
-        bank_words.clear();
-        lane_delay.clear();
+        let mut s = std::mem::take(&mut self.scratch);
+        s.groups.clear();
+        s.lane_group.clear();
+        s.group_count.clear();
+        s.group_info.clear();
+        s.word_delay.clear();
+        s.lane_delay.clear();
 
         // Group lanes by line, preserving first-appearance order. Warp
         // width is small (<= 64), so linear scans beat hashing here.
         for a in accesses {
             let line = self.line_of(a.addr);
             let is_store = a.kind == AccessKind::Store;
-            match groups.iter_mut().position(|(l, _)| *l == line) {
+            match s.groups.iter_mut().position(|(l, _)| *l == line) {
                 Some(g) => {
-                    groups[g].1 |= is_store;
-                    lane_group.push(g);
+                    s.groups[g].1 |= is_store;
+                    s.group_count[g] += 1;
+                    s.lane_group.push(g);
                 }
                 None => {
-                    groups.push((line, is_store));
-                    lane_group.push(groups.len() - 1);
+                    s.groups.push((line, is_store));
+                    s.group_count.push(1);
+                    s.lane_group.push(s.groups.len() - 1);
                 }
             }
         }
 
+        // Counting sort of access indices by group, so the apply pass can
+        // walk each group's lanes as a slice instead of filtering the whole
+        // warp once per group.
+        s.group_start.clear();
+        s.group_start.push(0);
+        let mut acc = 0u32;
+        for &c in &s.group_count {
+            acc += c;
+            s.group_start.push(acc);
+        }
+        s.group_cursor.clear();
+        s.group_cursor
+            .extend_from_slice(&s.group_start[..s.groups.len()]);
+        s.group_lanes.clear();
+        s.group_lanes.resize(accesses.len(), 0);
+        for (i, &g) in s.lane_group.iter().enumerate() {
+            s.group_lanes[s.group_cursor[g] as usize] = i as u32;
+            s.group_cursor[g] += 1;
+        }
+
         let accepted = 'body: {
             // Feasibility check (no mutation): count fresh MSHRs needed and
-            // verify merge capacity.
+            // verify merge capacity. The tag lookup records the hit way so
+            // the apply pass can replay the probe without re-scanning.
             {
                 let l1c = &self.l1s[l1];
                 let mut fresh_needed = 0usize;
-                for (g, (line, any_store)) in groups.iter().enumerate() {
-                    let state = l1c.array.peek(*line);
+                for (g, (line, any_store)) in s.groups.iter().enumerate() {
+                    let (state, way) = l1c.array.lookup(*line);
+                    s.group_info.push((state, way));
                     let is_hit = state.valid() && (!any_store || state.writable());
                     if is_hit {
                         continue;
                     }
                     match l1c.mshrs.find(*line) {
                         Some(id) => {
-                            let merging = lane_group.iter().filter(|&&x| x == g).count();
-                            if !l1c.mshrs.can_merge(id, merging) {
+                            if !l1c.mshrs.can_merge(id, s.group_count[g] as usize) {
                                 self.stats.rejections.incr();
                                 break 'body false;
                             }
@@ -346,26 +399,25 @@ impl MemorySystem {
             }
 
             // Bank queueing: unique words per bank serialize. The delay of
-            // a word is its rank among distinct same-bank words.
+            // a word is its rank among distinct same-bank words; repeated
+            // words reuse the delay memoized at first appearance.
             let banks = self.cfg.l1d.banks as u64;
             let penalty = self.cfg.bank_conflict_penalty;
+            s.bank_count.clear();
+            s.bank_count.resize(self.cfg.l1d.banks, 0);
             for a in accesses {
                 let word = a.addr / 8;
-                let bank = word % banks;
-                let pos = match bank_words
-                    .iter()
-                    .filter(|(b, _)| *b == bank)
-                    .position(|(_, w)| *w == word)
-                {
-                    Some(p) => p,
+                let delay = match s.word_delay.iter().find(|&&(w, _)| w == word) {
+                    Some(&(_, d)) => d,
                     None => {
-                        let p = bank_words.iter().filter(|(b, _)| *b == bank).count();
-                        bank_words.push((bank, word));
-                        p
+                        let bank = (word % banks) as usize;
+                        let d = s.bank_count[bank] * penalty;
+                        s.bank_count[bank] += 1;
+                        s.word_delay.push((word, d));
+                        d
                     }
                 };
-                let delay = pos as u64 * penalty;
-                lane_delay.push(delay);
+                s.lane_delay.push(delay);
                 self.stats.bank_conflict_cycles.add(delay);
             }
 
@@ -379,18 +431,21 @@ impl MemorySystem {
                 },
             }));
 
-            for (g, &(line, any_store)) in groups.iter().enumerate() {
+            for (g, &(line, any_store)) in s.groups.iter().enumerate() {
                 self.stats.l1d_line_accesses.incr();
-                let state = self.l1s[l1].array.probe(line);
+                let state = self.l1s[l1].array.touch(line, s.group_info[g].1);
                 let is_hit = state.valid() && (!any_store || state.writable());
+                let lanes =
+                    &s.group_lanes[s.group_start[g] as usize..s.group_start[g + 1] as usize];
                 if is_hit {
                     self.stats.l1d_hits.incr();
                     // Store to E silently upgrades to M.
                     if any_store && state == MesiState::Exclusive {
                         self.l1s[l1].array.set_state(line, MesiState::Modified);
                     }
-                    for (i, _) in lane_group.iter().enumerate().filter(|(_, &x)| x == g) {
-                        let ready = now + self.cfg.l1d.hit_latency + lane_delay[i];
+                    for &i in lanes {
+                        let i = i as usize;
+                        let ready = now + self.cfg.l1d.hit_latency + s.lane_delay[i];
                         out[i] = LaneOutcome {
                             lane: accesses[i].lane,
                             outcome: AccessOutcome::Hit {
@@ -431,7 +486,8 @@ impl MemorySystem {
                         id
                     }
                 };
-                for (i, _) in lane_group.iter().enumerate().filter(|(_, &x)| x == g) {
+                for &i in lanes {
+                    let i = i as usize;
                     let req = self.fresh_request();
                     self.l1s[l1].mshrs.add_target(mshr_id, req);
                     out[i] = LaneOutcome {
@@ -446,10 +502,7 @@ impl MemorySystem {
             true
         };
 
-        self.scratch.groups = groups;
-        self.scratch.lane_group = lane_group;
-        self.scratch.bank_words = bank_words;
-        self.scratch.lane_delay = lane_delay;
+        self.scratch = s;
         if !accepted {
             out.clear();
         }
@@ -651,7 +704,7 @@ impl MemorySystem {
             // minimum is always the entry being drained.
             let mirrored = self.l1s[l1].fills.pop();
             debug_assert_eq!(mirrored.map(|(t, ())| t), Some(at), "fill mirror drift");
-            let entry = self.l1s[l1].mshrs.release(mshr_id);
+            let mut entry = self.l1s[l1].mshrs.release(mshr_id);
             self.l1s[l1].gen += 1;
             let line = entry.line_addr;
             // Decide the install state from the directory at fill time.
@@ -678,13 +731,14 @@ impl MemorySystem {
             } else if let Some(victim) = self.l1s[l1].array.fill(line, state) {
                 self.handle_l1_eviction(at, l1, victim.line_addr, victim.state);
             }
-            for req in entry.targets {
+            for req in entry.targets.drain(..) {
                 out.push(Completion {
                     l1,
                     request: req,
                     at,
                 });
             }
+            self.l1s[l1].mshrs.recycle_targets(entry.targets);
         }
     }
 
@@ -742,7 +796,10 @@ impl MemorySystem {
     /// is laid out at 4 bytes per instruction in its own address space.
     pub fn icache_fetch(&mut self, now: Cycle, l1: usize, pc: usize) -> Cycle {
         self.stats.l1i_fetches.incr();
-        let line = (pc as u64 * 4) / self.cfg.l1i.line_bytes;
+        let line = match self.l1i_shift {
+            Some(s) => (pc as u64 * 4) >> s,
+            None => (pc as u64 * 4) / self.cfg.l1i.line_bytes,
+        };
         let state = self.icaches[l1].probe(line);
         if state.valid() {
             now + self.cfg.l1i.hit_latency

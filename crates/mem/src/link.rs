@@ -13,7 +13,6 @@
 
 use dws_engine::stats::Counter;
 use dws_engine::Cycle;
-use std::collections::BTreeMap;
 
 /// Cycles per bandwidth-accounting epoch.
 const EPOCH_CYCLES: u64 = 32;
@@ -23,8 +22,10 @@ const EPOCH_CYCLES: u64 = 32;
 pub struct Link {
     latency: u64,
     bytes_per_cycle: u64,
-    /// Epoch index -> bytes consumed in that epoch.
-    buckets: BTreeMap<u64, u64>,
+    /// Epoch index -> bytes consumed, sorted by epoch. Live epochs number
+    /// in the dozens, so a binary-searched vector beats a tree (or hash)
+    /// on this once-per-transfer path.
+    buckets: Vec<(u64, u64)>,
     /// Transfers performed.
     pub transfers: Counter,
     /// Bytes moved.
@@ -45,7 +46,7 @@ impl Link {
         Link {
             latency,
             bytes_per_cycle,
-            buckets: BTreeMap::new(),
+            buckets: Vec::new(),
             transfers: Counter::new(),
             bytes_moved: Counter::new(),
             queue_cycles: Counter::new(),
@@ -62,8 +63,20 @@ impl Link {
         let mut remaining = bytes;
         let mut last_epoch = epoch;
         let mut last_used = 0u64;
+        // Position of `epoch` in the sorted bucket list; consecutive epochs
+        // continue from here without re-searching. Submissions are nearly
+        // monotonic, so check the tail before binary-searching.
+        let mut pos = match self.buckets.last() {
+            None => 0,
+            Some(&(e, _)) if epoch > e => self.buckets.len(),
+            Some(&(e, _)) if epoch == e => self.buckets.len() - 1,
+            _ => self.buckets.partition_point(|&(e, _)| e < epoch),
+        };
         while remaining > 0 {
-            let used = self.buckets.entry(epoch).or_insert(0);
+            if self.buckets.get(pos).map(|&(e, _)| e) != Some(epoch) {
+                self.buckets.insert(pos, (epoch, 0));
+            }
+            let used = &mut self.buckets[pos].1;
             let avail = cap.saturating_sub(*used);
             if avail > 0 {
                 let take = avail.min(remaining);
@@ -74,6 +87,7 @@ impl Link {
             }
             if remaining > 0 {
                 epoch += 1;
+                pos += 1;
             }
         }
         // Uncontended completion plus any contention spill.
@@ -86,7 +100,8 @@ impl Link {
         // Prune ancient epochs; submission times are (nearly) monotonic.
         if self.buckets.len() > 4096 {
             let cutoff = (now.raw() / EPOCH_CYCLES).saturating_sub(64);
-            self.buckets = self.buckets.split_off(&cutoff);
+            let keep_from = self.buckets.partition_point(|&(e, _)| e < cutoff);
+            self.buckets.drain(..keep_from);
         }
         done + self.latency
     }

@@ -6,7 +6,7 @@
 //! line as the SIMD width requires."
 
 use crate::hierarchy::RequestId;
-use dws_engine::Cycle;
+use dws_engine::{Cycle, FastHashMap};
 
 /// Index of an MSHR entry within a file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,6 +32,16 @@ pub struct MshrEntry {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     entries: Vec<Option<MshrEntry>>,
+    /// Line address -> occupied slot, so [`MshrFile::find`] (which runs on
+    /// every L1 access group, including inside the allocation assert) does
+    /// not scan the file.
+    line_map: FastHashMap<u64, usize>,
+    /// Retired target vectors, recycled into new entries so the steady
+    /// state allocates no per-miss buffers.
+    spare_targets: Vec<Vec<RequestId>>,
+    /// Occupancy bitmask per 64 slots: a free slot is found by bit scan
+    /// instead of walking the entry array.
+    occupied: Vec<u64>,
     max_targets: usize,
     in_use: usize,
 }
@@ -43,6 +53,9 @@ impl MshrFile {
         assert!(entries > 0 && max_targets > 0);
         MshrFile {
             entries: vec![None; entries],
+            line_map: FastHashMap::default(),
+            spare_targets: Vec::new(),
+            occupied: vec![0; entries.div_ceil(64)],
             max_targets,
             in_use: 0,
         }
@@ -50,10 +63,7 @@ impl MshrFile {
 
     /// Finds the entry tracking `line_addr`, if any.
     pub fn find(&self, line_addr: u64) -> Option<MshrId> {
-        self.entries
-            .iter()
-            .position(|e| e.as_ref().map(|e| e.line_addr) == Some(line_addr))
-            .map(MshrId)
+        self.line_map.get(&line_addr).map(|&slot| MshrId(slot))
     }
 
     /// Whether a new entry can be allocated.
@@ -77,16 +87,24 @@ impl MshrFile {
             self.find(line_addr).is_none(),
             "line {line_addr:#x} already has an MSHR"
         );
+        // Lowest free index, matching MshrId assignment from the original
+        // full scan of the entry array.
         let slot = self
-            .entries
+            .occupied
             .iter()
-            .position(|e| e.is_none())
+            .enumerate()
+            .find_map(|(w, &bits)| {
+                let free = !bits & Self::word_mask(self.entries.len(), w);
+                (free != 0).then(|| w * 64 + free.trailing_zeros() as usize)
+            })
             .expect("MSHR file full; check has_free() first");
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+        self.line_map.insert(line_addr, slot);
         self.entries[slot] = Some(MshrEntry {
             line_addr,
             exclusive,
             upgrade: false,
-            targets: Vec::new(),
+            targets: self.spare_targets.pop().unwrap_or_default(),
             fill_at,
         });
         self.in_use += 1;
@@ -118,8 +136,28 @@ impl MshrFile {
     /// Releases an entry, returning its coalesced targets.
     pub fn release(&mut self, id: MshrId) -> MshrEntry {
         let e = self.entries[id.0].take().expect("release of free MSHR");
+        self.occupied[id.0 / 64] &= !(1 << (id.0 % 64));
+        self.line_map.remove(&e.line_addr);
         self.in_use -= 1;
         e
+    }
+
+    /// Valid-slot bits of occupancy word `w` for a file of `len` entries.
+    #[inline]
+    fn word_mask(len: usize, w: usize) -> u64 {
+        let remaining = len - (w * 64).min(len);
+        if remaining >= 64 {
+            !0
+        } else {
+            (1u64 << remaining) - 1
+        }
+    }
+
+    /// Returns a released entry's (drained) target buffer to the recycle
+    /// pool, so the next [`allocate`](Self::allocate) reuses its capacity.
+    pub fn recycle_targets(&mut self, mut targets: Vec<RequestId>) {
+        targets.clear();
+        self.spare_targets.push(targets);
     }
 
     /// Borrows an entry.

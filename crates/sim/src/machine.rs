@@ -34,7 +34,7 @@ impl std::fmt::Debug for Machine {
 impl Machine {
     /// Builds a machine for `config` loaded with `spec`'s program and data.
     pub fn new(config: &SimConfig, spec: &KernelSpec) -> Machine {
-        let program = Arc::new(spec.program.clone());
+        let program = Arc::clone(&spec.program);
         let threads_per_wpu = (config.width * config.n_warps) as u64;
         let nthreads = config.total_threads();
         let wpus: Vec<Wpu> = (0..config.n_wpus)
@@ -152,6 +152,7 @@ impl Machine {
                 // refreshes its wake time).
                 wake[c.l1] = Some(wake[c.l1].map_or(now, |w| w.min(now)));
             }
+            let mut any_busy = false;
             for i in 0..n {
                 if wake[i].is_none_or(|w| w > now) {
                     continue;
@@ -164,7 +165,10 @@ impl Machine {
                 m.last_class[i] = t;
                 charged[i] = now + 1;
                 wake[i] = match t {
-                    TickClass::Busy => Some(now + 1),
+                    TickClass::Busy => {
+                        any_busy = true;
+                        Some(now + 1)
+                    }
                     TickClass::Done => None,
                     TickClass::StallMem | TickClass::Idle => m.wpus[i].cached_next_wake(),
                 };
@@ -191,6 +195,21 @@ impl Machine {
                     cycles: m.now.raw(),
                     diagnostics: m.diagnostics(),
                 });
+            }
+            // A busy WPU wakes at `now + 1` (already the new `m.now`), every
+            // other wake source is strictly later, and fills scheduled this
+            // cycle land in the future — so the event scan below would
+            // return exactly `m.now`. Skip it.
+            if any_busy {
+                if lockstep {
+                    let at = m.now;
+                    for (i, w) in m.wpus.iter().enumerate() {
+                        if !w.done() {
+                            wake[i] = Some(at);
+                        }
+                    }
+                }
+                continue;
             }
             // Sleep until the earliest per-WPU event: a cached group wake
             // or a fill bound for that WPU's L1.

@@ -6,10 +6,12 @@
 //! ```
 //!
 //! Rows are matched by `(bench, policy)`. A row regresses when its new
-//! `mcycles_per_sec` falls more than `PCT` percent below the old value
-//! (default 20). The fig13 sweep wall-clock times are compared the same
-//! way (lower is better there). Exit status is nonzero when any row
-//! regresses, so CI can run this advisorily or as a gate.
+//! `mcycles_per_sec` or `minsts_per_sec` falls more than `PCT` percent
+//! below the old value (default 20). Rows present in only one of the two
+//! files are listed (`gone` / `new`) rather than dropped. The fig13 sweep
+//! wall-clock times are compared the same way (lower is better there).
+//! Exit status is nonzero when any row regresses, so CI can run this
+//! advisorily or as a gate.
 //!
 //! The parser is purpose-built for the writer in `simspeed.rs` — a flat
 //! scan for string/number fields inside `{...}` objects — not a general
@@ -24,6 +26,7 @@ struct Row {
     bench: String,
     policy: String,
     mcyc: f64,
+    minst: f64,
 }
 
 /// The fields of a report that the diff consumes.
@@ -98,6 +101,7 @@ fn parse_report(json: &str) -> Report {
                 bench: str_field(obj, "bench")?,
                 policy: str_field(obj, "policy")?,
                 mcyc: num_field(obj, "mcycles_per_sec")?,
+                minst: num_field(obj, "minsts_per_sec")?,
             })
         })
         .collect();
@@ -150,8 +154,8 @@ fn main() -> ExitCode {
     let mut table = String::new();
     let _ = writeln!(
         table,
-        "{:8} {:16} {:>10} {:>10} {:>8}",
-        "bench", "policy", "old Mc/s", "new Mc/s", "delta"
+        "{:8} {:16} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}",
+        "bench", "policy", "old Mc/s", "new Mc/s", "delta", "old Mi/s", "new Mi/s", "delta"
     );
     let mut regressions = Vec::new();
     for o in &old.rows {
@@ -162,19 +166,40 @@ fn main() -> ExitCode {
         else {
             let _ = writeln!(
                 table,
-                "{:8} {:16} {:>10.3} {:>10} {:>8}",
-                o.bench, o.policy, o.mcyc, "-", "gone"
+                "{:8} {:16} {:>10.3} {:>10} {:>8} {:>10.3} {:>10} {:>8}",
+                o.bench, o.policy, o.mcyc, "-", "gone", o.minst, "-", "gone"
             );
             continue;
         };
-        let pct = (n.mcyc / o.mcyc - 1.0) * 100.0;
+        let cyc_pct = (n.mcyc / o.mcyc - 1.0) * 100.0;
+        let inst_pct = (n.minst / o.minst - 1.0) * 100.0;
         let _ = writeln!(
             table,
-            "{:8} {:16} {:>10.3} {:>10.3} {:>+7.1}%",
-            o.bench, o.policy, o.mcyc, n.mcyc, pct
+            "{:8} {:16} {:>10.3} {:>10.3} {:>+7.1}% {:>10.3} {:>10.3} {:>+7.1}%",
+            o.bench, o.policy, o.mcyc, n.mcyc, cyc_pct, o.minst, n.minst, inst_pct
         );
-        if pct < -max_regress {
-            regressions.push(format!("{} {}: {:+.1}%", o.bench, o.policy, pct));
+        if cyc_pct < -max_regress {
+            regressions.push(format!("{} {}: {:+.1}% Mcyc/s", o.bench, o.policy, cyc_pct));
+        }
+        if inst_pct < -max_regress {
+            regressions.push(format!(
+                "{} {}: {:+.1}% Minst/s",
+                o.bench, o.policy, inst_pct
+            ));
+        }
+    }
+    // Rows only the new report has — surfaced, not silently dropped.
+    for n in &new.rows {
+        if !old
+            .rows
+            .iter()
+            .any(|o| o.bench == n.bench && o.policy == n.policy)
+        {
+            let _ = writeln!(
+                table,
+                "{:8} {:16} {:>10} {:>10.3} {:>8} {:>10} {:>10.3} {:>8}",
+                n.bench, n.policy, "-", n.mcyc, "new", "-", n.minst, "new"
+            );
         }
     }
     // Sweep wall clock: lower is better, so a regression is time growing.

@@ -103,8 +103,11 @@ fn main() {
         }
     }
 
-    // Part 2: the full Figure 13 sweep, serial vs the worker pool.
+    // Part 2: the full Figure 13 sweep, serial vs the worker pool. On a
+    // single-core host the pool degenerates to the serial run, so skip it
+    // rather than reporting a meaningless 1.0x "speedup".
     let workers = dws::sim::sweep::default_workers();
+    let available_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     let specs: Vec<Arc<KernelSpec>> = Benchmark::ALL
         .into_iter()
         .map(|b| Arc::new(b.build(scale, seed)))
@@ -113,11 +116,17 @@ fn main() {
     println!("\n-- fig13 sweep wall clock ({jobs} jobs) --");
     let serial = time_sweep(fig13_sweep(&specs).with_workers(1));
     println!("serial   (1 worker):  {serial:7.2}s");
-    let parallel = time_sweep(fig13_sweep(&specs).with_workers(workers));
-    println!(
-        "parallel ({workers} workers): {parallel:7.2}s  -> {:.2}x",
-        serial / parallel
-    );
+    let parallel = if workers > 1 {
+        let parallel = time_sweep(fig13_sweep(&specs).with_workers(workers));
+        println!(
+            "parallel ({workers} workers): {parallel:7.2}s  -> {:.2}x",
+            serial / parallel
+        );
+        Some(parallel)
+    } else {
+        println!("parallel run skipped (1 worker available)");
+        None
+    };
 
     // Hand-rolled JSON: the repo builds offline, with no serialization dep.
     let mut json = String::from("{\n");
@@ -143,9 +152,21 @@ fn main() {
     json.push_str("  \"fig13_sweep\": {\n");
     let _ = writeln!(json, "    \"jobs\": {jobs},");
     let _ = writeln!(json, "    \"workers\": {workers},");
+    let _ = writeln!(
+        json,
+        "    \"available_parallelism\": {available_parallelism},"
+    );
     let _ = writeln!(json, "    \"serial_seconds\": {serial:.4},");
-    let _ = writeln!(json, "    \"parallel_seconds\": {parallel:.4},");
-    let _ = writeln!(json, "    \"parallel_speedup\": {:.4}", serial / parallel);
+    match parallel {
+        Some(p) => {
+            let _ = writeln!(json, "    \"parallel_seconds\": {p:.4},");
+            let _ = writeln!(json, "    \"parallel_speedup\": {:.4}", serial / p);
+        }
+        None => {
+            let _ = writeln!(json, "    \"parallel_seconds\": null,");
+            let _ = writeln!(json, "    \"parallel_speedup\": null");
+        }
+    }
     json.push_str("  }\n}\n");
     std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
     println!("\nwrote BENCH_simspeed.json");
