@@ -27,6 +27,19 @@ cargo test -q --release --offline -p dws-sim --test event_equivalence
 cargo test -q --release --offline -p dws-core --test random_policies
 cargo test -q --release --offline -p dws-core --test uop_differential
 
+echo "== tier-1 robustness guards (named, release) =="
+# Chaos battery (fault plans x policies, sanitizer forced on) and sweep
+# panic isolation — the machine must fail loudly and precisely, never
+# hang or take sibling jobs down with it.
+cargo test -q --release --offline -p dws-sim --test chaos_invariants
+cargo test -q --release --offline -p dws-sim --test sweep_panic_isolation
+
+echo "== DWS_SANITIZE=1 release smoke run =="
+# One paper-scale simulation with the debug-only scheduler-sync and
+# µop-oracle checks promoted into the release binary.
+DWS_SANITIZE=1 cargo run -q --release --offline --bin dws-cli -- \
+  run --bench Merge --scale test --policy revive > /dev/null
+
 # Advisory perf check: compares the committed simspeed baseline against
 # the previous one when a bench run has left it behind. Regressions are
 # reported but do not fail CI (host speed varies across machines).

@@ -61,8 +61,8 @@ impl RegFile {
     }
 
     /// A read-only single-lane view that records the register write instead
-    /// of applying it (debug-build differential oracle).
-    #[cfg(debug_assertions)]
+    /// of applying it (differential oracle: debug builds and `DWS_SANITIZE`
+    /// release runs).
     #[inline]
     pub(crate) fn shadow(&self, lane: usize) -> ShadowLane<'_> {
         ShadowLane {
@@ -92,17 +92,15 @@ impl LaneRegs for LaneView<'_> {
 }
 
 /// A read-only lane view that captures the (single) register write of one
-/// instruction instead of performing it. Used by the debug-build oracle to
+/// instruction instead of performing it. Used by the differential oracle to
 /// precompute the legacy path's effect *before* the warp-wide kernel
 /// mutates the file, then assert the kernel produced the same value.
-#[cfg(debug_assertions)]
 pub(crate) struct ShadowLane<'a> {
     rf: &'a RegFile,
     lane: usize,
     written: Option<(u16, u64)>,
 }
 
-#[cfg(debug_assertions)]
 impl ShadowLane<'_> {
     /// The `(reg, value)` the instruction would have written, if any.
     pub(crate) fn written(&self) -> Option<(u16, u64)> {
@@ -110,7 +108,6 @@ impl ShadowLane<'_> {
     }
 }
 
-#[cfg(debug_assertions)]
 impl LaneRegs for ShadowLane<'_> {
     #[inline]
     fn reg(&self, r: Reg) -> u64 {

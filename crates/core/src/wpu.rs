@@ -15,6 +15,7 @@ use crate::stats::WpuStats;
 use crate::trace::{TraceEvent, Tracer};
 use crate::warp::{Frame, Warp};
 use crate::wst::WstAccounting;
+use dws_engine::fault::{FaultInjector, FaultPlan};
 use dws_engine::{Cycle, FastHashMap, ReadyRing, WakeHeap};
 use dws_isa::cfg::RECONV_NONE;
 use dws_isa::{execute_lane, CondOp, ExecOp, MemoryAccess, Program, Reg, Src, StepOutcome};
@@ -185,6 +186,12 @@ pub struct Wpu {
     /// Off routes every lane through the legacy per-lane interpreter —
     /// kept as the differential oracle, like `use_scan_scheduler`.
     use_uop_engine: bool,
+    /// Cross-check fast paths against their oracles (scheduler-index sync,
+    /// µop-vs-interpreter agreement) — always on in debug builds, and on
+    /// in release under `DWS_SANITIZE=1`; latched at construction.
+    check_oracle: bool,
+    /// Deterministic timing-fault injection; `None` outside chaos runs.
+    fault: Option<FaultInjector>,
     /// Statistics for this WPU.
     pub stats: WpuStats,
 }
@@ -273,6 +280,8 @@ impl Wpu {
             barrier_lanes: 0,
             use_scan_scheduler: false,
             use_uop_engine: true,
+            check_oracle: cfg!(debug_assertions) || dws_engine::sanitize::enabled(),
+            fault: None,
             stats: WpuStats::default(),
             program: Arc::clone(&program),
             cfg,
@@ -347,6 +356,13 @@ impl Wpu {
         self.use_uop_engine = on;
     }
 
+    /// Arms deterministic fault injection (wake jitter, scheduler-heap
+    /// churn). Each WPU draws from its own stream, salted by its id; a
+    /// zero-fault plan installs nothing and leaves timing untouched.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan.injector(0x5750_5500 + self.cfg.id as u64);
+    }
+
     /// Whether any thread is blocked on an outstanding memory request.
     pub fn any_mem_pending(&self) -> bool {
         !self.req_map.is_empty()
@@ -360,6 +376,16 @@ impl Wpu {
     /// Peak warp-split table occupancy observed.
     pub fn wst_peak(&self) -> usize {
         self.wst.peak()
+    }
+
+    /// Current warp-split table occupancy (diagnostics).
+    pub fn wst_used(&self) -> usize {
+        self.wst.used()
+    }
+
+    /// Warp-split table capacity (diagnostics).
+    pub fn wst_capacity(&self) -> usize {
+        self.wst.capacity()
     }
 
     /// The earliest future cycle at which a currently-ready group becomes
@@ -505,9 +531,24 @@ impl Wpu {
         }
     }
 
-    /// Debug-build invariant check: the incremental counters, the ready
-    /// ring, and the cached wake time must agree with a fresh slab scan.
-    #[cfg(debug_assertions)]
+    /// Re-enqueues every slotted ready group waiting in the pending heap
+    /// under a fresh stamp, orphaning the old entries as stale. Only
+    /// called when the ready ring is empty, so each such group has exactly
+    /// one live entry; its wake time is preserved, making the churn
+    /// timing-invisible.
+    fn churn_pending_heap(&mut self) {
+        for i in 0..self.groups.len() {
+            let Some(k) = self.sched[i].key else { continue };
+            if k.slotted && k.status == GroupStatus::Ready && !self.ready.contains(i) {
+                self.sched[i].stamp += 1;
+                self.pending.push(k.ready_at, (i, self.sched[i].stamp));
+            }
+        }
+    }
+
+    /// Invariant check (debug builds and `DWS_SANITIZE=1`): the
+    /// incremental counters, the ready ring, and the cached wake time must
+    /// agree with a fresh slab scan.
     fn assert_sched_sync(&self, now: Cycle) {
         let mut n_slotted = 0;
         let mut n_slotted_ready = 0;
@@ -709,18 +750,22 @@ impl Wpu {
         let status = self.group(gid).status;
         match status {
             GroupStatus::WaitMem => {
+                // Fault injection: jitter the wakeup. Timing-only — the
+                // group still flows through resched and the pending heap.
+                let jitter = self.fault.as_mut().map_or(0, FaultInjector::wake_jitter);
                 let g = self.group_mut(gid);
                 g.status = GroupStatus::Ready;
-                g.ready_at = at;
+                g.ready_at = at + jitter;
                 self.resched(gid);
                 if self.dws_pc_based() {
                     self.try_pc_merge_at(gid, at);
                 }
             }
             GroupStatus::SlipSuspended if self.group(gid).slip_catchup => {
+                let jitter = self.fault.as_mut().map_or(0, FaultInjector::wake_jitter);
                 let g = self.group_mut(gid);
                 g.status = GroupStatus::Ready;
-                g.ready_at = at;
+                g.ready_at = at + jitter;
                 g.slip_pc = None;
                 self.resched(gid);
                 self.try_slot(gid);
@@ -833,13 +878,23 @@ impl Wpu {
             self.next_wake = None;
             return TickClass::Done;
         }
+        // Fault injection: churn the pending heap while it is quiescent,
+        // leaving stale entries behind for the stamp-based invalidation
+        // paths to drop. Wake times are unchanged, so this perturbs only
+        // the index structures the nominal run never stresses this way.
+        if let Some(f) = &mut self.fault {
+            if f.sched_churn() {
+                self.churn_pending_heap();
+            }
+        }
         // The incremental counters classify the stall, and the pending heap
         // yields the earliest wake time — no slab rescan. At this point the
         // ready ring is empty (pick_group returned None), so every slotted
         // ready group sits in the heap at a strictly future cycle.
         self.refresh_next_wake();
-        #[cfg(debug_assertions)]
-        self.assert_sched_sync(now);
+        if self.check_oracle {
+            self.assert_sched_sync(now);
+        }
         if self.n_wait_mem > 0 {
             self.stats.mem_stall_cycles.incr();
             TickClass::StallMem
@@ -863,11 +918,13 @@ impl Wpu {
         }
         self.surface_ready(now);
         let picked = self.ready.next_from(self.rr_cursor);
-        debug_assert_eq!(
-            picked.map(GroupId),
-            self.scan_next_issuable(now),
-            "ready ring diverged from slab scan at {now}"
-        );
+        if self.check_oracle {
+            assert_eq!(
+                picked.map(GroupId),
+                self.scan_next_issuable(now),
+                "ready ring diverged from slab scan at {now}"
+            );
+        }
         let i = picked?;
         self.rr_cursor = (i + 1) % self.groups.len();
         Some(GroupId(i))
@@ -1438,17 +1495,16 @@ impl Wpu {
     /// Executes an ALU/Un/Set instruction across the active lanes: through
     /// the warp-wide kernels (one opcode dispatch for the whole warp) or,
     /// with the µop engine off, through the legacy per-lane interpreter.
-    /// Debug builds precompute every lane's legacy result *before* the
-    /// kernel runs (the destination may alias a source) and assert the
-    /// engines agree.
+    /// With the oracle on (debug builds, `DWS_SANITIZE=1`), every lane's
+    /// legacy result is precomputed *before* the kernel runs (the
+    /// destination may alias a source) and the engines must agree.
     fn exec_compute(&mut self, warp: usize, pc: usize, mask: Mask, op: ExecOp) {
-        // Fixed-size capture (a mask holds at most 64 lanes), so the debug
+        // Fixed-size capture (a mask holds at most 64 lanes), so the
         // oracle does not allocate — the zero-alloc steady-state guard also
-        // runs in debug builds.
-        #[cfg(debug_assertions)]
-        let mut expected: [Option<(u16, u64)>; 64] = [None; 64];
-        #[cfg(debug_assertions)]
-        {
+        // runs in debug builds. `None` when the oracle is off, so the
+        // release fast path never initializes the array.
+        let expected: Option<[Option<(u16, u64)>; 64]> = if self.check_oracle {
+            let mut expected = [None; 64];
             let inst = self.program.inst(pc);
             let rf = &self.warps[warp].regs;
             for lane in mask.iter() {
@@ -1457,7 +1513,10 @@ impl Wpu {
                 debug_assert_eq!(out, StepOutcome::Next);
                 expected[lane] = sh.written();
             }
-        }
+            Some(expected)
+        } else {
+            None
+        };
         if self.use_uop_engine {
             let rf = &mut self.warps[warp].regs;
             match op {
@@ -1474,8 +1533,7 @@ impl Wpu {
                 debug_assert_eq!(out, StepOutcome::Next);
             }
         }
-        #[cfg(debug_assertions)]
-        {
+        if let Some(expected) = &expected {
             let rf = &self.warps[warp].regs;
             for lane in mask.iter() {
                 if let Some((r, v)) = expected[lane] {
@@ -1504,8 +1562,7 @@ impl Wpu {
         let mask = self.group(gid).mask;
         let taken = if self.use_uop_engine {
             let taken = exec::branch_taken(&self.warps[warp].regs, mask, cond, a, b);
-            #[cfg(debug_assertions)]
-            {
+            if self.check_oracle {
                 let inst = self.program.inst(pc);
                 let rf = &self.warps[warp].regs;
                 let mut expect = Mask::EMPTY;
@@ -1713,8 +1770,7 @@ impl Wpu {
                 }
                 _ => unreachable!("exec_memory on non-memory µop"),
             }
-            #[cfg(debug_assertions)]
-            {
+            if self.check_oracle {
                 let inst = self.program.inst(pc);
                 for &(lane, out) in &ops {
                     let mut sh = rf.shadow(lane);

@@ -1,0 +1,359 @@
+//! Deterministic fault injection for chaos-hardened simulation runs.
+//!
+//! A [`FaultPlan`] describes *timing* perturbations — extra fill latency,
+//! delayed link epochs, transient MSHR back-pressure, wake jitter, and
+//! scheduler-heap churn — that components apply at fixed injection points.
+//! Faults never touch architectural state, only *when* things happen, so a
+//! run under any plan must still produce verified kernel output; what a
+//! plan stresses is every cached-state fast path (ready ring, wake heap,
+//! next-wake bounds, fill mirrors, reject memos) under timings the nominal
+//! simulator never generates.
+//!
+//! Determinism contract:
+//!
+//! * Draws come from a [`SplitMix64`](crate::rng::Rng64) stream seeded from
+//!   `plan.seed ^ component salt`, so a `(plan, machine)` pair replays
+//!   bit-identically — a chaos failure is always reproducible.
+//! * A knob that is *off* (zero magnitude or probability) never advances
+//!   the stream, so the zero-fault plan performs **zero** draws and a
+//!   machine running under [`FaultPlan::none`] is bit-identical to one
+//!   with no injector at all.
+//!
+//! # Example
+//!
+//! ```
+//! use dws_engine::fault::FaultPlan;
+//!
+//! assert!(FaultPlan::none().injector(7).is_none());
+//! let mut inj = FaultPlan::mem_jitter(42).injector(7).unwrap();
+//! let j = inj.fill_jitter();
+//! assert!(j <= FaultPlan::mem_jitter(42).fill_jitter);
+//! // Same plan + salt => same stream.
+//! let mut again = FaultPlan::mem_jitter(42).injector(7).unwrap();
+//! assert_eq!(again.fill_jitter(), j);
+//! ```
+
+use crate::rng::Rng64;
+
+/// A seeded, reproducible description of which timing faults to inject.
+///
+/// Each fault class is a `(magnitude, probability)` pair; magnitude `0` or
+/// probability `0.0` disables the class without consuming randomness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injection streams (mixed with a per-component salt).
+    pub seed: u64,
+    /// Max extra cycles added to an L1 fill completion time.
+    pub fill_jitter: u64,
+    /// Probability a fill draws jitter.
+    pub fill_jitter_prob: f64,
+    /// Max extra cycles added to a request's crossbar/bus departure,
+    /// shifting which link epoch carries it (and thus reordering traffic
+    /// relative to the nominal schedule).
+    pub link_delay: u64,
+    /// Probability a link transfer draws a delay.
+    pub link_delay_prob: f64,
+    /// Max MSHR entries transiently withheld from an allocation
+    /// feasibility check, forcing spurious back-pressure rejections.
+    pub mshr_withhold: u32,
+    /// Probability an MSHR feasibility check draws back-pressure.
+    pub mshr_withhold_prob: f64,
+    /// Max extra cycles added to a group's wake time when a memory
+    /// completion readies it.
+    pub wake_jitter: u64,
+    /// Probability a wakeup draws jitter.
+    pub wake_jitter_prob: f64,
+    /// Probability that a stalled scheduler tick re-enqueues its pending
+    /// wake entries under fresh stamps, leaving stale entries behind for
+    /// the lazy-invalidation paths to drop.
+    pub sched_churn_prob: f64,
+}
+
+impl FaultPlan {
+    /// The zero-fault plan: no knob active, no randomness consumed.
+    pub const NONE: FaultPlan = FaultPlan {
+        seed: 0,
+        fill_jitter: 0,
+        fill_jitter_prob: 0.0,
+        link_delay: 0,
+        link_delay_prob: 0.0,
+        mshr_withhold: 0,
+        mshr_withhold_prob: 0.0,
+        wake_jitter: 0,
+        wake_jitter_prob: 0.0,
+        sched_churn_prob: 0.0,
+    };
+
+    /// The zero-fault plan (see [`FaultPlan::NONE`]).
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan::NONE
+    }
+
+    /// Whether every fault class is disabled.
+    #[must_use]
+    pub fn is_nop(&self) -> bool {
+        !(self.fill_active()
+            || self.link_active()
+            || self.mshr_active()
+            || self.wake_active()
+            || self.churn_active())
+    }
+
+    /// Preset: moderate fill-latency jitter only.
+    #[must_use]
+    pub fn mem_jitter(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            fill_jitter: 40,
+            fill_jitter_prob: 0.25,
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// Preset: delayed/reordered link epochs only.
+    #[must_use]
+    pub fn link_chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            link_delay: 24,
+            link_delay_prob: 0.3,
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// Preset: transient MSHR back-pressure only.
+    #[must_use]
+    pub fn mshr_squeeze(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            mshr_withhold: 31,
+            mshr_withhold_prob: 0.5,
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// Preset: scheduler-side faults only (wake jitter + heap churn).
+    #[must_use]
+    pub fn sched_chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            wake_jitter: 16,
+            wake_jitter_prob: 0.3,
+            sched_churn_prob: 0.2,
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// Preset: every fault class at once.
+    #[must_use]
+    pub fn full_chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            fill_jitter: 40,
+            fill_jitter_prob: 0.2,
+            link_delay: 24,
+            link_delay_prob: 0.2,
+            mshr_withhold: 31,
+            mshr_withhold_prob: 0.3,
+            wake_jitter: 16,
+            wake_jitter_prob: 0.2,
+            sched_churn_prob: 0.1,
+        }
+    }
+
+    /// Builds the per-component injector, or `None` for a nop plan (so the
+    /// component keeps an `Option` it can skip with one branch).
+    ///
+    /// `salt` distinguishes streams between components (e.g. the memory
+    /// system vs each WPU) so they do not replay each other's draws.
+    #[must_use]
+    pub fn injector(&self, salt: u64) -> Option<FaultInjector> {
+        if self.is_nop() {
+            return None;
+        }
+        Some(FaultInjector {
+            plan: *self,
+            rng: Rng64::new(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        })
+    }
+
+    fn fill_active(&self) -> bool {
+        self.fill_jitter > 0 && self.fill_jitter_prob > 0.0
+    }
+    fn link_active(&self) -> bool {
+        self.link_delay > 0 && self.link_delay_prob > 0.0
+    }
+    fn mshr_active(&self) -> bool {
+        self.mshr_withhold > 0 && self.mshr_withhold_prob > 0.0
+    }
+    fn wake_active(&self) -> bool {
+        self.wake_jitter > 0 && self.wake_jitter_prob > 0.0
+    }
+    fn churn_active(&self) -> bool {
+        self.sched_churn_prob > 0.0
+    }
+}
+
+/// The stateful side of a [`FaultPlan`]: one deterministic draw stream per
+/// component. Every draw method short-circuits — without touching the
+/// stream — when its fault class is disabled, so partial plans stay
+/// reproducible no matter which injection points fire.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Rng64,
+}
+
+impl FaultInjector {
+    /// Extra cycles to add to an L1 fill completion (0 = no fault).
+    #[inline]
+    pub fn fill_jitter(&mut self) -> u64 {
+        if !self.plan.fill_active() {
+            return 0;
+        }
+        self.magnitude(self.plan.fill_jitter_prob, self.plan.fill_jitter)
+    }
+
+    /// Extra cycles to add to a link departure (0 = no fault).
+    #[inline]
+    pub fn link_delay(&mut self) -> u64 {
+        if !self.plan.link_active() {
+            return 0;
+        }
+        self.magnitude(self.plan.link_delay_prob, self.plan.link_delay)
+    }
+
+    /// MSHR entries to withhold from one feasibility check (0 = no fault).
+    #[inline]
+    pub fn mshr_withhold(&mut self) -> usize {
+        if !self.plan.mshr_active() {
+            return 0;
+        }
+        self.magnitude(
+            self.plan.mshr_withhold_prob,
+            u64::from(self.plan.mshr_withhold),
+        ) as usize
+    }
+
+    /// Extra cycles to delay one group wakeup (0 = no fault).
+    #[inline]
+    pub fn wake_jitter(&mut self) -> u64 {
+        if !self.plan.wake_active() {
+            return 0;
+        }
+        self.magnitude(self.plan.wake_jitter_prob, self.plan.wake_jitter)
+    }
+
+    /// Whether this stalled scheduler tick should churn the wake heap.
+    #[inline]
+    pub fn sched_churn(&mut self) -> bool {
+        self.plan.churn_active() && self.rng.chance(self.plan.sched_churn_prob)
+    }
+
+    /// One `chance(prob)` draw, then a uniform magnitude in `[1, max]`.
+    fn magnitude(&mut self, prob: f64, max: u64) -> u64 {
+        if !self.rng.chance(prob) {
+            return 0;
+        }
+        1 + self.rng.range_usize(max as usize) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_plan_has_no_injector() {
+        assert!(FaultPlan::none().is_nop());
+        assert!(FaultPlan::NONE.injector(3).is_none());
+        // A seed alone does not activate anything.
+        let seeded = FaultPlan {
+            seed: 99,
+            ..FaultPlan::NONE
+        };
+        assert!(seeded.is_nop());
+        assert!(seeded.injector(0).is_none());
+    }
+
+    #[test]
+    fn presets_are_active_and_reproducible() {
+        for plan in [
+            FaultPlan::mem_jitter(7),
+            FaultPlan::link_chaos(7),
+            FaultPlan::mshr_squeeze(7),
+            FaultPlan::sched_chaos(7),
+            FaultPlan::full_chaos(7),
+        ] {
+            assert!(!plan.is_nop());
+            let mut a = plan.injector(1).unwrap();
+            let mut b = plan.injector(1).unwrap();
+            for _ in 0..100 {
+                assert_eq!(a.fill_jitter(), b.fill_jitter());
+                assert_eq!(a.link_delay(), b.link_delay());
+                assert_eq!(a.mshr_withhold(), b.mshr_withhold());
+                assert_eq!(a.wake_jitter(), b.wake_jitter());
+                assert_eq!(a.sched_churn(), b.sched_churn());
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_knob_never_advances_the_stream() {
+        // Only wake jitter is active; draining the other draw methods must
+        // not disturb the wake-jitter sequence.
+        let plan = FaultPlan {
+            seed: 5,
+            wake_jitter: 8,
+            wake_jitter_prob: 1.0,
+            ..FaultPlan::NONE
+        };
+        let mut clean = plan.injector(0).unwrap();
+        let expect: Vec<u64> = (0..32).map(|_| clean.wake_jitter()).collect();
+        let mut noisy = plan.injector(0).unwrap();
+        let got: Vec<u64> = (0..32)
+            .map(|_| {
+                assert_eq!(noisy.fill_jitter(), 0);
+                assert_eq!(noisy.link_delay(), 0);
+                assert_eq!(noisy.mshr_withhold(), 0);
+                assert!(!noisy.sched_churn());
+                noisy.wake_jitter()
+            })
+            .collect();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn magnitudes_stay_in_bounds() {
+        let plan = FaultPlan::full_chaos(11);
+        let mut inj = plan.injector(2).unwrap();
+        let mut any_nonzero = false;
+        for _ in 0..1000 {
+            let f = inj.fill_jitter();
+            assert!(f <= plan.fill_jitter);
+            let l = inj.link_delay();
+            assert!(l <= plan.link_delay);
+            let m = inj.mshr_withhold();
+            assert!(m <= plan.mshr_withhold as usize);
+            let w = inj.wake_jitter();
+            assert!(w <= plan.wake_jitter);
+            any_nonzero |= f + l + w + m as u64 > 0;
+        }
+        assert!(any_nonzero, "an active plan must actually fire");
+    }
+
+    #[test]
+    fn salts_separate_streams() {
+        let plan = FaultPlan::mem_jitter(1);
+        let a: Vec<u64> = {
+            let mut i = plan.injector(0).unwrap();
+            (0..64).map(|_| i.fill_jitter()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut i = plan.injector(1).unwrap();
+            (0..64).map(|_| i.fill_jitter()).collect()
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -10,7 +10,9 @@
 //! * [`sched`] — the event-driven scheduling primitives ([`WakeHeap`],
 //!   [`ReadyRing`]) shared by the WPU scheduler and the memory system,
 //! * [`stats`] — counter/histogram infrastructure used by every component,
-//! * [`rng`] — a vendored deterministic PRNG for benchmark input generation.
+//! * [`rng`] — a vendored deterministic PRNG for benchmark input generation,
+//! * [`fault`] — seeded timing-fault injection for chaos runs,
+//! * [`sanitize`] — the `DWS_SANITIZE` opt-in release-mode oracle checks.
 //!
 //! # Example
 //!
@@ -26,12 +28,15 @@
 //! ```
 
 pub mod event;
+pub mod fault;
 pub mod hash;
 pub mod rng;
+pub mod sanitize;
 pub mod sched;
 pub mod stats;
 
 pub use event::EventQueue;
+pub use fault::{FaultInjector, FaultPlan};
 pub use hash::{FastHashMap, FastHashSet};
 pub use sched::{ReadyRing, WakeHeap};
 

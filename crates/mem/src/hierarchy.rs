@@ -15,11 +15,15 @@ use crate::cache::{CacheArray, MesiState};
 use crate::config::{CacheConfig, MemConfig};
 use crate::link::{Crossbar, Dram};
 use crate::mshr::{MshrFile, MshrId};
+use dws_engine::fault::{FaultInjector, FaultPlan};
 use dws_engine::stats::{Counter, Distribution};
 use dws_engine::{Cycle, EventQueue, FastHashMap, WakeHeap};
 
 /// Size of a coherence/request control message on the crossbar, in bytes.
 const CTRL_MSG_BYTES: u64 = 8;
+
+/// Salt separating the memory system's fault-draw stream from the WPUs'.
+const MEM_FAULT_SALT: u64 = 0x4d45_4d31;
 
 /// Globally unique identifier of one lane's outstanding memory request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -208,6 +212,11 @@ pub struct MemorySystem {
     l1d_shift: Option<u32>,
     /// Same for the I-cache line size.
     l1i_shift: Option<u32>,
+    /// Deterministic timing-fault injection; `None` outside chaos runs.
+    fault: Option<FaultInjector>,
+    /// Run the fill-mirror invariant check even in release builds
+    /// (`DWS_SANITIZE=1`); latched at construction.
+    strict_checks: bool,
 }
 
 impl std::fmt::Debug for MemorySystem {
@@ -258,8 +267,16 @@ impl MemorySystem {
                 .line_bytes
                 .is_power_of_two()
                 .then(|| cfg.l1i.line_bytes.trailing_zeros()),
+            fault: None,
+            strict_checks: cfg!(debug_assertions) || dws_engine::sanitize::enabled(),
             cfg,
         }
+    }
+
+    /// Arms deterministic fault injection. Call before any traffic flows;
+    /// a zero-fault plan installs nothing and leaves timing untouched.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan.injector(MEM_FAULT_SALT);
     }
 
     /// The configuration the system was built with.
@@ -368,6 +385,16 @@ impl MemorySystem {
             s.group_cursor[g] += 1;
         }
 
+        // Fault injection: transiently withhold MSHR entries, forcing
+        // spurious back-pressure rejections. Only while fills are already
+        // outstanding (`in_use > 0`): an outstanding fill guarantees the
+        // L1 generation will bump, expiring the caller's rejection memo
+        // and forcing a fresh draw, so forward progress is preserved.
+        let withheld = match &mut self.fault {
+            Some(f) if self.l1s[l1].mshrs.in_use() > 0 => f.mshr_withhold(),
+            _ => 0,
+        };
+
         let accepted = 'body: {
             // Feasibility check (no mutation): count fresh MSHRs needed and
             // verify merge capacity. The tag lookup records the hit way so
@@ -392,7 +419,9 @@ impl MemorySystem {
                         None => fresh_needed += 1,
                     }
                 }
-                if fresh_needed > l1c.mshrs.capacity() - l1c.mshrs.in_use() {
+                if fresh_needed
+                    > (l1c.mshrs.capacity() - l1c.mshrs.in_use()).saturating_sub(withheld)
+                {
                     self.stats.rejections.incr();
                     break 'body false;
                 }
@@ -475,7 +504,11 @@ impl MemorySystem {
                         if upgrade {
                             self.stats.upgrades.incr();
                         }
-                        let fill_at = self.process_l2_request(now, l1, line, any_store, upgrade);
+                        let mut fill_at =
+                            self.process_l2_request(now, l1, line, any_store, upgrade);
+                        if let Some(f) = &mut self.fault {
+                            fill_at += f.fill_jitter();
+                        }
                         let id = self.l1s[l1].mshrs.allocate(line, any_store, fill_at);
                         if upgrade {
                             self.l1s[l1].mshrs.set_upgrade(id);
@@ -521,7 +554,12 @@ impl MemorySystem {
     ) -> Cycle {
         let line_bytes = self.cfg.l1d.line_bytes;
         // Request departs after the L1 tag lookup discovered the miss.
-        let depart = now + self.cfg.l1d.hit_latency;
+        let mut depart = now + self.cfg.l1d.hit_latency;
+        // Fault injection: hold the request off the crossbar, shifting the
+        // epoch bucket that carries it relative to nominal traffic order.
+        if let Some(f) = &mut self.fault {
+            depart += f.link_delay();
+        }
         let arrive = self.xbar.transfer(depart, CTRL_MSG_BYTES);
         self.stats.crossbar_bytes.add(CTRL_MSG_BYTES);
         self.stats.l2_accesses.incr();
@@ -628,6 +666,10 @@ impl MemorySystem {
             self.l2.inflight.retain(|_, &mut c| c > now);
         }
 
+        // Fault injection: the response leg draws its own link delay.
+        if let Some(f) = &mut self.fault {
+            data_ready += f.link_delay();
+        }
         // For upgrades only an acknowledgement returns; otherwise the line.
         let payload = if upgrade { CTRL_MSG_BYTES } else { line_bytes };
         self.stats.crossbar_bytes.add(payload);
@@ -703,7 +745,9 @@ impl MemorySystem {
             // that L1's own (time, insertion) order, so the mirror's
             // minimum is always the entry being drained.
             let mirrored = self.l1s[l1].fills.pop();
-            debug_assert_eq!(mirrored.map(|(t, ())| t), Some(at), "fill mirror drift");
+            if self.strict_checks {
+                assert_eq!(mirrored.map(|(t, ())| t), Some(at), "fill mirror drift");
+            }
             let mut entry = self.l1s[l1].mshrs.release(mshr_id);
             self.l1s[l1].gen += 1;
             let line = entry.line_addr;
@@ -789,6 +833,16 @@ impl MemorySystem {
     /// Number of in-flight fills.
     pub fn pending_fills(&self) -> usize {
         self.events.len()
+    }
+
+    /// Outstanding MSHR entries at L1 `l1` (diagnostics).
+    pub fn mshr_in_use(&self, l1: usize) -> usize {
+        self.l1s[l1].mshrs.in_use()
+    }
+
+    /// MSHR entry capacity of L1 `l1` (diagnostics).
+    pub fn mshr_capacity(&self, l1: usize) -> usize {
+        self.l1s[l1].mshrs.capacity()
     }
 
     /// Fetches the instruction at `pc` for WPU `l1` through its I-cache.

@@ -1,8 +1,11 @@
 //! Simulation configuration and errors.
 
+use crate::diag::DiagnosticReport;
 use dws_core::Policy;
+use dws_engine::fault::FaultPlan;
 use dws_mem::MemConfig;
 use std::fmt;
+use std::time::Duration;
 
 /// Full machine configuration. Defaults mirror the paper's Table 3.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +26,17 @@ pub struct SimConfig {
     pub mem: MemConfig,
     /// Abort the run after this many cycles (deadlock backstop).
     pub max_cycles: u64,
+    /// Deterministic timing-fault injection plan (default: no faults; the
+    /// zero-fault plan is bit-identical to a machine without injection).
+    pub fault: FaultPlan,
+    /// Forward-progress watchdog: abort with [`SimError::Livelock`] after
+    /// this many consecutive processed cycles in which no WPU retired an
+    /// instruction. Sleeping through an event gap is not livelock — only
+    /// densely processed, retire-free cycles count.
+    pub livelock_window: u64,
+    /// Optional host wall-clock budget for one run; exceeded budgets abort
+    /// with [`SimError::HostBudget`].
+    pub host_budget: Option<Duration>,
 }
 
 impl SimConfig {
@@ -40,7 +54,16 @@ impl SimConfig {
             wst_entries: 16,
             mem: MemConfig::paper(n_wpus, width),
             max_cycles: 20_000_000_000,
+            fault: FaultPlan::NONE,
+            livelock_window: 2_000_000,
+            host_budget: None,
         }
+    }
+
+    /// Sets the fault-injection plan.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
     }
 
     /// Changes the WPU count (and the matching number of L1s).
@@ -80,19 +103,38 @@ impl SimConfig {
 /// Why a simulation failed.
 #[derive(Debug, Clone)]
 pub enum SimError {
-    /// The cycle budget elapsed; carries diagnostics for each WPU.
+    /// The cycle budget elapsed; carries a machine-state snapshot.
     Timeout {
         /// Cycle count at abort.
         cycles: u64,
-        /// Per-WPU group dumps.
-        diagnostics: String,
+        /// Machine-state snapshot at abort.
+        diagnostics: DiagnosticReport,
     },
     /// No WPU can make progress and no event is pending.
     Deadlock {
         /// Cycle of detection.
         cycles: u64,
-        /// Per-WPU group dumps.
-        diagnostics: String,
+        /// Machine-state snapshot at abort.
+        diagnostics: DiagnosticReport,
+    },
+    /// Cycles kept advancing but no instruction retired for the configured
+    /// [`livelock_window`](SimConfig::livelock_window) — the machine spins
+    /// without forward progress (e.g. a structural-reject loop that can
+    /// never drain).
+    Livelock {
+        /// Cycle of detection.
+        cycles: u64,
+        /// Consecutive processed cycles without a retired instruction.
+        stalled_for: u64,
+        /// Machine-state snapshot at abort.
+        diagnostics: DiagnosticReport,
+    },
+    /// The per-run host wall-clock budget elapsed.
+    HostBudget {
+        /// Cycle count at abort.
+        cycles: u64,
+        /// The budget that was exceeded.
+        budget: Duration,
     },
     /// The final memory image failed the kernel's verifier (streaming
     /// sweeps check on arrival, before the image is dropped).
@@ -101,6 +143,14 @@ pub enum SimError {
         label: String,
         /// The verifier's mismatch report.
         message: String,
+    },
+    /// The worker running this sweep job panicked; the sweep's other jobs
+    /// were unaffected.
+    Panicked {
+        /// Label of the sweep job that panicked.
+        label: String,
+        /// The panic payload, rendered to a string.
+        payload: String,
     },
 }
 
@@ -113,8 +163,29 @@ impl fmt::Display for SimError {
             SimError::Deadlock { cycles, .. } => {
                 write!(f, "simulation deadlocked at cycle {cycles}")
             }
+            SimError::Livelock {
+                cycles,
+                stalled_for,
+                ..
+            } => {
+                write!(
+                    f,
+                    "simulation livelocked at cycle {cycles}: no instruction retired \
+                     for {stalled_for} processed cycles"
+                )
+            }
+            SimError::HostBudget { cycles, budget } => {
+                write!(
+                    f,
+                    "simulation exceeded its {:.1}s host budget at cycle {cycles}",
+                    budget.as_secs_f64()
+                )
+            }
             SimError::VerifyFailed { label, message } => {
                 write!(f, "verification failed for {label}: {message}")
+            }
+            SimError::Panicked { label, payload } => {
+                write!(f, "worker panicked in {label}: {payload}")
             }
         }
     }
@@ -151,10 +222,31 @@ mod tests {
 
     #[test]
     fn error_display() {
+        let empty = DiagnosticReport {
+            cycles: 7,
+            wpus: Vec::new(),
+            pending_fills: 0,
+        };
         let e = SimError::Deadlock {
             cycles: 7,
-            diagnostics: String::new(),
+            diagnostics: empty.clone(),
         };
         assert!(e.to_string().contains("deadlock"));
+        let e = SimError::Livelock {
+            cycles: 9,
+            stalled_for: 4,
+            diagnostics: empty,
+        };
+        assert!(e.to_string().contains("livelock"));
+        let e = SimError::HostBudget {
+            cycles: 11,
+            budget: Duration::from_secs(2),
+        };
+        assert!(e.to_string().contains("host budget"));
+        let e = SimError::Panicked {
+            label: "job".into(),
+            payload: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
     }
 }

@@ -18,12 +18,14 @@
 //! ```
 
 pub mod config;
+pub mod diag;
 pub mod machine;
 pub mod metrics;
 pub mod presets;
 pub mod sweep;
 
 pub use config::{SimConfig, SimError};
+pub use diag::{DiagnosticReport, WpuDiag};
 pub use machine::Machine;
 pub use metrics::RunResult;
-pub use sweep::{SweepOutcome, SweepRunner};
+pub use sweep::{failure_summary, SweepOutcome, SweepRunner};

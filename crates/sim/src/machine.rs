@@ -1,6 +1,7 @@
 //! The assembled machine and its deterministic run loop.
 
 use crate::config::{SimConfig, SimError};
+use crate::diag::{DiagnosticReport, WpuDiag};
 use crate::metrics::RunResult;
 use dws_core::{TickClass, Wpu, WpuConfig};
 use dws_engine::Cycle;
@@ -39,7 +40,7 @@ impl Machine {
         let nthreads = config.total_threads();
         let wpus: Vec<Wpu> = (0..config.n_wpus)
             .map(|i| {
-                Wpu::new(
+                let mut w = Wpu::new(
                     WpuConfig {
                         id: i,
                         width: config.width,
@@ -51,13 +52,21 @@ impl Machine {
                     Arc::clone(&program),
                     i as u64 * threads_per_wpu,
                     nthreads,
-                )
+                );
+                if !config.fault.is_nop() {
+                    w.set_fault_plan(config.fault);
+                }
+                w
             })
             .collect();
+        let mut mem = MemorySystem::new(config.mem);
+        if !config.fault.is_nop() {
+            mem.set_fault_plan(config.fault);
+        }
         Machine {
             last_class: vec![TickClass::Idle; config.n_wpus],
             wpus,
-            mem: MemorySystem::new(config.mem),
+            mem,
             data: spec.memory.clone(),
             now: Cycle::ZERO,
             completions: Vec::new(),
@@ -131,8 +140,12 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// [`SimError::Timeout`] when the cycle budget elapses and
-    /// [`SimError::Deadlock`] when no progress is possible.
+    /// [`SimError::Timeout`] when the cycle budget elapses,
+    /// [`SimError::Deadlock`] when no progress is possible,
+    /// [`SimError::Livelock`] when cycles keep advancing without an
+    /// instruction retiring for [`SimConfig::livelock_window`] processed
+    /// cycles, and [`SimError::HostBudget`] when the optional wall-clock
+    /// budget runs out.
     pub fn run(config: &SimConfig, spec: &KernelSpec) -> Result<RunResult, SimError> {
         let mut m = Machine::new(config, spec);
         let n = m.wpus.len();
@@ -142,6 +155,17 @@ impl Machine {
         let mut wake: Vec<Option<Cycle>> = vec![Some(Cycle::ZERO); n];
         // The cycle up to which each WPU's stall time has been accounted.
         let mut charged: Vec<Cycle> = vec![Cycle::ZERO; n];
+        // Forward-progress watchdog: consecutive *processed* cycles with no
+        // retired instruction. Sleeping across an event gap is one
+        // iteration, so a legitimately long memory stall cannot trip it —
+        // only a dense retire-free spin (livelock) can.
+        let livelock_window = config.livelock_window.max(1);
+        let mut last_insts = 0u64;
+        let mut quiet_iters = 0u64;
+        let host_deadline = config
+            .host_budget
+            .map(|b| (std::time::Instant::now() + b, b));
+        let mut iters = 0u64;
         loop {
             let now = m.now;
             m.mem.drain_completions_into(now, &mut m.completions);
@@ -190,11 +214,37 @@ impl Machine {
             if m.done() {
                 break;
             }
+            let insts: u64 = m.wpus.iter().map(|w| w.stats.warp_insts.get()).sum();
+            if insts != last_insts {
+                last_insts = insts;
+                quiet_iters = 0;
+            } else {
+                quiet_iters += 1;
+                if quiet_iters >= livelock_window {
+                    return Err(SimError::Livelock {
+                        cycles: m.now.raw(),
+                        stalled_for: quiet_iters,
+                        diagnostics: m.diagnostics(),
+                    });
+                }
+            }
             if m.now.raw() >= config.max_cycles {
                 return Err(SimError::Timeout {
                     cycles: m.now.raw(),
                     diagnostics: m.diagnostics(),
                 });
+            }
+            // The host-budget clock is only consulted every few thousand
+            // iterations; a simulated cycle is tens of nanoseconds, so the
+            // overshoot is bounded well under a millisecond.
+            iters += 1;
+            if let Some((deadline, budget)) = host_deadline {
+                if iters & 0xFFF == 0 && std::time::Instant::now() >= deadline {
+                    return Err(SimError::HostBudget {
+                        cycles: m.now.raw(),
+                        budget,
+                    });
+                }
             }
             // A busy WPU wakes at `now + 1` (already the new `m.now`), every
             // other wake source is strictly later, and fills scheduled this
@@ -246,22 +296,33 @@ impl Machine {
         RunResult::collect(&self.wpus, &self.mem, self.now.raw(), self.data)
     }
 
-    /// Per-WPU group dumps for error reports.
-    pub fn diagnostics(&self) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        let _ = writeln!(s, "now={}", self.now);
-        for (i, w) in self.wpus.iter().enumerate() {
-            let _ = writeln!(
-                s,
-                "WPU {i}: live={} barrier_waiting={} last_class={:?}",
-                w.live_threads(),
-                w.barrier_waiting(),
-                self.last_class[i]
-            );
-            s.push_str(&w.dump_groups());
+    /// Machine-state snapshot for error reports: per-WPU group states, WST
+    /// and MSHR occupancy, and next-wake bounds.
+    pub fn diagnostics(&self) -> DiagnosticReport {
+        DiagnosticReport {
+            cycles: self.now.raw(),
+            pending_fills: self.mem.pending_fills(),
+            wpus: self
+                .wpus
+                .iter()
+                .enumerate()
+                .map(|(i, w)| WpuDiag {
+                    id: i,
+                    last_class: self.last_class[i],
+                    live_threads: w.live_threads(),
+                    barrier_waiting: w.barrier_waiting(),
+                    groups_alive: w.groups_alive(),
+                    wst_used: w.wst_used(),
+                    wst_peak: w.wst_peak(),
+                    wst_capacity: w.wst_capacity(),
+                    mshr_in_use: self.mem.mshr_in_use(i),
+                    mshr_capacity: self.mem.mshr_capacity(i),
+                    next_wake: w.cached_next_wake().map(Cycle::raw),
+                    next_fill: self.mem.next_completion_at_l1(i).map(Cycle::raw),
+                    groups: w.dump_groups(),
+                })
+                .collect(),
         }
-        s
     }
 }
 
@@ -269,7 +330,8 @@ impl Machine {
 mod tests {
     use super::*;
     use dws_core::Policy;
-    use dws_kernels::{Benchmark, Scale};
+    use dws_isa::{CondOp, KernelBuilder, Operand, VecMemory};
+    use dws_kernels::{Benchmark, KernelSpec, Scale};
 
     #[test]
     fn filter_runs_and_verifies_on_paper_machine() {
@@ -324,8 +386,95 @@ mod tests {
         let mut cfg = SimConfig::paper(Policy::conventional());
         cfg.max_cycles = 100;
         match Machine::run(&cfg, &spec) {
-            Err(SimError::Timeout { cycles, .. }) => assert!(cycles >= 100),
+            Err(SimError::Timeout {
+                cycles,
+                diagnostics,
+            }) => {
+                assert!(cycles >= 100);
+                assert_eq!(diagnostics.cycles, cycles);
+                assert_eq!(diagnostics.wpus.len(), 4);
+                let rendered = diagnostics.to_string();
+                for w in &diagnostics.wpus {
+                    assert!(w.live_threads > 0, "threads can't finish in 100 cycles");
+                    assert!(w.wst_capacity > 0);
+                    assert!(w.mshr_capacity > 0);
+                    assert!(rendered.contains(&format!("WPU {}", w.id)));
+                }
+                assert!(rendered.contains("machine state at cycle"));
+                assert!(rendered.contains("mshr="));
+                assert!(rendered.contains("wst="));
+            }
             other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_reports_diagnostics() {
+        // The classic SIMT hang: a barrier inside a divergent branch. Lane 0
+        // parks at the barrier while its 15 sibling lanes wait on the
+        // reconvergence stack, so the barrier can never collect every live
+        // thread and no memory event is pending — the run loop must detect
+        // a deadlock rather than spin or sleep forever.
+        let mut b = KernelBuilder::new();
+        let tid = b.tid();
+        b.if_then(CondOp::Eq, tid, Operand::Imm(0), |b| b.barrier());
+        b.halt();
+        let program = b.build().unwrap();
+        let spec = KernelSpec::new("divergent-barrier", program, VecMemory::new(64), |_| Ok(()));
+        let cfg = SimConfig::paper(Policy::conventional()).with_wpus(1);
+        match Machine::run(&cfg, &spec) {
+            Err(SimError::Deadlock { diagnostics, .. }) => {
+                assert_eq!(diagnostics.wpus.len(), 1);
+                assert_eq!(diagnostics.pending_fills, 0);
+                let w = &diagnostics.wpus[0];
+                // Only warp 0's lane 0 reaches the barrier; warps 1..4 halt.
+                assert_eq!(w.barrier_waiting, 1);
+                assert!(w.live_threads > w.barrier_waiting);
+                assert_eq!(w.next_wake, None, "a pending wake would not deadlock");
+                assert_eq!(w.next_fill, None);
+                let rendered = diagnostics.to_string();
+                assert!(rendered.contains("barrier_waiting=1"));
+                assert!(rendered.contains("next_wake=-"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn livelock_reports_diagnostics() {
+        // Every lane of a 16-wide warp touches a distinct line, so one warp
+        // access wants 16 fresh MSHRs; with a single-entry MSHR file and
+        // nothing in flight the structural reject can never drain. Cycles
+        // keep advancing (the group retries at `now + 1`) but nothing
+        // retires — a livelock, not a deadlock.
+        let mut b = KernelBuilder::new();
+        let tid = b.tid();
+        let a = b.reg();
+        b.mul(a, tid, Operand::Imm(1024));
+        b.load(a, a, 0);
+        b.halt();
+        let program = b.build().unwrap();
+        let spec = KernelSpec::new("mshr-starved", program, VecMemory::new(64 * 1024), |_| {
+            Ok(())
+        });
+        let mut cfg = SimConfig::paper(Policy::conventional()).with_wpus(1);
+        cfg.mem.l1d.mshrs = 1;
+        cfg.livelock_window = 10_000;
+        match Machine::run(&cfg, &spec) {
+            Err(SimError::Livelock {
+                stalled_for,
+                diagnostics,
+                ..
+            }) => {
+                assert!(stalled_for >= 10_000);
+                assert_eq!(diagnostics.wpus.len(), 1);
+                let w = &diagnostics.wpus[0];
+                assert!(w.live_threads > 0);
+                assert_eq!(w.mshr_in_use, 0, "nothing ever gets an MSHR");
+                assert_eq!(w.mshr_capacity, 1);
+                assert!(diagnostics.to_string().contains("mshr=0/1"));
+            }
+            other => panic!("expected livelock, got {other:?}"),
         }
     }
 }

@@ -35,9 +35,10 @@ use crate::config::{SimConfig, SimError};
 use crate::machine::Machine;
 use crate::metrics::RunResult;
 use dws_kernels::KernelSpec;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One queued simulation: a labelled `(config, kernel)` point.
 pub struct SweepJob {
@@ -62,17 +63,68 @@ pub struct SweepOutcome {
 }
 
 /// Worker count for a sweep: `DWS_JOBS` if set and >= 1, else the host's
-/// available parallelism, else 1.
+/// available parallelism, else 1. `DWS_JOBS=0` and unparseable values are
+/// rejected with a once-per-process stderr warning, then fall back to
+/// auto-detection.
 #[must_use]
 pub fn default_workers() -> usize {
-    match std::env::var("DWS_JOBS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
+    let auto = || {
+        std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+            .unwrap_or(1)
+    };
+    let Ok(v) = std::env::var("DWS_JOBS") else {
+        return auto();
+    };
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        Ok(_) => {
+            warn_once("DWS_JOBS=0 is invalid (need >= 1); using auto-detected worker count");
+            auto()
+        }
+        Err(_) => {
+            warn_once(&format!(
+                "DWS_JOBS={v:?} is not a worker count; using auto-detected worker count"
+            ));
+            auto()
+        }
+    }
+}
+
+/// Prints one warning to stderr, at most once per process.
+fn warn_once(msg: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| eprintln!("warning: {msg}"));
+}
+
+/// One line per failed job, or `None` when every outcome succeeded — the
+/// end-of-sweep failure summary for harnesses that keep going past a
+/// poisoned job.
+#[must_use]
+pub fn failure_summary(outcomes: &[SweepOutcome]) -> Option<String> {
+    use std::fmt::Write as _;
+    let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
+    if failed == 0 {
+        return None;
+    }
+    let mut s = format!("{failed}/{} sweep jobs failed:", outcomes.len());
+    for o in outcomes {
+        if let Err(e) = &o.result {
+            let _ = write!(s, "\n  {}: {e}", o.label);
+        }
+    }
+    Some(s)
+}
+
+/// Renders a `catch_unwind` payload: panics carry a `&str` or `String`
+/// message in practice; anything else gets a placeholder.
+fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -81,6 +133,7 @@ pub fn default_workers() -> usize {
 pub struct SweepRunner {
     jobs: Vec<SweepJob>,
     workers: Option<usize>,
+    job_budget: Option<Duration>,
 }
 
 impl SweepRunner {
@@ -95,6 +148,15 @@ impl SweepRunner {
     #[must_use]
     pub fn with_workers(mut self, n: usize) -> Self {
         self.workers = Some(n.max(1));
+        self
+    }
+
+    /// Caps each job's host wall-clock time: a job still running when its
+    /// budget elapses aborts with [`SimError::HostBudget`] (jobs that
+    /// already carry a tighter [`SimConfig::host_budget`] keep it).
+    #[must_use]
+    pub fn with_job_budget(mut self, budget: Duration) -> Self {
+        self.job_budget = Some(budget);
         self
     }
 
@@ -138,7 +200,9 @@ impl SweepRunner {
     ///
     /// # Panics
     ///
-    /// Propagates panics from `on_complete` (e.g. verification failures).
+    /// Propagates panics from `on_complete` (e.g. verification failures),
+    /// prefixed with the failing job's label so one bad point in a
+    /// 100-point sweep is attributable from the panic message alone.
     pub fn run_with<F>(self, on_complete: F) -> Vec<SweepOutcome>
     where
         F: Fn(usize, &SweepOutcome) + Sync,
@@ -174,25 +238,48 @@ impl SweepRunner {
 
     /// Shared driver: runs each job, pipes its outcome through `map` on
     /// the worker thread, and returns the mapped outcomes in submission
-    /// order.
+    /// order. A panic inside `Machine::run` is caught and isolated to its
+    /// own job as [`SimError::Panicked`]; a panic from `map` (the caller's
+    /// callback) is re-raised with the job's label attached — carried back
+    /// to the calling thread explicitly, because `thread::scope` replaces
+    /// a worker's panic payload with a generic message.
     fn run_map<F>(self, map: F) -> Vec<SweepOutcome>
     where
         F: Fn(usize, SweepOutcome) -> SweepOutcome + Sync,
     {
         let n = self.jobs.len();
         let workers = self.workers.unwrap_or_else(default_workers).min(n.max(1));
+        let job_budget = self.job_budget;
         let jobs = self.jobs;
 
-        let run_one = |i: usize, job: &SweepJob| {
+        let run_one = |i: usize, job: &SweepJob| -> Result<SweepOutcome, String> {
             let t0 = Instant::now();
-            let result = Machine::run(&job.config, &job.spec);
+            let mut config = job.config;
+            if let Some(b) = job_budget {
+                config.host_budget = Some(config.host_budget.map_or(b, |own| own.min(b)));
+            }
+            let result =
+                std::panic::catch_unwind(AssertUnwindSafe(|| Machine::run(&config, &job.spec)))
+                    .unwrap_or_else(|p| {
+                        Err(SimError::Panicked {
+                            label: job.label.clone(),
+                            payload: panic_payload(p.as_ref()),
+                        })
+                    });
             let outcome = SweepOutcome {
                 label: job.label.clone(),
                 spec: Arc::clone(&job.spec),
                 result,
                 host_seconds: t0.elapsed().as_secs_f64(),
             };
-            map(i, outcome)
+            match std::panic::catch_unwind(AssertUnwindSafe(|| map(i, outcome))) {
+                Ok(mapped) => Ok(mapped),
+                Err(p) => Err(format!(
+                    "sweep job '{}' (id {i}): {}",
+                    job.label,
+                    panic_payload(p.as_ref())
+                )),
+            }
         };
 
         if workers <= 1 {
@@ -203,12 +290,14 @@ impl SweepRunner {
             return jobs
                 .iter()
                 .enumerate()
-                .map(|(i, j)| run_one(i, j))
+                .map(|(i, j)| run_one(i, j).unwrap_or_else(|msg| panic!("{msg}")))
                 .collect();
         }
 
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<SweepOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // First callback panic, label-annotated; re-raised after the join.
+        let aborted: Mutex<Option<String>> = Mutex::new(None);
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
@@ -216,17 +305,25 @@ impl SweepRunner {
                     if i >= n {
                         break;
                     }
-                    let outcome = run_one(i, &jobs[i]);
-                    *slots[i].lock().unwrap() = Some(outcome);
+                    match run_one(i, &jobs[i]) {
+                        Ok(outcome) => *slots[i].lock().unwrap() = Some(outcome),
+                        Err(msg) => {
+                            aborted.lock().unwrap().get_or_insert(msg);
+                            break;
+                        }
+                    }
                 });
             }
         });
+        if let Some(msg) = aborted.into_inner().unwrap() {
+            panic!("{msg}");
+        }
         slots
             .into_iter()
             .map(|m| {
                 m.into_inner()
                     .unwrap()
-                    .expect("scope joined, so every job slot is filled")
+                    .expect("no worker aborted, so every job slot is filled")
             })
             .collect()
     }

@@ -1,0 +1,114 @@
+//! Chaos differential test: randomly generated divergent kernels must stay
+//! functionally correct — and terminate without deadlock or livelock — under
+//! every scheduling policy *and* every deterministic fault plan, with the
+//! release-mode sanitizer checks ([`dws_engine::sanitize`]) forced on.
+//!
+//! Fault plans perturb timing only (fill jitter, link delays, MSHR
+//! back-pressure, wake jitter, wake-heap churn); the invariants are:
+//!
+//! 1. Final memory matches the timing-free reference runner for every
+//!    (seed, policy, plan) triple.
+//! 2. The zero-fault plan is bit-identical to a machine with no plan set.
+//! 3. A chaotic plan is reproducible: the same plan replays to the same
+//!    cycle count.
+//! 4. Every run passes the promoted scheduler-sync and µop-oracle checks
+//!    (they would panic otherwise).
+
+#[path = "../../core/tests/common/mod.rs"]
+mod common;
+
+use common::{all_policies, compile, gen_block, MEM_WORDS};
+use dws_engine::fault::FaultPlan;
+use dws_engine::rng::Rng64;
+use dws_isa::{Program, ReferenceRunner, VecMemory};
+use dws_kernels::KernelSpec;
+use dws_sim::{Machine, SimConfig};
+use std::sync::Arc;
+
+fn output_region(mem: &VecMemory) -> &[u64] {
+    &mem.words()[(MEM_WORDS / 2) as usize..]
+}
+
+/// The fault-plan battery for one kernel seed: the zero plan plus every
+/// preset, each salted by the kernel seed so no two seeds replay the same
+/// fault stream.
+fn plans(seed: u64) -> [(&'static str, FaultPlan); 6] {
+    [
+        ("none", FaultPlan::NONE),
+        ("mem_jitter", FaultPlan::mem_jitter(seed)),
+        ("link_chaos", FaultPlan::link_chaos(seed)),
+        ("mshr_squeeze", FaultPlan::mshr_squeeze(seed)),
+        ("sched_chaos", FaultPlan::sched_chaos(seed)),
+        ("full_chaos", FaultPlan::full_chaos(seed)),
+    ]
+}
+
+fn run(cfg: &SimConfig, program: &Arc<Program>, mem0: &VecMemory, ctx: &str) -> (VecMemory, u64) {
+    let spec = KernelSpec::new("chaos", Arc::clone(program), mem0.clone(), |_| Ok(()));
+    let r = Machine::run(cfg, &spec)
+        .unwrap_or_else(|e| panic!("{ctx}: run failed (deadlock/livelock/timeout?): {e}"));
+    (r.memory, r.cycles)
+}
+
+#[test]
+fn chaos_invariants() {
+    // Promote the debug-only scheduler-sync and µop-oracle assertions to
+    // this release-mode run, exactly as `DWS_SANITIZE=1` would.
+    dws_engine::sanitize::force(true);
+    // Guards against a silently dead injector: across the whole battery at
+    // least some chaotic runs must actually shift the cycle count.
+    let mut perturbed = 0u64;
+    for seed in 0..16u64 {
+        let mut rng = Rng64::new(0xC4A0_55ED ^ seed);
+        let mut budget = 24usize;
+        let top_len = 1 + rng.range_usize(7);
+        let stmts = gen_block(&mut rng, 3, top_len, &mut budget);
+        let program = Arc::new(compile(&stmts));
+        let mem0 = VecMemory::new(MEM_WORDS as u64 * 8);
+        // Timing-free reference execution (16 threads = 2 WPUs x 8 x 1).
+        let mut reference = mem0.clone();
+        ReferenceRunner::new(&program, 16)
+            .with_step_budget(10_000_000)
+            .run(&mut reference)
+            .expect("reference terminates");
+        for policy in all_policies() {
+            let base = SimConfig::paper(policy)
+                .with_wpus(2)
+                .with_width(8)
+                .with_warps(1);
+            let (_, base_cycles) = run(
+                &base,
+                &program,
+                &mem0,
+                &format!("seed {seed} policy {} (no plan)", policy.paper_name()),
+            );
+            for (name, plan) in plans(0x9E37_79B9 ^ seed) {
+                let ctx = format!("seed {seed} policy {} plan {name}", policy.paper_name());
+                let cfg = base.with_fault(plan);
+                let (mem, cycles) = run(&cfg, &program, &mem0, &ctx);
+                // Invariant 1: faults perturb timing, never results.
+                assert_eq!(
+                    output_region(&mem),
+                    output_region(&reference),
+                    "{ctx}: final memory diverged from reference ({stmts:?})"
+                );
+                if plan.is_nop() {
+                    // Invariant 2: the zero plan is bit-identical to no plan.
+                    assert_eq!(cycles, base_cycles, "{ctx}: zero-fault plan changed timing");
+                } else {
+                    // Invariant 3: chaos is deterministic — replaying the
+                    // same plan reproduces the same cycle count.
+                    let (_, again) = run(&cfg, &program, &mem0, &ctx);
+                    assert_eq!(cycles, again, "{ctx}: fault plan is not reproducible");
+                    if cycles != base_cycles {
+                        perturbed += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        perturbed > 100,
+        "only {perturbed} chaotic runs shifted timing — injector looks dead"
+    );
+}

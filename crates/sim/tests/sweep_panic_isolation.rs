@@ -1,0 +1,141 @@
+//! Panic isolation in parallel sweeps: one poisoned job must not take down
+//! its siblings. A panic inside `Machine::run` (here: a kernel storing far
+//! out of bounds, which trips the functional memory's slice indexing)
+//! becomes [`SimError::Panicked`] for that job alone; every other job
+//! completes and verifies. Panics raised by *caller* callbacks, by
+//! contrast, must propagate — annotated with the failing job's label.
+
+use dws_core::Policy;
+use dws_isa::{KernelBuilder, Operand, VecMemory};
+use dws_kernels::{Benchmark, KernelSpec, Scale};
+use dws_sim::{failure_summary, SimConfig, SimError, SweepRunner};
+use std::sync::{Arc, Mutex};
+
+/// A kernel whose lanes 1.. store ~2^40 bytes past the end of a 64-byte
+/// functional memory: the timing model accepts the access (plenty of
+/// MSHRs), then the functional store panics on the slice index.
+fn poisoned_spec() -> Arc<KernelSpec> {
+    let mut b = KernelBuilder::new();
+    let tid = b.tid();
+    let a = b.reg();
+    b.mul(a, tid, Operand::Imm(1 << 40));
+    b.store(Operand::Imm(1), a, 0);
+    b.halt();
+    let program = b.build().unwrap();
+    Arc::new(KernelSpec::new(
+        "poisoned",
+        program,
+        VecMemory::new(64),
+        |_| Ok(()),
+    ))
+}
+
+#[test]
+fn panicking_job_is_isolated() {
+    let good = Arc::new(Benchmark::Short.build(Scale::Test, 3));
+    let mut sweep = SweepRunner::new().with_workers(2);
+    sweep.add(
+        "ok0",
+        SimConfig::paper(Policy::conventional()).with_wpus(1),
+        &good,
+    );
+    sweep.add(
+        "boom",
+        SimConfig::paper(Policy::conventional()).with_wpus(1),
+        &poisoned_spec(),
+    );
+    sweep.add(
+        "ok1",
+        SimConfig::paper(Policy::dws_revive()).with_wpus(1),
+        &good,
+    );
+    sweep.add("ok2", SimConfig::paper(Policy::slip()).with_wpus(1), &good);
+    let out = sweep.run();
+    assert_eq!(out.len(), 4);
+    match &out[1].result {
+        Err(SimError::Panicked { label, payload }) => {
+            assert_eq!(label, "boom");
+            assert!(
+                payload.contains("index out of bounds"),
+                "unexpected payload: {payload}"
+            );
+        }
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    // The survivors finished and verify — the panic never left its job.
+    for i in [0, 2, 3] {
+        let r = out[i]
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("job {} should have survived: {e}", out[i].label));
+        out[i].spec.verify(&r.memory).unwrap();
+    }
+    let summary = failure_summary(&out).expect("one job failed");
+    assert!(summary.starts_with("1/4 sweep jobs failed:"), "{summary}");
+    assert!(summary.contains("boom"), "{summary}");
+    assert!(
+        failure_summary(&out[..1]).is_none(),
+        "ok job is not a failure"
+    );
+}
+
+#[test]
+fn streaming_isolates_panicked_job() {
+    let good = Arc::new(Benchmark::Short.build(Scale::Test, 3));
+    let mut sweep = SweepRunner::new().with_workers(2);
+    sweep.add(
+        "s0",
+        SimConfig::paper(Policy::conventional()).with_wpus(1),
+        &good,
+    );
+    sweep.add(
+        "bad",
+        SimConfig::paper(Policy::conventional()).with_wpus(1),
+        &poisoned_spec(),
+    );
+    sweep.add(
+        "s1",
+        SimConfig::paper(Policy::dws_revive()).with_wpus(1),
+        &good,
+    );
+    let out = sweep.run_streaming();
+    assert!(matches!(
+        &out[1].result,
+        Err(SimError::Panicked { label, .. }) if label == "bad"
+    ));
+    for i in [0, 2] {
+        let r = out[i].result.as_ref().unwrap();
+        assert!(
+            r.memory.words().is_empty(),
+            "verified and dropped on arrival"
+        );
+    }
+}
+
+#[test]
+fn callback_panic_carries_job_label() {
+    let good = Arc::new(Benchmark::Short.build(Scale::Test, 3));
+    let mut sweep = SweepRunner::new().with_workers(2);
+    for i in 0..3 {
+        sweep.add(
+            format!("p{i}"),
+            SimConfig::paper(Policy::conventional()).with_wpus(1),
+            &good,
+        );
+    }
+    let seen = Mutex::new(0u32);
+    let p = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sweep.run_with(|i, _| {
+            *seen.lock().unwrap() += 1;
+            assert!(i != 1, "callback exploded");
+        })
+    }))
+    .err()
+    .expect("the callback panic must propagate");
+    let msg = p
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("label-annotated panics carry a String payload");
+    assert!(msg.contains("sweep job 'p1'"), "{msg}");
+    assert!(msg.contains("callback exploded"), "{msg}");
+}

@@ -20,10 +20,49 @@
 //!   --csv                      machine-readable one-line-per-run output
 //! ```
 
+//! Exit codes: 0 success, 1 generic failure (usage, I/O, wrong result),
+//! 3 timeout, 4 deadlock, 5 livelock, 6 host-budget — so harnesses can
+//! triage a failed run without parsing stderr. Structured aborts also
+//! print their machine-state snapshot ([`dws::sim::DiagnosticReport`]).
+
 use dws::core::Policy;
 use dws::kernels::{Benchmark, Scale};
-use dws::sim::{Machine, SimConfig};
+use dws::sim::{Machine, SimConfig, SimError};
 use std::process::ExitCode;
+
+/// A CLI failure: a structured simulation abort (distinct exit code, with
+/// the machine-state snapshot printed) or a plain usage/build error.
+enum CliError {
+    Sim(SimError),
+    Other(String),
+}
+
+/// Reports `e` on stderr and maps it to the documented exit code.
+fn fail(e: &CliError) -> ExitCode {
+    let code = match e {
+        CliError::Sim(s) => {
+            eprintln!("error: {s}");
+            if let SimError::Timeout { diagnostics, .. }
+            | SimError::Deadlock { diagnostics, .. }
+            | SimError::Livelock { diagnostics, .. } = s
+            {
+                eprint!("{diagnostics}");
+            }
+            match s {
+                SimError::Timeout { .. } => 3,
+                SimError::Deadlock { .. } => 4,
+                SimError::Livelock { .. } => 5,
+                SimError::HostBudget { .. } => 6,
+                _ => 1,
+            }
+        }
+        CliError::Other(msg) => {
+            eprintln!("error: {msg}");
+            1
+        }
+    };
+    ExitCode::from(code)
+}
 
 fn policies() -> Vec<(&'static str, Policy)> {
     vec![
@@ -156,12 +195,16 @@ fn config(o: &Options, policy: Policy) -> SimConfig {
     cfg
 }
 
-fn run_one(o: &Options, policy: Policy, baseline: Option<u64>) -> Result<u64, String> {
+fn run_one(o: &Options, policy: Policy, baseline: Option<u64>) -> Result<u64, CliError> {
     let spec = o.bench.build(o.scale, o.seed);
     let cfg = config(o, policy);
-    let r = Machine::run(&cfg, &spec).map_err(|e| e.to_string())?;
-    spec.verify(&r.memory)
-        .map_err(|e| format!("wrong result: {e}"))?;
+    let r = Machine::run(&cfg, &spec).map_err(CliError::Sim)?;
+    spec.verify(&r.memory).map_err(|message| {
+        CliError::Sim(SimError::VerifyFailed {
+            label: format!("{}/{}", o.bench.name(), policy.paper_name()),
+            message,
+        })
+    })?;
     if o.csv {
         println!(
             "{},{},{},{},{},{},{:.4},{:.4},{:.2},{},{},{:.4e}",
@@ -229,10 +272,7 @@ fn main() -> ExitCode {
                 let policy = o.policy.unwrap_or_else(Policy::dws_revive);
                 match run_one(&o, policy, None) {
                     Ok(_) => ExitCode::SUCCESS,
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        ExitCode::FAILURE
-                    }
+                    Err(e) => fail(&e),
                 }
             }
             Err(e) => {
@@ -254,10 +294,7 @@ fn main() -> ExitCode {
                         Ok(cycles) => {
                             baseline.get_or_insert(cycles);
                         }
-                        Err(e) => {
-                            eprintln!("error: {e}");
-                            return ExitCode::FAILURE;
-                        }
+                        Err(e) => return fail(&e),
                     }
                 }
                 ExitCode::SUCCESS
@@ -290,10 +327,7 @@ fn main() -> ExitCode {
             }
             match run_asm(path, threads, mem_kb, &rest) {
                 Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
+                Err(e) => fail(&e),
             }
         }
         other => {
@@ -304,19 +338,20 @@ fn main() -> ExitCode {
 }
 
 /// Assembles and simulates a textual kernel on a machine sized for it.
-fn run_asm(path: &str, threads: u64, mem_kb: u64, opts: &[String]) -> Result<(), String> {
+fn run_asm(path: &str, threads: u64, mem_kb: u64, opts: &[String]) -> Result<(), CliError> {
     use dws::isa::{parse_asm, VecMemory};
     use dws::kernels::KernelSpec;
 
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let program = parse_asm(&text).map_err(|e| format!("{path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
+    let program = parse_asm(&text).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
     println!(
         "{path}: {} instructions, {} conditional branches ({} subdividable)",
         program.len(),
         program.branches().count(),
         program.branches().filter(|(_, i)| i.subdividable).count()
     );
-    let o = parse(opts)?;
+    let o = parse(opts).map_err(CliError::Other)?;
     let memory = VecMemory::new(mem_kb * 1024);
     let spec = KernelSpec::new("asm-kernel", program, memory, |_| Ok(()));
     // Size the machine so it has exactly `threads` hardware threads.
@@ -324,7 +359,7 @@ fn run_asm(path: &str, threads: u64, mem_kb: u64, opts: &[String]) -> Result<(),
     let per_wpu = (o.width * o.warps) as u64;
     cfg.n_wpus = (threads.div_ceil(per_wpu)).max(1) as usize;
     cfg.mem.n_l1s = cfg.n_wpus;
-    let r = dws::sim::Machine::run(&cfg, &spec).map_err(|e| e.to_string())?;
+    let r = dws::sim::Machine::run(&cfg, &spec).map_err(CliError::Sim)?;
     println!(
         "cycles {}  warp-insts {}  width {:.2}  busy {:.1}%  mem-stall {:.1}%  misses {}",
         r.cycles,

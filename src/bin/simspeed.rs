@@ -55,10 +55,11 @@ fn time_sweep(sweep: SweepRunner) -> f64 {
     // worker rather than one image per job.
     let outcomes = sweep.run_streaming();
     let dt = t0.elapsed().as_secs_f64();
-    for o in &outcomes {
-        if let Err(e) = &o.result {
-            panic!("{}: {e}", o.label);
-        }
+    // Every job ran to completion (a panicked job is isolated to its own
+    // outcome), so report all failures at once instead of just the first.
+    if let Some(summary) = dws::sim::failure_summary(&outcomes) {
+        eprintln!("{summary}");
+        std::process::exit(1);
     }
     dt
 }
