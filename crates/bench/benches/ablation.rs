@@ -111,7 +111,7 @@ fn main() {
     headers.extend(thresholds.iter().map(|(n, _)| n.to_string()));
     let mut t = Table::new(
         "Ablation B — §4.3 subdivision threshold (speedup over Conv, ReviveSplit)",
-        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); thresholds.len()];
     for (&bench, ((base, _), ids)) in benches.iter().zip(a_jobs.iter().zip(&b_jobs)) {

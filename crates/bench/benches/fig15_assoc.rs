@@ -17,7 +17,7 @@ fn main() {
     headers.extend(assocs.iter().map(|(n, _)| n.to_string()));
     let mut t = Table::new(
         "Figure 15 — speedup vs D-cache associativity (h-mean, norm. to Conv 8-way)",
-        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
 
     let make = |policy: Policy, assoc: Option<usize>| {
@@ -98,7 +98,7 @@ fn main() {
 
     let mut t2 = Table::new(
         "Figure 15 (detail) — per-benchmark DWS speedup over Conv at same assoc",
-        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     for (name, conv_row, dws_row) in &per_bench {
         let cells: Vec<String> = std::iter::once(name.clone())

@@ -14,7 +14,7 @@ fn main() {
     headers.extend(lats.iter().map(|l| format!("L2={l}")));
     let mut t = Table::new(
         "Figure 16 — performance vs L2 lookup latency (h-mean, norm. to Conv L2=10)",
-        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let make = |policy: Policy, lat: u64| {
         let mut cfg = SimConfig::paper(policy);

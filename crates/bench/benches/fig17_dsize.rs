@@ -13,7 +13,7 @@ fn main() {
     headers.extend(sizes.iter().map(|s| format!("{s}KB")));
     let mut t = Table::new(
         "Figure 17 — DWS speedup over Conv vs D-cache size (h-mean)",
-        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let make = |policy: Policy, kb: u64| {
         let mut cfg = SimConfig::paper(policy);

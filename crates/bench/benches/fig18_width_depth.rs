@@ -49,7 +49,7 @@ fn main() {
         headers.extend(policies.iter().map(|(n, _)| n.to_string()));
         let mut t = Table::new(
             &format!("Figure 18 — width x depth sweep, {cache_name} (h-mean speedup vs Conv w=min,1 warp)"),
-            &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            &headers.iter().map(String::as_str).collect::<Vec<_>>(),
         );
         // Per benchmark: baseline = Conv at (min width, 1 warp), then the
         // full grid of (width, depth, policy) points.

@@ -13,7 +13,7 @@ fn main() {
     headers.extend(slots.iter().map(|s| format!("{s} slots")));
     let mut t = Table::new(
         "Figure 20 — DWS speedup over Conv vs scheduler slots (h-mean)",
-        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let benches = dws_bench::benchmarks();
     let mut sweep = Sweep::new();

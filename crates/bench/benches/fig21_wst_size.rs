@@ -13,7 +13,7 @@ fn main() {
     headers.extend(sizes.iter().map(|s| format!("WST={s}")));
     let mut t = Table::new(
         "Figure 21 — DWS speedup over Conv vs WST entries (h-mean, 8 slots)",
-        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let benches = dws_bench::benchmarks();
     let mut sweep = Sweep::new();

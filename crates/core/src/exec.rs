@@ -52,7 +52,7 @@ pub(crate) fn exec_alu(rf: &mut RegFile, mask: Mask, op: AluOp, dst: u16, a: Src
     arms!(
         Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Min, Max, FAdd, FSub, FMul, FDiv, FMin,
         FMax
-    )
+    );
 }
 
 /// `dst = <op> a` across the active lanes.
@@ -64,7 +64,7 @@ pub(crate) fn exec_un(rf: &mut RegFile, mask: Mask, op: UnOp, dst: u16, a: Src) 
             }
         };
     }
-    arms!(Mov, Not, Neg, FNeg, FAbs, FSqrt, I2F, F2I)
+    arms!(Mov, Not, Neg, FNeg, FAbs, FSqrt, I2F, F2I);
 }
 
 /// `dst = (a <cond> b) ? 1 : 0` across the active lanes.
@@ -76,7 +76,7 @@ pub(crate) fn exec_set(rf: &mut RegFile, mask: Mask, cond: CondOp, dst: u16, a: 
             }
         };
     }
-    arms!(Eq, Ne, Lt, Le, Gt, Ge, FEq, FNe, FLt, FLe, FGt, FGe)
+    arms!(Eq, Ne, Lt, Le, Gt, Ge, FEq, FNe, FLt, FLe, FGt, FGe);
 }
 
 /// The set of active lanes whose `a <cond> b` holds — the branch-taken mask.

@@ -494,9 +494,8 @@ impl Wpu {
     /// invalidated.
     fn surface_ready(&mut self, now: Cycle) {
         loop {
-            let (at, i, stamp) = match self.pending.peek() {
-                Some((at, &(i, stamp))) => (at, i, stamp),
-                None => return,
+            let Some((at, &(i, stamp))) = self.pending.peek() else {
+                return;
             };
             if at > now {
                 return;
@@ -855,7 +854,6 @@ impl Wpu {
                     {
                         self.current = None;
                     }
-                    continue;
                 }
                 PreIssue::Execute => {
                     if self.execute(gid, now, mem, data) {
@@ -863,7 +861,6 @@ impl Wpu {
                     }
                     // Structural stall (MSHR-full or I-fetch miss): the
                     // group was pushed back; try another this cycle.
-                    continue;
                 }
             }
         }

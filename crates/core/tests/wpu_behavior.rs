@@ -62,8 +62,8 @@ fn run_machine(
             }
         }
         // Global barrier release.
-        let live: u64 = m.wpus.iter().map(|w| w.live_threads()).sum();
-        let waiting: u64 = m.wpus.iter().map(|w| w.barrier_waiting()).sum();
+        let live: u64 = m.wpus.iter().map(Wpu::live_threads).sum();
+        let waiting: u64 = m.wpus.iter().map(Wpu::barrier_waiting).sum();
         if live > 0 && waiting == live {
             for w in &mut m.wpus {
                 w.release_barrier(now);

@@ -36,16 +36,20 @@
 
 use crate::inst::{AluOp, CondOp, Inst, Operand, Reg, UnOp};
 use crate::program::Program;
+use crate::verify::{Diagnostic, VerifyOptions};
 use std::collections::HashMap;
 use std::fmt;
 
 /// An assembly-parsing error with its 1-based source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
-    /// 1-based line number.
+    /// 1-based line number; `0` for program-level (whole-stream) failures.
     pub line: usize,
     /// What went wrong.
     pub message: String,
+    /// Structured verifier findings, when the failure was a program-level
+    /// verification one (empty for pure syntax errors).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl fmt::Display for AsmError {
@@ -60,6 +64,7 @@ fn err(line: usize, message: impl Into<String>) -> AsmError {
     AsmError {
         line,
         message: message.into(),
+        diagnostics: Vec::new(),
     }
 }
 
@@ -262,9 +267,8 @@ pub fn parse_asm(text: &str) -> Result<Program, AsmError> {
         } else if let Some(cond) = m.strip_prefix('b').and_then(cond_op) {
             let a = want_op(tok(0)?, line)?;
             let b = want_op(tok(1)?, line)?;
-            let target = match tok(2)? {
-                Tok::Label(l) => l,
-                _ => return Err(err(line, "branch target must be a label")),
+            let Tok::Label(target) = tok(2)? else {
+                return Err(err(line, "branch target must be a label"));
             };
             Pending::Branch(cond, a, b, target, line)
         } else {
@@ -325,7 +329,11 @@ pub fn parse_asm(text: &str) -> Result<Program, AsmError> {
             },
         });
     }
-    Program::from_insts(insts).map_err(|m| err(0, m))
+    Program::from_insts_verified(insts, &VerifyOptions::default()).map_err(|report| AsmError {
+        line: 0,
+        message: report.rendered().trim_end().to_string(),
+        diagnostics: report.diagnostics,
+    })
 }
 
 #[cfg(test)]
@@ -431,6 +439,13 @@ mod tests {
 
         let e = parse_asm("add r1, r2, r3").unwrap_err();
         assert_eq!(e.line, 0, "program-level: falls off the end");
+        assert!(
+            e.diagnostics
+                .iter()
+                .any(|d| d.code == crate::verify::DwsLintCode::FallthroughOffEnd),
+            "program-level errors carry structured diagnostics"
+        );
+        assert!(e.message.contains("DWS0103"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::inst::{AluOp, CondOp, Inst, Operand, Reg, UnOp};
 use crate::program::Program;
+use crate::verify::{VerifyOptions, VerifyReport};
 use std::fmt;
 
 /// A forward-referenceable code label.
@@ -20,15 +21,28 @@ pub struct Label(usize);
 pub enum BuildError {
     /// A label was created but never bound to a position.
     UnboundLabel(usize),
-    /// The program failed validation (empty, bad target, fall-off-end).
-    Invalid(String),
+    /// The program failed static verification; carries the structured
+    /// [`VerifyReport`] (per-diagnostic `DwsLintCode`, pc, and block).
+    Invalid(VerifyReport),
+}
+
+impl BuildError {
+    /// The verifier's report, when the failure was a verification one.
+    pub fn report(&self) -> Option<&VerifyReport> {
+        match self {
+            BuildError::UnboundLabel(_) => None,
+            BuildError::Invalid(report) => Some(report),
+        }
+    }
 }
 
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::UnboundLabel(i) => write!(f, "label {i} was never bound"),
-            BuildError::Invalid(msg) => write!(f, "invalid program: {msg}"),
+            BuildError::Invalid(report) => {
+                write!(f, "invalid program: {}", report.rendered().trim_end())
+            }
         }
     }
 }
@@ -437,7 +451,7 @@ impl KernelBuilder {
         // Labels may be bound at the very end (== insts.len()); that is only
         // valid if nothing branches there, which resolution above catches by
         // producing an out-of-range target that validation rejects.
-        Program::from_insts(insts).map_err(BuildError::Invalid)
+        Program::from_insts_verified(insts, &VerifyOptions::default()).map_err(BuildError::Invalid)
     }
 }
 
@@ -467,7 +481,20 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(BuildError::UnboundLabel(3).to_string().contains('3'));
-        assert!(BuildError::Invalid("x".into()).to_string().contains('x'));
+        assert!(BuildError::UnboundLabel(3).report().is_none());
+        // A fall-off-the-end program produces a structured report whose
+        // rendering (and code) survive into the Display output.
+        let b = KernelBuilder::new();
+        let e = {
+            let mut b = b;
+            b.li(Reg(2), 1);
+            b.build().unwrap_err()
+        };
+        let report = e.report().expect("verification failure");
+        assert!(report
+            .find(crate::verify::DwsLintCode::FallthroughOffEnd)
+            .is_some());
+        assert!(e.to_string().contains("DWS0103"));
     }
 
     #[test]

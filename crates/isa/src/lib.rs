@@ -15,6 +15,11 @@
 //! * [`interp`] — per-thread functional semantics, shared by the timing
 //!   model and by a lockstep-free reference runner used to validate that
 //!   every scheduling policy computes identical results.
+//! * [`verify`] — a multi-pass static verifier and linter (CFG
+//!   well-formedness, independent re-convergence re-computation, def-use
+//!   dataflow, interval memory bounds, divergence/uniformity) producing
+//!   structured [`Diagnostic`]s; error findings reject the program at
+//!   [`Program::from_insts`] time.
 //!
 //! # Example
 //!
@@ -47,6 +52,7 @@ pub mod inst;
 pub mod interp;
 pub mod predecode;
 pub mod program;
+pub mod verify;
 
 pub use asm::{parse_asm, AsmError};
 pub use builder::{BuildError, KernelBuilder, Label};
@@ -58,3 +64,4 @@ pub use interp::{
 };
 pub use predecode::{ExecOp, Src};
 pub use program::Program;
+pub use verify::{Diagnostic, DwsLintCode, Severity, VerifyOptions, VerifyReport, VerifyStats};

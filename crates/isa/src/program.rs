@@ -3,6 +3,7 @@
 use crate::cfg::{BranchInfo, Cfg};
 use crate::inst::{Inst, Operand, Reg};
 use crate::predecode::{predecode, ExecOp};
+use crate::verify::{self, VerifyOptions, VerifyReport, VerifyStats};
 use std::fmt;
 
 /// A validated, analyzed kernel program.
@@ -21,39 +22,48 @@ pub struct Program {
     /// Indexed by pc; `None` for non-branch instructions.
     branch_info: Vec<Option<BranchInfo>>,
     num_regs: u16,
+    /// Aggregate facts from the build-time verification run.
+    stats: VerifyStats,
 }
 
 impl Program {
-    /// Assembles a program from raw instructions, running CFG analysis.
+    /// Assembles a program from raw instructions, running the full
+    /// [`crate::verify`] pipeline. Error-severity findings reject the
+    /// program; the rendered diagnostic report becomes the error string.
     ///
     /// # Errors
     ///
-    /// Returns a message if the program is empty, a branch target is out of
-    /// range, or the last instruction can fall off the end.
+    /// Returns the rendered [`VerifyReport`] if any pass found an
+    /// error-severity defect (empty program, target out of range,
+    /// fall-through off the end, use-before-def, provably out-of-bounds
+    /// access, inconsistent annotations, ...).
     pub fn from_insts(insts: Vec<Inst>) -> Result<Program, String> {
-        if insts.is_empty() {
-            return Err("program has no instructions".to_string());
+        Self::from_insts_verified(insts, &VerifyOptions::default())
+            .map_err(|report| report.rendered().trim_end().to_string())
+    }
+
+    /// Like [`Program::from_insts`] but with explicit verification context
+    /// and the structured [`VerifyReport`] on rejection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full report when it contains error-severity diagnostics.
+    pub fn from_insts_verified(
+        insts: Vec<Inst>,
+        opts: &VerifyOptions,
+    ) -> Result<Program, VerifyReport> {
+        let (report, built) = verify::verify(&insts, opts);
+        if report.has_errors() {
+            return Err(report);
         }
-        let n = insts.len();
-        for (pc, inst) in insts.iter().enumerate() {
-            match *inst {
-                Inst::Branch { target, .. } | Inst::Jump { target } if target >= n => {
-                    return Err(format!("pc {pc}: branch target @{target} out of range"));
-                }
-                _ => {}
-            }
-        }
-        if !insts[n - 1].is_terminator() {
-            return Err("control can fall off the end of the program".to_string());
-        }
-        let cfg = Cfg::build(&insts);
-        let branch_info = cfg.analyze_branches(&insts);
+        let (_cfg, branch_info) = built.expect("error-free verification builds a CFG");
         let num_regs = max_reg(&insts) + 1;
         Ok(Program {
             decoded: predecode(&insts),
             insts,
             branch_info,
             num_regs,
+            stats: report.stats,
         })
     }
 
@@ -112,13 +122,39 @@ impl Program {
     /// Section 4.3 subdivision threshold (`usize::MAX` allows every branch,
     /// `0` none). Used by the subdivision-threshold ablation bench.
     pub fn with_subdiv_threshold(&self, max_block: usize) -> Program {
-        let cfg = Cfg::build(&self.insts);
+        let opts = VerifyOptions {
+            subdiv_threshold: max_block,
+            ..VerifyOptions::default()
+        };
+        let (report, built) = verify::verify(&self.insts, &opts);
+        let (_cfg, branch_info) = built.expect("an already-built program stays structurally valid");
         Program {
             insts: self.insts.clone(),
             decoded: self.decoded.clone(),
-            branch_info: cfg.analyze_branches_with(&self.insts, max_block),
+            branch_info,
             num_regs: self.num_regs,
+            stats: report.stats,
         }
+    }
+
+    /// The per-pc [`BranchInfo`] annotation table (`None` for non-branches).
+    pub fn branch_annotations(&self) -> &[Option<BranchInfo>] {
+        &self.branch_info
+    }
+
+    /// Aggregate facts derived by the build-time verification run.
+    pub fn verify_stats(&self) -> &VerifyStats {
+        &self.stats
+    }
+
+    /// Re-runs the full verification pipeline against this program's own
+    /// annotations under explicit context (thread count, memory size,
+    /// warp-split-table capacity) — the `dws-cli lint` path. Unlike
+    /// [`Program::from_insts_verified`] the annotations on trial are the
+    /// stored ones, so a forged or stale table is caught too.
+    pub fn lint(&self, opts: &VerifyOptions) -> VerifyReport {
+        let cfg = Cfg::build(&self.insts);
+        verify::verify_annotated(&self.insts, &cfg, &self.branch_info, opts)
     }
 
     /// Iterator over `(pc, info)` for every conditional branch.

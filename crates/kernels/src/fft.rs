@@ -18,7 +18,7 @@
 //! WIM [5n, 5n+n/2)  twiddle imaginary
 //! ```
 
-use crate::spec::{close, KernelSpec, Scale};
+use crate::spec::{close, BufferLayout, KernelSpec, Scale};
 use dws_engine::rng::Rng64;
 use dws_isa::{KernelBuilder, Operand, Program, VecMemory};
 use std::f64::consts::PI;
@@ -62,6 +62,14 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
         }
         Ok(())
     })
+    .with_layout(BufferLayout::of(&[
+        ("RE input real", 0, n as u64),
+        ("IM input imag", n as u64, n as u64),
+        ("BRE work/output real", 2 * n as u64, n as u64),
+        ("BIM work/output imag", 3 * n as u64, n as u64),
+        ("WRE twiddle real", 4 * n as u64, n as u64 / 2),
+        ("WIM twiddle imag", 5 * n as u64, n as u64 / 2),
+    ]))
 }
 
 fn init_memory(n: usize, seed: u64) -> VecMemory {

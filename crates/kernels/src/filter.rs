@@ -7,7 +7,7 @@
 //!
 //! Layout: input image `W*H` f64 at word 0; output at word `W*H`.
 
-use crate::spec::{close, KernelSpec, Scale};
+use crate::spec::{close, BufferLayout, KernelSpec, Scale};
 use dws_engine::rng::Rng64;
 use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
 
@@ -41,6 +41,10 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
         }
         Ok(())
     })
+    .with_layout(BufferLayout::of(&[
+        ("input image", 0, (w * h) as u64),
+        ("output image", (w * h) as u64, (w * h) as u64),
+    ]))
 }
 
 fn init_memory(w: usize, h: usize, seed: u64) -> VecMemory {
@@ -111,6 +115,10 @@ pub fn program(w: usize, h: usize) -> Program {
                         b.mul(idx, Operand::Reg(idx), Operand::Imm(wi));
                         b.add(idx, Operand::Reg(idx), Operand::Reg(c));
                         b.add(idx, Operand::Reg(idx), Operand::Imm(dc as i64 - 1));
+                        // Runtime no-op (the interior guard bounds idx), but
+                        // lets the static verifier prove the gather in-bounds.
+                        b.imax(idx, Operand::Reg(idx), Operand::Imm(0));
+                        b.imin(idx, Operand::Reg(idx), Operand::Imm(wi * hi - 1));
                         b.addr(a, Operand::Imm(0), Operand::Reg(idx), 8);
                         b.load(v, a, 0);
                         b.fmul(v, Operand::Reg(v), Operand::ImmF(coef));

@@ -9,7 +9,7 @@
 //! After `iters` steps the result lives in `T0` if `iters` is even, else
 //! `T1`.
 
-use crate::spec::{close, KernelSpec, Scale};
+use crate::spec::{close, BufferLayout, KernelSpec, Scale};
 use dws_engine::rng::Rng64;
 use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
 
@@ -49,6 +49,11 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
         }
         Ok(())
     })
+    .with_layout(BufferLayout::of(&[
+        ("T0 temperature", 0, (n * n) as u64),
+        ("T1 temperature", (n * n) as u64, (n * n) as u64),
+        ("P power", (2 * n * n) as u64, (n * n) as u64),
+    ]))
 }
 
 fn init_memory(n: usize, seed: u64) -> VecMemory {
@@ -104,6 +109,7 @@ pub fn program(n: usize, iters: usize) -> Program {
     let nb = b.reg();
     let lap = b.reg();
     let out = b.reg();
+    let na = b.reg();
 
     b.li(src, 0);
     b.li(dst, t1);
@@ -125,7 +131,12 @@ pub fn program(n: usize, iters: usize) -> Program {
                     Operand::Reg(r),
                     Operand::Imm(0),
                     |b| {
-                        b.load(nb, a, -(ni * 8));
+                        // Runtime no-op clamp (r > 0 implies a - n*8 >= src),
+                        // but lets the static verifier prove the gather
+                        // in-bounds without relational reasoning.
+                        b.add(na, Operand::Reg(a), Operand::Imm(-(ni * 8)));
+                        b.imax(na, Operand::Reg(na), Operand::Reg(src));
+                        b.load(nb, na, 0);
                     },
                     |b| {
                         b.mov(nb, Operand::Reg(t));
@@ -151,7 +162,10 @@ pub fn program(n: usize, iters: usize) -> Program {
                     Operand::Reg(c),
                     Operand::Imm(0),
                     |b| {
-                        b.load(nb, a, -8);
+                        // Same provability clamp: c > 0 implies a - 8 >= src.
+                        b.add(na, Operand::Reg(a), Operand::Imm(-8));
+                        b.imax(na, Operand::Reg(na), Operand::Reg(src));
+                        b.load(nb, na, 0);
                     },
                     |b| {
                         b.mov(nb, Operand::Reg(t));

@@ -15,7 +15,7 @@
 //! ASSIGN [n*d+k*d,  ...+n)    per-point cluster index (i64)
 //! ```
 
-use crate::spec::{close, KernelSpec, Scale};
+use crate::spec::{close, BufferLayout, KernelSpec, Scale};
 use dws_engine::rng::Rng64;
 use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
 
@@ -50,11 +50,16 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
         for (p, &ea) in expect_assign.iter().enumerate() {
             let got = mem.read_i64(((n * d + k * d + p) * 8) as u64);
             if got != ea {
-                return Err(format!("KMeans assign[{p}] = {got}, expected {}", ea));
+                return Err(format!("KMeans assign[{p}] = {got}, expected {ea}"));
             }
         }
         Ok(())
     })
+    .with_layout(BufferLayout::of(&[
+        ("PTS point coords", 0, (n * d) as u64),
+        ("CENT centroids", (n * d) as u64, (k * d) as u64),
+        ("ASSIGN cluster index", (n * d + k * d) as u64, n as u64),
+    ]))
 }
 
 fn init_memory(n: usize, d: usize, k: usize, seed: u64) -> VecMemory {

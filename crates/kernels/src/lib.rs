@@ -47,4 +47,4 @@ pub mod short;
 pub mod spec;
 pub mod svm;
 
-pub use spec::{Benchmark, KernelSpec, Scale};
+pub use spec::{Benchmark, BufferDesc, BufferLayout, KernelSpec, Scale};

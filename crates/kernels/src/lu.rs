@@ -9,7 +9,7 @@
 //! Layout: the `n x n` matrix `A` (f64, row-major) at word 0; it is
 //! factored in place into `L\U` (unit lower triangle implicit).
 
-use crate::spec::{close, KernelSpec, Scale};
+use crate::spec::{close, BufferLayout, KernelSpec, Scale};
 use dws_engine::rng::Rng64;
 use dws_isa::{KernelBuilder, Operand, Program, VecMemory};
 
@@ -40,6 +40,11 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
         }
         Ok(())
     })
+    .with_layout(BufferLayout::of(&[(
+        "A matrix (in-place L\\U)",
+        0,
+        (n * n) as u64,
+    )]))
 }
 
 fn init_memory(n: usize, seed: u64) -> VecMemory {

@@ -9,7 +9,7 @@
 //! Layout (i64 words): buffer `A` at 0, buffer `B` at `n`. The sorted
 //! result lands in `A` when the number of passes is even, `B` otherwise.
 
-use crate::spec::{KernelSpec, Scale};
+use crate::spec::{BufferLayout, KernelSpec, Scale};
 use dws_engine::rng::Rng64;
 use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
 
@@ -51,6 +51,10 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
         }
         Ok(())
     })
+    .with_layout(BufferLayout::of(&[
+        ("A ping buffer", 0, n as u64),
+        ("B pong buffer", n as u64, n as u64),
+    ]))
 }
 
 fn init_memory(n: usize, seed: u64) -> VecMemory {

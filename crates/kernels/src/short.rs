@@ -10,7 +10,7 @@
 //! Layout (i64 words): `prev` row at 0, `next` row at `c`. The final row
 //! is at 0 if `steps` is even, else at `c`.
 
-use crate::spec::{KernelSpec, Scale};
+use crate::spec::{BufferLayout, KernelSpec, Scale};
 use dws_engine::rng::Rng64;
 use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
 
@@ -59,6 +59,11 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
         }
         Ok(())
     })
+    .with_layout(BufferLayout::of(&[
+        ("prev row", 0, c as u64),
+        ("next row", c as u64, c as u64),
+        ("cost table", 2 * c as u64, COST_TABLE as u64),
+    ]))
 }
 
 fn init_memory(c: usize, seed: u64) -> VecMemory {

@@ -18,6 +18,86 @@ pub enum Scale {
 /// A boxed final-memory checker against a host-computed reference.
 type Verifier = Box<dyn Fn(&VecMemory) -> Result<(), String> + Send + Sync>;
 
+/// A named region of the flat kernel memory, in 8-byte words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferDesc {
+    /// Role of the region (e.g. `"input image"`, `"out"`).
+    pub name: &'static str,
+    /// First word of the region.
+    pub word_offset: u64,
+    /// Length in words.
+    pub words: u64,
+}
+
+impl BufferDesc {
+    /// One past the last byte of the region.
+    pub fn end_bytes(&self) -> u64 {
+        (self.word_offset + self.words) * 8
+    }
+}
+
+/// Declared memory map of a kernel: which word ranges mean what.
+///
+/// Purely descriptive metadata — the kernels address memory directly — but
+/// the sim-side linter cross-checks it against the allocated [`VecMemory`]
+/// (fit, overlap) and reports `DWS0404 LayoutMismatch` when the declaration
+/// and the allocation disagree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BufferLayout {
+    /// Regions in declaration order (conventionally ascending offsets).
+    pub buffers: Vec<BufferDesc>,
+}
+
+impl BufferLayout {
+    /// Declares a layout from `(name, word_offset, words)` triples.
+    pub fn of(buffers: &[(&'static str, u64, u64)]) -> Self {
+        BufferLayout {
+            buffers: buffers
+                .iter()
+                .map(|&(name, word_offset, words)| BufferDesc {
+                    name,
+                    word_offset,
+                    words,
+                })
+                .collect(),
+        }
+    }
+
+    /// Checks the declaration against an allocation of `mem_bytes` bytes.
+    ///
+    /// Returns one message per defect: a region overrunning the allocation,
+    /// two regions overlapping, or an empty region.
+    pub fn check(&self, mem_bytes: u64) -> Vec<String> {
+        let mut problems = Vec::new();
+        for b in &self.buffers {
+            if b.words == 0 {
+                problems.push(format!("buffer `{}` is empty", b.name));
+            }
+            if b.end_bytes() > mem_bytes {
+                problems.push(format!(
+                    "buffer `{}` (words {}..{}) overruns the {mem_bytes}-byte allocation",
+                    b.name,
+                    b.word_offset,
+                    b.word_offset + b.words,
+                ));
+            }
+        }
+        for (i, a) in self.buffers.iter().enumerate() {
+            for b in &self.buffers[i + 1..] {
+                let lo = a.word_offset.max(b.word_offset);
+                let hi = (a.word_offset + a.words).min(b.word_offset + b.words);
+                if lo < hi {
+                    problems.push(format!(
+                        "buffers `{}` and `{}` overlap on words {lo}..{hi}",
+                        a.name, b.name,
+                    ));
+                }
+            }
+        }
+        problems
+    }
+}
+
 /// A ready-to-simulate benchmark: program, initialized memory, verifier.
 pub struct KernelSpec {
     /// Benchmark name (paper spelling).
@@ -27,6 +107,8 @@ pub struct KernelSpec {
     pub program: Arc<Program>,
     /// Initialized functional memory (inputs + zeroed outputs).
     pub memory: VecMemory,
+    /// Declared memory map (empty when a kernel predates the linter).
+    pub layout: BufferLayout,
     /// Checks the final memory against a host-computed reference.
     verifier: Verifier,
 }
@@ -43,8 +125,16 @@ impl KernelSpec {
             name,
             program: program.into(),
             memory,
+            layout: BufferLayout::default(),
             verifier: Box::new(verifier),
         }
+    }
+
+    /// Attaches the declared memory map.
+    #[must_use]
+    pub fn with_layout(mut self, layout: BufferLayout) -> Self {
+        self.layout = layout;
+        self
     }
 
     /// Verifies a final memory image against the host reference.
@@ -154,6 +244,24 @@ mod tests {
             ["FFT", "Filter", "HotSpot", "LU", "Merge", "Short", "KMeans", "SVM"]
         );
         assert_eq!(Benchmark::Fft.to_string(), "FFT");
+    }
+
+    #[test]
+    fn layout_check_reports_overrun_and_overlap() {
+        let layout = BufferLayout::of(&[("a", 0, 8), ("b", 4, 8), ("c", 20, 0)]);
+        let problems = layout.check(12 * 8);
+        assert!(
+            problems.iter().any(|p| p.contains("overlap")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("overruns")),
+            "{problems:?}"
+        );
+        assert!(problems.iter().any(|p| p.contains("empty")), "{problems:?}");
+        assert!(BufferLayout::of(&[("a", 0, 8), ("b", 8, 4)])
+            .check(12 * 8)
+            .is_empty());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! OUT [n*d+m*d,  ...+n*m)   kernel values, row-major
 //! ```
 
-use crate::spec::{close, KernelSpec, Scale};
+use crate::spec::{close, BufferLayout, KernelSpec, Scale};
 use dws_engine::rng::Rng64;
 use dws_isa::{CondOp, KernelBuilder, Operand, Program, VecMemory};
 
@@ -52,6 +52,11 @@ pub fn build(scale: Scale, seed: u64) -> KernelSpec {
         }
         Ok(())
     })
+    .with_layout(BufferLayout::of(&[
+        ("X input vectors", 0, (n * d) as u64),
+        ("SV support vectors", (n * d) as u64, (m * d) as u64),
+        ("OUT kernel values", (n * d + m * d) as u64, (n * m) as u64),
+    ]))
 }
 
 fn init_memory(n: usize, d: usize, m: usize, seed: u64) -> VecMemory {

@@ -1091,9 +1091,8 @@ mod tests {
             .warp_access(t, 0, &[load(0, 0x0), load(1, 16 * 8)])
             .unwrap();
         // Second access queues behind the first in bank 0 (if both hit).
-        let r0 = match out[0].outcome {
-            AccessOutcome::Hit { ready_at } => ready_at,
-            _ => panic!("lane 0 should hit"),
+        let AccessOutcome::Hit { ready_at: r0 } = out[0].outcome else {
+            panic!("lane 0 should hit")
         };
         match out[1].outcome {
             AccessOutcome::Hit { ready_at } => {

@@ -19,6 +19,7 @@
 
 pub mod config;
 pub mod diag;
+pub mod lint;
 pub mod machine;
 pub mod metrics;
 pub mod presets;
@@ -26,6 +27,7 @@ pub mod sweep;
 
 pub use config::{SimConfig, SimError};
 pub use diag::{DiagnosticReport, WpuDiag};
+pub use lint::lint_spec;
 pub use machine::Machine;
 pub use metrics::RunResult;
 pub use sweep::{failure_summary, SweepOutcome, SweepRunner};

@@ -1,0 +1,96 @@
+//! Machine-aware kernel linting: static verification with the machine's
+//! actual parameters substituted in.
+//!
+//! The `dws-isa` verifier runs at program-build time with no machine
+//! context: it knows the CFG but not how many threads will execute it, how
+//! much memory backs it, or how deep the warp-split table is. This module
+//! closes that gap. [`lint_spec`] re-runs the full pass pipeline with
+//!
+//! * `nthreads` = [`SimConfig::total_threads`] — so `r0`/`r1` get tight
+//!   intervals and grid-stride address arithmetic becomes provable,
+//! * `mem_bytes` = the spec's allocated [`VecMemory`] size — so the
+//!   interval bounds pass classifies every access against the real
+//!   allocation,
+//! * `wst_capacity` = [`SimConfig::wst_entries`] — so the static
+//!   re-convergence-stack bound is checked against the hardware that will
+//!   actually hold the splits,
+//!
+//! and then cross-checks the spec's declared [`BufferLayout`] against the
+//! allocation (fit, overlap), reporting `DWS0404 LayoutMismatch` for every
+//! disagreement. This is the engine behind `dws-cli lint`.
+
+use dws_isa::{Diagnostic, DwsLintCode, VerifyOptions, VerifyReport};
+use dws_kernels::KernelSpec;
+
+use crate::config::SimConfig;
+
+/// Lints a built kernel under a concrete machine configuration.
+///
+/// Returns the merged report: the five IR verifier passes run with the
+/// machine's thread count, memory size, and WST capacity, plus the
+/// layout-vs-allocation cross-check.
+pub fn lint_spec(cfg: &SimConfig, spec: &KernelSpec) -> VerifyReport {
+    let opts = VerifyOptions::default()
+        .with_nthreads(cfg.total_threads())
+        .with_mem_bytes(spec.memory.size_bytes())
+        .with_wst_capacity(cfg.wst_entries);
+    let mut report = spec.program.lint(&opts);
+    for problem in spec.layout.check(spec.memory.size_bytes()) {
+        report.push(Diagnostic::new(
+            DwsLintCode::LayoutMismatch,
+            None,
+            None,
+            format!("{}: {problem}", spec.name),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_isa::Severity;
+    use dws_kernels::{Benchmark, BufferLayout, Scale};
+
+    #[test]
+    fn shipped_kernels_lint_clean_under_paper_machine() {
+        let cfg = SimConfig::paper(dws_core::Policy::dws_revive());
+        for bench in Benchmark::ALL {
+            let spec = bench.build(Scale::Test, 42);
+            let report = lint_spec(&cfg, &spec);
+            assert_eq!(report.count(Severity::Error), 0, "{bench}:\n{report}");
+            assert_eq!(report.count(Severity::Warning), 0, "{bench}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn layout_overrun_is_reported_as_mismatch() {
+        let cfg = SimConfig::paper(dws_core::Policy::dws_revive());
+        let mut spec = Benchmark::Merge.build(Scale::Test, 42);
+        // Forge a declaration that overruns the allocation.
+        let words = spec.memory.size_bytes() / 8;
+        spec = spec.with_layout(BufferLayout::of(&[("bogus", 0, words + 1)]));
+        let report = lint_spec(&cfg, &spec);
+        let d = report.find(DwsLintCode::LayoutMismatch).expect("finding");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn tiny_wst_flags_deeply_nested_kernels() {
+        // With a 1-entry WST every kernel that nests two divergent
+        // branches must draw the depth warning; the shipped suite at the
+        // paper's 16 entries must not (covered above). Use Short, whose
+        // min-update branch nests under the window loop.
+        let mut cfg = SimConfig::paper(dws_core::Policy::dws_revive());
+        cfg.wst_entries = 1;
+        let spec = Benchmark::Short.build(Scale::Test, 42);
+        let report = lint_spec(&cfg, &spec);
+        assert!(
+            report.stats.reconv_stack_bound() > 1,
+            "Short should nest: {:?}",
+            report.stats
+        );
+        assert!(report.find(DwsLintCode::ReconvDepthExceedsWst).is_some());
+    }
+}

@@ -75,7 +75,7 @@ impl Machine {
 
     /// Whether every thread has terminated.
     pub fn done(&self) -> bool {
-        self.wpus.iter().all(|w| w.done())
+        self.wpus.iter().all(Wpu::done)
     }
 
     /// Current simulation time.
@@ -109,8 +109,8 @@ impl Machine {
             }
         }
         // Global barrier: release once every live thread has arrived.
-        let live: u64 = self.wpus.iter().map(|w| w.live_threads()).sum();
-        let waiting: u64 = self.wpus.iter().map(|w| w.barrier_waiting()).sum();
+        let live: u64 = self.wpus.iter().map(Wpu::live_threads).sum();
+        let waiting: u64 = self.wpus.iter().map(Wpu::barrier_waiting).sum();
         if live > 0 && waiting == live {
             for w in &mut self.wpus {
                 w.release_barrier(now);
@@ -200,8 +200,8 @@ impl Machine {
             // Global barrier: release once every live thread has arrived.
             // Arrival counts only change when a WPU ticks, so checking on
             // processed cycles is exhaustive.
-            let live: u64 = m.wpus.iter().map(|w| w.live_threads()).sum();
-            let waiting: u64 = m.wpus.iter().map(|w| w.barrier_waiting()).sum();
+            let live: u64 = m.wpus.iter().map(Wpu::live_threads).sum();
+            let waiting: u64 = m.wpus.iter().map(Wpu::barrier_waiting).sum();
             if live > 0 && waiting == live {
                 for (i, w) in m.wpus.iter_mut().enumerate() {
                     w.release_barrier(now);
@@ -417,7 +417,7 @@ mod tests {
         // a deadlock rather than spin or sleep forever.
         let mut b = KernelBuilder::new();
         let tid = b.tid();
-        b.if_then(CondOp::Eq, tid, Operand::Imm(0), |b| b.barrier());
+        b.if_then(CondOp::Eq, tid, Operand::Imm(0), KernelBuilder::barrier);
         b.halt();
         let program = b.build().unwrap();
         let spec = KernelSpec::new("divergent-barrier", program, VecMemory::new(64), |_| Ok(()));

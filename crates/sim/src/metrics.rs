@@ -52,8 +52,8 @@ impl RunResult {
             wpu: agg,
             mem: mem_stats,
             energy,
-            per_thread_misses: wpus.iter().map(|w| w.per_thread_misses()).collect(),
-            wst_peaks: wpus.iter().map(|w| w.wst_peak()).collect(),
+            per_thread_misses: wpus.iter().map(Wpu::per_thread_misses).collect(),
+            wst_peaks: wpus.iter().map(Wpu::wst_peak).collect(),
             memory,
             per_wpu,
         }

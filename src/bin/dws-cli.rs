@@ -4,6 +4,7 @@
 //! dws-cli list
 //! dws-cli run     --bench Merge --policy revive [options]
 //! dws-cli compare --bench Merge [options]
+//! dws-cli lint    [--kernel <name> | --all] [--deny-warnings]
 //! dws-cli asm     <kernel.asm> [--threads N] [--mem-kb K] [--policy P] [options]
 //!
 //! options:
@@ -304,6 +305,19 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        "lint" => match run_lint(&args[1..]) {
+            Ok(clean) => {
+                if clean {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "asm" => {
             // dws-cli asm <file> [--threads N] [--mem-kb K] [--policy P] ...
             let Some(path) = args.get(1) else {
@@ -331,10 +345,82 @@ fn main() -> ExitCode {
             }
         }
         other => {
-            eprintln!("unknown command '{other}' (try list, run, compare, asm)");
+            eprintln!("unknown command '{other}' (try list, run, compare, lint, asm)");
             ExitCode::FAILURE
         }
     }
+}
+
+/// `dws-cli lint [--kernel <name> | --all] [--deny-warnings] [--verbose]`
+///
+/// Statically verifies the selected kernels under the paper's machine
+/// configuration at every input scale: the five IR passes (CFG shape,
+/// re-convergence, def-use, memory bounds, divergence) plus the declared
+/// buffer layout against the actual allocation. Returns whether the run
+/// was clean: errors always fail; warnings fail under `--deny-warnings`.
+fn run_lint(args: &[String]) -> Result<bool, String> {
+    use dws::kernels::Scale;
+    use dws::sim::lint_spec;
+
+    let mut benches: Vec<Benchmark> = Vec::new();
+    let mut deny_warnings = false;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--all" => benches = Benchmark::ALL.to_vec(),
+            "--verbose" => verbose = true,
+            "--kernel" => {
+                let v = it.next().ok_or("--kernel needs a value")?;
+                benches.push(
+                    Benchmark::ALL
+                        .into_iter()
+                        .find(|b| b.name().eq_ignore_ascii_case(v))
+                        .ok_or_else(|| format!("unknown benchmark '{v}'"))?,
+                );
+            }
+            "--deny-warnings" => deny_warnings = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if benches.is_empty() {
+        return Err("select kernels with --kernel <name> or --all".into());
+    }
+
+    let cfg = SimConfig::paper(dws::core::Policy::dws_revive());
+    let mut clean = true;
+    for bench in benches {
+        for scale in [Scale::Test, Scale::Bench, Scale::Paper] {
+            let spec = bench.build(scale, 42);
+            let report = lint_spec(&cfg, &spec);
+            let failed = report.has_errors()
+                || (deny_warnings && report.count(dws::isa::Severity::Warning) > 0);
+            clean &= !failed;
+            let stats = &report.stats;
+            println!(
+                "{:8} {:6?} {:4} insts  {:3} branches ({} divergent, {} subdividable)  \
+                 stack<=>{}  {}",
+                bench.name(),
+                scale,
+                spec.program.len(),
+                stats.branches,
+                stats.divergent_branches,
+                stats.subdividable_branches,
+                stats.reconv_stack_bound(),
+                report.summary(),
+            );
+            // Notes (e.g. unproven bounds) are informational; keep the
+            // gate output to actionable findings unless asked.
+            let actionable = report
+                .diagnostics
+                .iter()
+                .any(|d| d.severity >= dws::isa::Severity::Warning);
+            if verbose || actionable {
+                print!("{report}");
+            }
+        }
+    }
+    Ok(clean)
 }
 
 /// Assembles and simulates a textual kernel on a machine sized for it.

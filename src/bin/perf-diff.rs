@@ -209,11 +209,7 @@ fn main() -> ExitCode {
     ] {
         if let (Some(ov), Some(nv)) = (ov, nv) {
             let pct = (nv / ov - 1.0) * 100.0;
-            let _ = writeln!(
-                table,
-                "{:25} {:>8.2}s {:>8.2}s {:>+7.1}%",
-                name, ov, nv, pct
-            );
+            let _ = writeln!(table, "{name:25} {ov:>8.2}s {nv:>8.2}s {pct:>+7.1}%");
             if pct > max_regress {
                 regressions.push(format!("{name}: {pct:+.1}% wall clock"));
             }

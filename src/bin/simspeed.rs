@@ -108,7 +108,8 @@ fn main() {
     // single-core host the pool degenerates to the serial run, so skip it
     // rather than reporting a meaningless 1.0x "speedup".
     let workers = dws::sim::sweep::default_workers();
-    let available_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let available_parallelism =
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let specs: Vec<Arc<KernelSpec>> = Benchmark::ALL
         .into_iter()
         .map(|b| Arc::new(b.build(scale, seed)))
