@@ -42,8 +42,10 @@ echo "== tier-1 equivalence guards (named, release) =="
 cargo test -q --release --offline -p dws-sim --test zero_alloc_steady_state
 cargo test -q --release --offline -p dws-sim --test sweep_determinism
 cargo test -q --release --offline -p dws-sim --test event_equivalence
+cargo test -q --release --offline -p dws-sim --test parallel_equivalence
 cargo test -q --release --offline -p dws-core --test random_policies
 cargo test -q --release --offline -p dws-core --test uop_differential
+cargo test -q --release --offline -p dws-core --test uniform_hints_differential
 
 echo "== tier-1 robustness guards (named, release) =="
 # Chaos battery (fault plans x policies, sanitizer forced on) and sweep

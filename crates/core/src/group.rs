@@ -64,6 +64,14 @@ pub struct Group {
     pub slotted: bool,
     /// Creation sequence, for deterministic slot promotion and merging.
     pub seq: u64,
+    /// Retired uniform-*spine* branches (see
+    /// `dws_isa::verify::BranchUniformity::spine`). Together with the PC
+    /// this identifies the group's position on the uniform spine: splits
+    /// inherit it, and a merge of groups with unequal counts means lanes
+    /// with different spine histories (e.g. different trip counts of a
+    /// uniform loop) now share a group — the warp's uniform-branch fast
+    /// path is then disabled.
+    pub spine_trips: u64,
     /// Structural-stall memo: `(pc, mask, l1 generation)` of the last
     /// rejected memory access. While the group spins on full MSHRs its
     /// registers cannot change, so an identical attempt against an
@@ -86,6 +94,7 @@ impl Group {
             slip_catchup: false,
             slotted: false,
             seq,
+            spine_trips: 0,
             reject_memo: None,
         }
     }

@@ -252,9 +252,12 @@ impl Policy {
 
     /// Whether the policy adapts itself from per-interval cycle statistics
     /// (adaptive slip, duty-cycle throttling). Such controllers sample
-    /// counters as a function of *when ticks happen*, so the run loop must
-    /// keep all WPUs in lockstep instead of fast-forwarding them
-    /// individually to stay bit-identical with the stepped execution.
+    /// counters at fixed interval boundaries; each WPU publishes its next
+    /// boundary as a wake event (`Wpu::next_adapt_boundary`), so the run
+    /// loop sleeps through event gaps exactly as it does for every other
+    /// policy — waking for the boundary like it would for a memory
+    /// completion — instead of holding adaptive machines in per-cycle
+    /// lockstep.
     pub fn is_adaptive(&self) -> bool {
         match self {
             Policy::Slip(_) => true,

@@ -3,7 +3,7 @@
 use dws_engine::stats::{Counter, Distribution, Ratio};
 
 /// Statistics accumulated by one WPU over a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WpuStats {
     /// Cycles in which a warp instruction issued.
     pub busy_cycles: Counter,
@@ -61,6 +61,9 @@ pub struct WpuStats {
     pub slip_events: Counter,
     /// Slip: re-unions on revisiting the divergent PC.
     pub slip_merges: Counter,
+    /// Branches evaluated through the verifier-uniformity fast path (one
+    /// representative lane instead of the full warp).
+    pub uniform_fast_branches: Counter,
 
     /// Lane-level integer ALU operations (energy model).
     pub int_ops: Counter,
@@ -172,6 +175,8 @@ impl WpuStats {
             .add(other.throttle_suppressed.get());
         self.slip_events.add(other.slip_events.get());
         self.slip_merges.add(other.slip_merges.get());
+        self.uniform_fast_branches
+            .add(other.uniform_fast_branches.get());
         self.int_ops.add(other.int_ops.get());
         self.fp_ops.add(other.fp_ops.get());
         self.loads.add(other.loads.get());

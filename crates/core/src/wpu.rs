@@ -16,10 +16,13 @@ use crate::trace::{TraceEvent, Tracer};
 use crate::warp::{Frame, Warp};
 use crate::wst::WstAccounting;
 use dws_engine::fault::{FaultInjector, FaultPlan};
-use dws_engine::{Cycle, FastHashMap, ReadyRing, WakeHeap};
+use dws_engine::{Component, Cycle, FastHashMap, Phase, ReadyRing, WakeHeap};
 use dws_isa::cfg::RECONV_NONE;
 use dws_isa::{execute_lane, CondOp, ExecOp, MemoryAccess, Program, Reg, Src, StepOutcome};
-use dws_mem::{AccessKind, AccessOutcome, LaneAccess, MemorySystem, RequestId};
+use dws_mem::{
+    AccessKind, AccessOutcome, CacheArray, CacheConfig, LaneAccess, MemorySystem, MesiState,
+    RequestId,
+};
 use std::sync::Arc;
 
 /// Static configuration of one WPU.
@@ -38,11 +41,16 @@ pub struct WpuConfig {
     pub sched_slots: usize,
     /// Warp-split table entries (paper Section 6.7; 16 by default).
     pub wst_entries: usize,
+    /// Geometry of the WPU-local L1 instruction cache. The array lives in
+    /// the WPU (not the shared memory system) so the parallel compute
+    /// phase can probe it without synchronization; only miss fill latency
+    /// goes through the shared crossbar/L2 model, at commit time.
+    pub l1i: CacheConfig,
 }
 
 impl WpuConfig {
     /// The paper's Table 3 WPU: 16-wide, 4 warps, 8 scheduler slots,
-    /// 16 WST entries.
+    /// 16 WST entries, 16 KB L1-I.
     pub fn paper(id: usize, policy: Policy) -> Self {
         WpuConfig {
             id,
@@ -51,6 +59,7 @@ impl WpuConfig {
             policy,
             sched_slots: 8,
             wst_entries: 16,
+            l1i: CacheConfig::paper_l1i(),
         }
     }
 }
@@ -75,6 +84,55 @@ enum PreIssue {
     /// A zero-cost state transition happened (stack pop / merge / wait);
     /// pick another group this same cycle.
     Redirect,
+}
+
+/// Where an issue routes its shared-memory-system interaction.
+///
+/// `Direct` is the serial engine: the issue talks to the memory system
+/// immediately. `Defer` is the parallel compute phase: the shared system
+/// is off-limits, so the first memory interaction suspends the tick as a
+/// [`PendingIssue`] for the commit phase to resume. Everything up to that
+/// point is WPU-local and identical between the two, which is what makes
+/// compute-in-parallel / commit-in-order bit-identical to serial ticking.
+enum MemPort<'a> {
+    Direct(&'a mut MemorySystem, &'a mut dyn MemoryAccess),
+    Defer,
+}
+
+/// Result of one execute attempt inside the issue loop.
+enum ExecResult {
+    /// An instruction issued; the cycle is busy.
+    Issued,
+    /// Structural retry (MSHR-full, I-fetch miss): the group was pushed
+    /// back; try another group this same cycle.
+    Retry,
+    /// Deferred mode reached a memory interaction; the tick is parked in
+    /// [`Wpu::pending_issue`] until [`Wpu::tick_commit`] resumes it.
+    Suspend,
+}
+
+/// How the issue loop ended.
+enum IssueOutcome {
+    /// An instruction issued this cycle.
+    Issued,
+    /// The tick suspended at a memory interaction (deferred mode only).
+    Suspended,
+    /// No candidate group could issue; the cycle is a stall.
+    Exhausted,
+}
+
+/// The memory interaction a suspended compute phase parked, resumed in
+/// WPU-index order by [`Wpu::tick_commit`]. Only the group identity is
+/// recorded: the group's own state (PC, mask) is untouched between
+/// suspension and resume, so the commit re-derives everything else and
+/// replays the exact serial path.
+#[derive(Debug, Clone, Copy)]
+enum PendingIssue {
+    /// An I-cache miss: the line is already installed locally; the fill
+    /// latency still needs the shared crossbar/L2 model.
+    IcacheFill { gid: GroupId },
+    /// A load/store about to probe the shared L1/MSHR state.
+    MemAccess { gid: GroupId },
 }
 
 /// Adaptive-slip controller state.
@@ -192,6 +250,39 @@ pub struct Wpu {
     check_oracle: bool,
     /// Deterministic timing-fault injection; `None` outside chaos runs.
     fault: Option<FaultInjector>,
+    /// The WPU-local L1 instruction cache (paper Table 3). Lives here —
+    /// not in the shared [`MemorySystem`] — so the parallel compute phase
+    /// can probe and fill it without touching shared state.
+    icache: CacheArray,
+    /// `log2(l1i.line_bytes)` when that is a power of two, so the
+    /// PC-to-line conversion is a shift instead of a 64-bit divide.
+    l1i_shift: Option<u32>,
+    /// I-fetch / I-miss counts, merged into the machine-wide memory stats
+    /// by result collection (see [`Self::icache_counters`]).
+    l1i_fetches: u64,
+    l1i_misses: u64,
+    /// The memory interaction a suspended [`tick_compute`]
+    /// (Self::tick_compute) parked for [`tick_commit`](Self::tick_commit).
+    pending_issue: Option<PendingIssue>,
+    /// Per-PC verifier classification: `true` where the instruction is a
+    /// conditional branch whose condition provably does not depend on the
+    /// thread id (so lanes at the same spine position agree). See
+    /// `dws_isa::verify::branch_uniformity`.
+    uniform_branch: Vec<bool>,
+    /// Per-PC: the branch is uniform *and* on the uniform spine — retired
+    /// occurrences advance [`Group::spine_trips`].
+    spine_branch: Vec<bool>,
+    /// Per-warp sticky poison: set when a merge united groups with unequal
+    /// [`Group::spine_trips`] (lanes with different spine histories now
+    /// share a register file view, so "uniform" registers may differ per
+    /// lane). Disables the uniform-branch fast path for that warp.
+    uniform_poisoned: Vec<bool>,
+    /// Let the scheduler consume the uniformity classification: uniform
+    /// branches evaluate one representative lane instead of the full warp
+    /// and can never diverge. Cycle-identical by construction (the taken
+    /// mask is provably warp-wide either way); on by default, with the
+    /// differential test pinning the equivalence.
+    use_uniform_hints: bool,
     /// Statistics for this WPU.
     pub stats: WpuStats,
 }
@@ -245,6 +336,7 @@ impl Wpu {
     /// Panics on a zero-width/zero-warp configuration.
     pub fn new(cfg: WpuConfig, program: Arc<Program>, base_tid: u64, nthreads: u64) -> Self {
         assert!(cfg.width >= 1 && cfg.n_warps >= 1);
+        let uniformity = dws_isa::verify::branch_uniformity(program.insts());
         let mut wpu = Wpu {
             warps: Vec::new(),
             groups: Vec::new(),
@@ -282,6 +374,19 @@ impl Wpu {
             use_uop_engine: true,
             check_oracle: cfg!(debug_assertions) || dws_engine::sanitize::enabled(),
             fault: None,
+            icache: CacheArray::new(&cfg.l1i),
+            l1i_shift: cfg
+                .l1i
+                .line_bytes
+                .is_power_of_two()
+                .then(|| cfg.l1i.line_bytes.trailing_zeros()),
+            l1i_fetches: 0,
+            l1i_misses: 0,
+            pending_issue: None,
+            uniform_branch: uniformity.uniform,
+            spine_branch: uniformity.spine,
+            uniform_poisoned: vec![false; cfg.n_warps],
+            use_uniform_hints: true,
             stats: WpuStats::default(),
             program: Arc::clone(&program),
             cfg,
@@ -356,6 +461,15 @@ impl Wpu {
         self.use_uop_engine = on;
     }
 
+    /// Test hook: disable the verifier-uniformity branch fast path (on by
+    /// default). Both settings are cycle- and result-identical; the
+    /// differential test pins the equivalence and that the warp-split
+    /// table peak never increases with the hints on.
+    #[doc(hidden)]
+    pub fn set_uniform_hints(&mut self, on: bool) {
+        self.use_uniform_hints = on;
+    }
+
     /// Arms deterministic fault injection (wake jitter, scheduler-heap
     /// churn). Each WPU draws from its own stream, salted by its id; a
     /// zero-fault plan installs nothing and leaves timing untouched.
@@ -409,6 +523,31 @@ impl Wpu {
     /// barrier release) invalidates it until the next tick.
     pub fn cached_next_wake(&self) -> Option<Cycle> {
         self.next_wake
+    }
+
+    /// The next cycle at which an adaptive controller (the slip interval,
+    /// the subdivision throttle) must observe this WPU, if any. The run
+    /// loops guarantee a tick at or before this cycle, so event-driven
+    /// sleeping never skips an adaptation boundary — which is what lets
+    /// adaptive policies run without per-cycle lockstep. Non-adaptive
+    /// policies (and finished WPUs) impose no cadence.
+    pub fn next_adapt_boundary(&self) -> Option<Cycle> {
+        if self.done() {
+            return None;
+        }
+        match self.cfg.policy {
+            Policy::Slip(sc) => Some(self.slip.last_adapt + sc.interval),
+            Policy::Dws(c) if c.adaptive_throttle => {
+                Some(self.throttle.last_adapt + THROTTLE_INTERVAL)
+            }
+            _ => None,
+        }
+    }
+
+    /// I-fetch counters `(fetches, misses)` of the WPU-local L1-I, merged
+    /// into the machine-wide memory statistics by result collection.
+    pub fn icache_counters(&self) -> (u64, u64) {
+        (self.l1i_fetches, self.l1i_misses)
     }
 
     /// Accounts `n` additional stall cycles of the same class as the last
@@ -783,22 +922,112 @@ impl Wpu {
     // ---- the cycle ----------------------------------------------------------
 
     /// Advances the WPU by one cycle. `data` is the functional backing
-    /// store shared by all WPUs.
+    /// store shared by all WPUs. This is the serial engine — identical to
+    /// running [`tick_compute`](Self::tick_compute) followed (when it
+    /// suspends) by [`tick_commit`](Self::tick_commit), which is exactly
+    /// what the parallel run loop does.
     pub fn tick(
         &mut self,
         now: Cycle,
         mem: &mut MemorySystem,
         data: &mut dyn MemoryAccess,
     ) -> TickClass {
+        match self.tick_phase(now, &mut MemPort::Direct(mem, data)) {
+            Phase::Complete(class) => class,
+            Phase::NeedsCommit => unreachable!("direct tick cannot suspend"),
+        }
+    }
+
+    /// The parallel compute phase: advances the WPU by one cycle touching
+    /// only WPU-local state (including its private L1-I). Returns
+    /// [`Phase::NeedsCommit`] when the tick reaches a shared-memory-system
+    /// interaction; the caller must then invoke
+    /// [`tick_commit`](Self::tick_commit) — serially, in WPU-index order —
+    /// to finish the cycle. Compute phases of different WPUs share no
+    /// mutable state, so they may run concurrently.
+    pub fn tick_compute(&mut self, now: Cycle) -> Phase<TickClass> {
+        debug_assert!(self.pending_issue.is_none(), "compute with parked issue");
+        self.tick_phase(now, &mut MemPort::Defer)
+    }
+
+    /// Finishes a suspended [`tick_compute`](Self::tick_compute): resumes
+    /// the parked memory interaction against the shared system, then
+    /// continues the issue loop in direct mode — replaying exactly what
+    /// the serial [`tick`](Self::tick) would have done from that point.
+    pub fn tick_commit(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        data: &mut dyn MemoryAccess,
+    ) -> TickClass {
+        let pending = self
+            .pending_issue
+            .take()
+            .expect("tick_commit without a suspended compute phase");
+        let resumed = match pending {
+            PendingIssue::IcacheFill { gid } => self.resume_icache_fill(gid, now, mem, data),
+            PendingIssue::MemAccess { gid } => {
+                let pc = self.group(gid).pc;
+                let op = *self.program.exec_op(pc);
+                self.exec_memory(gid, pc, op, now, mem, data)
+            }
+        };
+        match resumed {
+            ExecResult::Issued => TickClass::Busy,
+            ExecResult::Suspend => unreachable!("direct resume cannot suspend"),
+            ExecResult::Retry => match self.issue_loop(now, &mut MemPort::Direct(mem, data)) {
+                IssueOutcome::Issued => TickClass::Busy,
+                IssueOutcome::Suspended => unreachable!("direct issue cannot suspend"),
+                IssueOutcome::Exhausted => self.stall_postlude(now),
+            },
+        }
+    }
+
+    /// Resumes an I-cache miss parked by the compute phase: models the
+    /// fill latency against the shared crossbar/L2 and either stalls the
+    /// group until the line arrives or — for fills landing within the
+    /// issue window — executes the fetched instruction directly.
+    fn resume_icache_fill(
+        &mut self,
+        gid: GroupId,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        data: &mut dyn MemoryAccess,
+    ) -> ExecResult {
+        let fetch_ready = mem.icache_fill_latency(now);
+        if fetch_ready > now + 1 {
+            let g = self.group_mut(gid);
+            g.ready_at = fetch_ready;
+            self.resched(gid);
+            self.current = None;
+            return ExecResult::Retry;
+        }
+        let pc = self.group(gid).pc;
+        self.execute_post_fetch(gid, pc, now, &mut MemPort::Direct(mem, data))
+    }
+
+    /// One cycle through `port`: the done/adaptation prologue, the issue
+    /// loop, and — when nothing issued — the stall postlude. Direct mode
+    /// always completes; deferred mode suspends at the first shared-memory
+    /// interaction.
+    fn tick_phase(&mut self, now: Cycle, port: &mut MemPort<'_>) -> Phase<TickClass> {
         if self.done() {
             self.next_wake = None;
-            return TickClass::Done;
+            return Phase::Complete(TickClass::Done);
         }
         self.adapt_slip(now);
         self.adapt_throttle(now);
+        match self.issue_loop(now, port) {
+            IssueOutcome::Issued => Phase::Complete(TickClass::Busy),
+            IssueOutcome::Suspended => Phase::NeedsCommit,
+            IssueOutcome::Exhausted => Phase::Complete(self.stall_postlude(now)),
+        }
+    }
 
-        // Pre-issue transitions are zero-cost PC redirects; loop until an
-        // instruction issues or no candidate remains.
+    /// The issue half of a tick. Pre-issue transitions are zero-cost PC
+    /// redirects; loop until an instruction issues or no candidate
+    /// remains.
+    fn issue_loop(&mut self, now: Cycle, port: &mut MemPort<'_>) -> IssueOutcome {
         let mut guard = 0;
         loop {
             guard += 1;
@@ -855,16 +1084,21 @@ impl Wpu {
                         self.current = None;
                     }
                 }
-                PreIssue::Execute => {
-                    if self.execute(gid, now, mem, data) {
-                        return TickClass::Busy;
-                    }
+                PreIssue::Execute => match self.execute(gid, now, port) {
+                    ExecResult::Issued => return IssueOutcome::Issued,
+                    ExecResult::Suspend => return IssueOutcome::Suspended,
                     // Structural stall (MSHR-full or I-fetch miss): the
                     // group was pushed back; try another this cycle.
-                }
+                    ExecResult::Retry => {}
+                },
             }
         }
+        IssueOutcome::Exhausted
+    }
 
+    /// The stalled-cycle tail of a tick: revive splits, fault churn, stall
+    /// classification, and the cached-wake refresh.
+    fn stall_postlude(&mut self, now: Cycle) -> TickClass {
         // Nothing issuable: ReviveSplit may create a run-ahead split.
         if let Policy::Dws(c) = self.cfg.policy {
             if c.mem_split == Some(MemSplit::Revive) && !self.any_slotted_ready() {
@@ -1173,6 +1407,16 @@ impl Wpu {
                     .is_some_and(|g| g.warp == warp && g.status == GroupStatus::WaitReconv);
             if is_waiter {
                 let mask = self.group(i).mask;
+                let wtrips = self.group(i).spine_trips;
+                let strips = self.group(survivor).spine_trips;
+                if strips != wtrips {
+                    // Spine branches never sit inside a divergent region,
+                    // so structured stack re-unions normally agree; a
+                    // mismatch still poisons conservatively (see
+                    // [`merge_into`]).
+                    self.uniform_poisoned[warp] = true;
+                    self.group_mut(survivor).spine_trips = strips.max(wtrips);
+                }
                 self.group_mut(survivor).mask = self.group(survivor).mask | mask;
                 self.kill_group(i);
                 self.stats.stack_merges.incr();
@@ -1253,6 +1497,17 @@ impl Wpu {
         );
         let vmask = self.group(victim).mask;
         let vready = self.group(victim).ready_at;
+        let vtrips = self.group(victim).spine_trips;
+        let strips = self.group(survivor).spine_trips;
+        if strips != vtrips {
+            // The halves sit at different uniform-spine positions (a
+            // run-ahead lapped a uniform loop before this PC merge):
+            // "uniform" registers may now differ per lane, so the warp
+            // loses its fast-path eligibility for good.
+            let warp = self.group(survivor).warp;
+            self.uniform_poisoned[warp] = true;
+            self.group_mut(survivor).spine_trips = strips.max(vtrips);
+        }
         let mut vframes = std::mem::take(&mut self.group_mut(victim).local_stack);
         self.kill_group(victim);
         let s = self.group_mut(survivor);
@@ -1413,31 +1668,72 @@ impl Wpu {
 
     // ---- execution ----------------------------------------------------------
 
-    /// Executes the instruction at `gid`'s PC. Returns false on a
-    /// structural retry (the cycle is consumed either way).
-    fn execute(
-        &mut self,
-        gid: GroupId,
-        now: Cycle,
-        mem: &mut MemorySystem,
-        data: &mut dyn MemoryAccess,
-    ) -> bool {
+    /// Executes the instruction at `gid`'s PC. The cycle is consumed
+    /// whatever the result.
+    fn execute(&mut self, gid: GroupId, now: Cycle, port: &mut MemPort<'_>) -> ExecResult {
         let pc = self.group(gid).pc;
-        let op = *self.program.exec_op(pc);
-        let mask = self.group(gid).mask;
-        let warp = self.group(gid).warp;
-        debug_assert!(!mask.is_empty(), "issue with empty mask at pc {pc}");
+        debug_assert!(
+            !self.group(gid).mask.is_empty(),
+            "issue with empty mask at pc {pc}"
+        );
 
-        // Instruction fetch (cold I-cache misses stall the group).
-        let fetch_ready = mem.icache_fetch(now, self.cfg.id, pc);
+        // Instruction fetch through the WPU-local L1-I (cold misses stall
+        // the group). A hit is fully local; a miss needs the shared
+        // crossbar/L2 model for its fill latency, so deferred mode
+        // suspends here.
+        let fetch_ready = match self.icache_probe(now, pc) {
+            Some(ready) => ready,
+            None => match port {
+                MemPort::Direct(mem, _) => mem.icache_fill_latency(now),
+                MemPort::Defer => {
+                    self.pending_issue = Some(PendingIssue::IcacheFill { gid });
+                    return ExecResult::Suspend;
+                }
+            },
+        };
         if fetch_ready > now + 1 {
             // Anything beyond a 1-cycle hit: retry when the line arrives.
             let g = self.group_mut(gid);
             g.ready_at = fetch_ready;
             self.resched(gid);
             self.current = None;
-            return false;
+            return ExecResult::Retry;
         }
+        self.execute_post_fetch(gid, pc, now, port)
+    }
+
+    /// Probes the WPU-local L1-I for `pc`'s line. Returns the fetch-ready
+    /// cycle on a hit; on a miss, counts it and installs the line
+    /// (instructions always hit the L2 side in these tiny kernels),
+    /// leaving the fill latency to the shared model. Instruction storage
+    /// is laid out at 4 bytes per instruction in its own address space.
+    fn icache_probe(&mut self, now: Cycle, pc: usize) -> Option<Cycle> {
+        self.l1i_fetches += 1;
+        let line = match self.l1i_shift {
+            Some(s) => (pc as u64 * 4) >> s,
+            None => (pc as u64 * 4) / self.cfg.l1i.line_bytes,
+        };
+        if self.icache.probe(line).valid() {
+            return Some(now + self.cfg.l1i.hit_latency);
+        }
+        self.l1i_misses += 1;
+        self.icache.fill(line, MesiState::Shared);
+        None
+    }
+
+    /// Dispatches the fetched instruction. Separate from
+    /// [`execute`](Self::execute) so a commit-phase I-cache fill landing
+    /// within the issue window can resume here.
+    fn execute_post_fetch(
+        &mut self,
+        gid: GroupId,
+        pc: usize,
+        now: Cycle,
+        port: &mut MemPort<'_>,
+    ) -> ExecResult {
+        let op = *self.program.exec_op(pc);
+        let mask = self.group(gid).mask;
+        let warp = self.group(gid).warp;
 
         match op {
             ExecOp::Alu { .. } | ExecOp::Un { .. } | ExecOp::Set { .. } => {
@@ -1449,23 +1745,30 @@ impl Wpu {
                     self.stats.int_ops.add(mask.count() as u64);
                 }
                 self.group_mut(gid).pc = pc + 1;
-                true
+                ExecResult::Issued
             }
             ExecOp::Jump { target } => {
                 self.stats.on_issue(mask.count());
                 self.stats.int_ops.add(mask.count() as u64);
                 self.group_mut(gid).pc = target as usize;
-                true
+                ExecResult::Issued
             }
             ExecOp::Branch { cond, a, b, target } => {
                 self.stats.on_issue(mask.count());
                 self.stats.int_ops.add(mask.count() as u64);
                 self.exec_branch(gid, pc, cond, a, b, target as usize, now);
-                true
+                ExecResult::Issued
             }
-            ExecOp::Load { .. } | ExecOp::Store { .. } => {
-                self.exec_memory(gid, pc, op, now, mem, data)
-            }
+            ExecOp::Load { .. } | ExecOp::Store { .. } => match port {
+                MemPort::Direct(mem, data) => self.exec_memory(gid, pc, op, now, mem, &mut **data),
+                MemPort::Defer => {
+                    // The memo check, decode, and L1 probe all start at
+                    // shared state (the L1 generation); park the whole
+                    // access for the commit phase.
+                    self.pending_issue = Some(PendingIssue::MemAccess { gid });
+                    ExecResult::Suspend
+                }
+            },
             ExecOp::Barrier => {
                 self.stats.on_issue(mask.count());
                 let g = self.group_mut(gid);
@@ -1478,13 +1781,13 @@ impl Wpu {
                     self.release_slip_catchups(warp, now);
                 }
                 self.current = None;
-                true
+                ExecResult::Issued
             }
             ExecOp::Halt => {
                 self.stats.on_issue(mask.count());
                 self.exec_halt(gid, now);
                 self.current = None;
-                true
+                ExecResult::Issued
             }
         }
     }
@@ -1557,8 +1860,32 @@ impl Wpu {
     ) {
         let warp = self.group(gid).warp;
         let mask = self.group(gid).mask;
+        // Spine-position bookkeeping (see [`Group::spine_trips`]): every
+        // retired spine branch advances the group's counter, fast path or
+        // not, so merge-time mismatch detection stays exact.
+        if self.spine_branch[pc] {
+            self.group_mut(gid).spine_trips += 1;
+        }
         let taken = if self.use_uop_engine {
-            let taken = exec::branch_taken(&self.warps[warp].regs, mask, cond, a, b);
+            let uniform =
+                self.use_uniform_hints && self.uniform_branch[pc] && !self.uniform_poisoned[warp];
+            let taken = if uniform {
+                // Verifier-proven uniform branch: the condition reads no
+                // thread-varying register, so one representative lane
+                // decides for the whole mask. Cycle-identical by
+                // construction — the full-warp evaluation would produce
+                // either `mask` or the empty mask — and the per-lane
+                // oracle below still checks every lane.
+                self.stats.uniform_fast_branches.incr();
+                let probe = Mask::lane(mask.first().expect("nonempty issue mask"));
+                if exec::branch_taken(&self.warps[warp].regs, probe, cond, a, b).is_empty() {
+                    Mask::EMPTY
+                } else {
+                    mask
+                }
+            } else {
+                exec::branch_taken(&self.warps[warp].regs, mask, cond, a, b)
+            };
             if self.check_oracle {
                 let inst = self.program.inst(pc);
                 let rf = &self.warps[warp].regs;
@@ -1635,9 +1962,11 @@ impl Wpu {
                             &mut local,
                         );
                         let lrpc = self.group(gid).local_rpc;
+                        let trips = self.group(gid).spine_trips;
                         let s = self.group_mut(sib);
                         s.local_stack = local;
                         s.local_rpc = lrpc;
+                        s.spine_trips = trips;
                         s.ready_at = now;
                     }
                     self.resched(sib);
@@ -1710,7 +2039,7 @@ impl Wpu {
         now: Cycle,
         mem: &mut MemorySystem,
         data: &mut dyn MemoryAccess,
-    ) -> bool {
+    ) -> ExecResult {
         let warp = self.group(gid).warp;
         let mask = self.group(gid).mask;
 
@@ -1724,7 +2053,7 @@ impl Wpu {
             g.ready_at = now + 1;
             self.resched(gid);
             self.current = None;
-            return false;
+            return ExecResult::Retry;
         }
 
         // Borrow the per-tick scratch buffers out of `self` for the
@@ -1922,11 +2251,13 @@ impl Wpu {
                                 &mut local,
                             );
                             let lrpc = self.group(gid).local_rpc;
+                            let trips = self.group(gid).spine_trips;
                             let s = self.group_mut(sib);
                             s.status = GroupStatus::SlipSuspended;
                             s.slip_pc = Some(pc);
                             s.local_stack = local;
                             s.local_rpc = lrpc;
+                            s.spine_trips = trips;
                             s.slotted = false;
                         }
                         self.resched(sib);
@@ -1955,7 +2286,11 @@ impl Wpu {
         self.scratch.accesses = accesses;
         self.scratch.outcomes = outcomes;
         self.scratch.miss_lines = miss_lines;
-        issued
+        if issued {
+            ExecResult::Issued
+        } else {
+            ExecResult::Retry
+        }
     }
 
     /// Splits `gid` into a run-ahead (hit) group and the waiting remainder.
@@ -1978,9 +2313,11 @@ impl Wpu {
                 &mut local,
             );
             let lrpc = self.group(gid).local_rpc;
+            let trips = self.group(gid).spine_trips;
             let s = self.group_mut(run_ahead);
             s.local_stack = local;
             s.local_rpc = lrpc;
+            s.spine_trips = trips;
             s.ready_at = hit_ready;
         }
         self.resched(run_ahead);
@@ -2032,9 +2369,11 @@ impl Wpu {
                 &mut local,
             );
             let lrpc = self.group(gid).local_rpc;
+            let trips = self.group(gid).spine_trips;
             let s = self.group_mut(run_ahead);
             s.local_stack = local;
             s.local_rpc = lrpc;
+            s.spine_trips = trips;
             s.ready_at = now + 1;
         }
         self.resched(run_ahead);
@@ -2179,5 +2518,33 @@ impl Wpu {
             let _ = writeln!(s, "warp {} stack={:?} halted={}", w.id, w.stack, w.halted);
         }
         s
+    }
+}
+
+/// The shared-system half of a WPU's [`Component`] step: the timed memory
+/// hierarchy plus the functional backing store.
+pub struct MemPorts<'a> {
+    /// The timed cache hierarchy shared by all WPUs.
+    pub mem: &'a mut MemorySystem,
+    /// The functional data memory shared by all WPUs.
+    pub data: &'a mut dyn MemoryAccess,
+}
+
+impl<'a> Component<MemPorts<'a>> for Wpu {
+    type Tick = TickClass;
+
+    fn next_tick(&self) -> Option<Cycle> {
+        match (self.cached_next_wake(), self.next_adapt_boundary()) {
+            (Some(w), Some(a)) => Some(w.min(a)),
+            (w, a) => w.or(a),
+        }
+    }
+
+    fn compute(&mut self, now: Cycle) -> Phase<TickClass> {
+        self.tick_compute(now)
+    }
+
+    fn commit(&mut self, now: Cycle, sys: &mut MemPorts<'a>) -> TickClass {
+        self.tick_commit(now, sys.mem, sys.data)
     }
 }

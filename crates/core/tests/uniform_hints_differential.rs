@@ -1,0 +1,112 @@
+//! Uniformity-hint differential test: the scheduler consumes the
+//! verifier's static branch-uniformity classification
+//! ([`dws_isa::branch_uniformity`]) to evaluate provably-uniform branches
+//! through one representative lane instead of the full warp. The fast path
+//! must be *invisible*: cycle- and result-identical to full evaluation
+//! ([`Wpu::set_uniform_hints`]), with the warp-split-table peak never
+//! increasing — a hint can only skip redundant work, never change a branch
+//! outcome or create a split. The dynamic spine guard (groups merging at
+//! different uniform-loop trip counts poison the warp's fast path) is what
+//! keeps the static classification sound; these kernels exercise it
+//! through mem-divergence run-ahead across uniform loop back-edges.
+
+mod common;
+
+use common::{all_policies, compile, gen_block, MEM_WORDS};
+use dws_core::{Policy, TickClass, TraceEvent, Wpu, WpuConfig};
+use dws_engine::rng::Rng64;
+use dws_engine::Cycle;
+use dws_isa::{Program, VecMemory};
+use dws_mem::{MemConfig, MemorySystem};
+use std::sync::Arc;
+
+struct RunResult {
+    memory: VecMemory,
+    cycles: u64,
+    wst_peak: usize,
+    fast_branches: u64,
+    trace: Vec<TraceEvent>,
+}
+
+/// Runs the program on a 2-warp, 8-wide WPU under `policy`, with the
+/// uniformity fast path on or off.
+fn run_hints(program: &Arc<Program>, policy: Policy, mem0: &VecMemory, hints: bool) -> RunResult {
+    let mut cfg = WpuConfig::paper(0, policy);
+    cfg.n_warps = 2;
+    cfg.width = 8;
+    cfg.sched_slots = 4;
+    let mut wpu = Wpu::new(cfg, Arc::clone(program), 0, 16);
+    wpu.set_uniform_hints(hints);
+    wpu.enable_trace(1 << 16);
+    let mut mem = MemorySystem::new(MemConfig::paper(1, 8));
+    let mut data = mem0.clone();
+    let mut now = Cycle(0);
+    loop {
+        for c in mem.drain_completions(now) {
+            wpu.on_completion(c.request, c.at);
+        }
+        if let TickClass::Done = wpu.tick(now, &mut mem, &mut data) {
+            break;
+        }
+        let live = wpu.live_threads();
+        if live > 0 && wpu.barrier_waiting() == live {
+            wpu.release_barrier(now);
+        }
+        now += 1;
+        assert!(now.raw() < 20_000_000, "policy {policy:?} did not finish");
+    }
+    RunResult {
+        memory: data,
+        cycles: now.raw(),
+        wst_peak: wpu.wst_peak(),
+        fast_branches: wpu.stats.uniform_fast_branches.get(),
+        trace: wpu
+            .tracer()
+            .expect("tracing enabled")
+            .events()
+            .copied()
+            .collect(),
+    }
+}
+
+#[test]
+fn uniform_hints_are_invisible() {
+    let mut total_fast = 0u64;
+    for seed in 0..16u64 {
+        let mut rng = Rng64::new(0x0F45_7B1A ^ seed);
+        let mut budget = 24usize;
+        let top_len = 1 + rng.range_usize(7);
+        let stmts = gen_block(&mut rng, 3, top_len, &mut budget);
+        let program = Arc::new(compile(&stmts));
+        let mem0 = VecMemory::new(MEM_WORDS as u64 * 8);
+        for policy in all_policies() {
+            let on = run_hints(&program, policy, &mem0, true);
+            let off = run_hints(&program, policy, &mem0, false);
+            let ctx = format!("seed {seed} policy {}", policy.paper_name());
+            assert_eq!(on.cycles, off.cycles, "{ctx}: cycles diverged");
+            assert_eq!(
+                on.memory.words(),
+                off.memory.words(),
+                "{ctx}: memory diverged ({stmts:?})"
+            );
+            assert_eq!(on.trace, off.trace, "{ctx}: divergence trace diverged");
+            assert!(
+                on.wst_peak <= off.wst_peak,
+                "{ctx}: hints raised the WST peak ({} > {})",
+                on.wst_peak,
+                off.wst_peak
+            );
+            assert_eq!(
+                off.fast_branches, 0,
+                "{ctx}: fast path taken with hints off"
+            );
+            total_fast += on.fast_branches;
+        }
+    }
+    // The generator emits uniform loop bounds and uniform conditions often
+    // enough that a dead fast path would be a wiring bug, not bad luck.
+    assert!(
+        total_fast > 1000,
+        "only {total_fast} fast-path branches across the battery — hints look dead"
+    );
+}

@@ -64,4 +64,7 @@ pub use interp::{
 };
 pub use predecode::{ExecOp, Src};
 pub use program::Program;
-pub use verify::{Diagnostic, DwsLintCode, Severity, VerifyOptions, VerifyReport, VerifyStats};
+pub use verify::{
+    branch_uniformity, uniform_branches, BranchUniformity, Diagnostic, DwsLintCode, Severity,
+    VerifyOptions, VerifyReport, VerifyStats,
+};

@@ -632,6 +632,153 @@ fn compute_varying(insts: &[Inst], num_regs: u16) -> Vec<bool> {
     varying
 }
 
+/// Per-PC branch uniformity classification consumed by the WPU scheduler
+/// (see [`branch_uniformity`]).
+#[derive(Debug, Clone)]
+pub struct BranchUniformity {
+    /// `uniform[pc]` — `insts[pc]` is a conditional branch whose condition
+    /// is provably warp-uniform: lanes that share the same *uniform-spine
+    /// position* always agree on its outcome, so one representative lane
+    /// may decide for a whole group (subject to the scheduler's dynamic
+    /// spine-sync tracking; see `spine`).
+    pub uniform: Vec<bool>,
+    /// `spine[pc]` — the branch is uniform *and* sits outside every
+    /// divergent branch's open re-convergence region, i.e. on the
+    /// uniform spine all lanes execute in lockstep order. The count of
+    /// retired spine branches, together with the PC, identifies a lane's
+    /// spine position: two group fragments that merge with equal counts
+    /// provably agree on every non-varying register (all such registers
+    /// are defined on the spine), while a mismatch (e.g. a memory-split
+    /// run-ahead lapping a uniform loop before a PC merge) means uniform
+    /// registers may differ per lane and the fast path must be disabled.
+    pub spine: Vec<bool>,
+}
+
+/// Classifies every conditional branch as provably-uniform (and
+/// spine-resident) or potentially divergent.
+///
+/// This must be sound against execution, so it strengthens
+/// [`compute_varying`]'s operand-provenance rule with *control
+/// dependence*: a register defined anywhere inside the open
+/// re-convergence region of a divergent branch is lane-varying even when
+/// its operands are uniform (lanes that took different paths — or
+/// different trip counts — through that region hold different values at
+/// the merge point). The two rules feed each other, so they iterate to a
+/// joint fixpoint: newly-varying registers can make more branches
+/// divergent, whose regions taint more definitions.
+pub fn branch_uniformity(insts: &[Inst]) -> BranchUniformity {
+    let num_regs = max_reg(insts);
+    let mut varying = vec![false; num_regs as usize];
+    if !varying.is_empty() {
+        varying[0] = true; // r0 = tid
+    }
+    let cfg = Cfg::build(insts);
+    let nb = cfg.blocks().len();
+    // Blocks executable while `pc`'s re-convergence frame is open: flood
+    // from both successors without crossing the immediate post-dominator
+    // (same region the re-convergence pass uses for its stack bound).
+    let region_of = |pc: usize| -> Vec<bool> {
+        let cut = cfg.ipdom_of_block(cfg.block_of(pc)).unwrap_or(usize::MAX);
+        let mut in_region = vec![false; nb];
+        let mut stack = Vec::new();
+        for &s in &cfg.blocks()[cfg.block_of(pc)].succs {
+            if s != cut && !in_region[s] {
+                in_region[s] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(u) = stack.pop() {
+            for &v in &cfg.blocks()[u].succs {
+                if v != cut && !in_region[v] {
+                    in_region[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        in_region
+    };
+    let mut uses = Vec::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Data dependence: loads and varying operands taint definitions.
+        for inst in insts {
+            let Some(dst) = inst_def(inst) else { continue };
+            let v = if matches!(inst, Inst::Load { .. }) {
+                true
+            } else {
+                inst_uses(inst, &mut uses);
+                uses.iter().any(|r| varying[r.0 as usize])
+            };
+            if v && !varying[dst.0 as usize] {
+                varying[dst.0 as usize] = true;
+                changed = true;
+            }
+        }
+        // Control dependence: definitions inside a divergent branch's
+        // open region taint their destination.
+        for (pc, inst) in insts.iter().enumerate() {
+            if !matches!(inst, Inst::Branch { .. }) {
+                continue;
+            }
+            inst_uses(inst, &mut uses);
+            if !uses.iter().any(|r| varying[r.0 as usize]) {
+                continue;
+            }
+            let region = region_of(pc);
+            for (b, blk) in cfg.blocks().iter().enumerate() {
+                if !region[b] {
+                    continue;
+                }
+                for binst in &insts[blk.start..blk.start + blk.len()] {
+                    if let Some(dst) = inst_def(binst) {
+                        if !varying[dst.0 as usize] {
+                            varying[dst.0 as usize] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let uniform: Vec<bool> = insts
+        .iter()
+        .map(|inst| {
+            if !matches!(inst, Inst::Branch { .. }) {
+                return false;
+            }
+            inst_uses(inst, &mut uses);
+            !uses
+                .iter()
+                .any(|r| varying.get(r.0 as usize).copied().unwrap_or(true))
+        })
+        .collect();
+    // Union of every divergent branch's region: a uniform branch inside
+    // one executes under a divergent mask and must not advance the spine
+    // counter (only one path's lanes would count it).
+    let mut divergent_region = vec![false; nb];
+    for (pc, &u) in uniform.iter().enumerate() {
+        if !matches!(insts[pc], Inst::Branch { .. }) || u {
+            continue;
+        }
+        for (d, r) in divergent_region.iter_mut().zip(region_of(pc)) {
+            *d |= r;
+        }
+    }
+    let spine: Vec<bool> = uniform
+        .iter()
+        .enumerate()
+        .map(|(pc, &u)| u && !divergent_region[cfg.block_of(pc)])
+        .collect();
+    BranchUniformity { uniform, spine }
+}
+
+/// The `uniform` half of [`branch_uniformity`] (kept for callers that only
+/// need fast-path eligibility).
+pub fn uniform_branches(insts: &[Inst]) -> Vec<bool> {
+    branch_uniformity(insts).uniform
+}
+
 // ---------------------------------------------------------------------------
 // Pass 2: re-convergence verification.
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ pub mod diag;
 pub mod lint;
 pub mod machine;
 pub mod metrics;
+pub mod parallel;
 pub mod presets;
 pub mod sweep;
 
@@ -30,4 +31,5 @@ pub use diag::{DiagnosticReport, WpuDiag};
 pub use lint::lint_spec;
 pub use machine::Machine;
 pub use metrics::RunResult;
+pub use parallel::default_threads;
 pub use sweep::{failure_summary, SweepOutcome, SweepRunner};

@@ -13,14 +13,14 @@ use std::sync::Arc;
 /// step-level API ([`Machine::new`] + [`Machine::step`]) exists for tests
 /// and interactive tooling.
 pub struct Machine {
-    wpus: Vec<Wpu>,
-    mem: MemorySystem,
-    data: dws_isa::VecMemory,
-    now: Cycle,
-    last_class: Vec<TickClass>,
+    pub(crate) wpus: Vec<Wpu>,
+    pub(crate) mem: MemorySystem,
+    pub(crate) data: dws_isa::VecMemory,
+    pub(crate) now: Cycle,
+    pub(crate) last_class: Vec<TickClass>,
     /// Reusable completion buffer: [`step`](Self::step) drains into this
     /// instead of allocating a `Vec` every cycle.
-    completions: Vec<dws_mem::Completion>,
+    pub(crate) completions: Vec<dws_mem::Completion>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -48,6 +48,7 @@ impl Machine {
                         policy: config.policy,
                         sched_slots: config.sched_slots,
                         wst_entries: config.wst_entries,
+                        l1i: config.mem.l1i,
                     },
                     Arc::clone(&program),
                     i as u64 * threads_per_wpu,
@@ -134,9 +135,10 @@ impl Machine {
     /// cycle.
     ///
     /// Adaptive policies ([`Policy::is_adaptive`]) sample cycle counters on
-    /// their own tick cadence, so they run in lockstep instead: every live
-    /// WPU ticks on every processed cycle, which reproduces the historical
-    /// all-or-nothing fast-forward exactly.
+    /// an absolute-cycle cadence; each WPU publishes its next adaptation
+    /// boundary ([`Wpu::next_adapt_boundary`]) and the loop guarantees a
+    /// tick at (or before) that cycle, so event-driven sleeping never skips
+    /// a boundary and adaptive machines no longer force per-cycle lockstep.
     ///
     /// # Errors
     ///
@@ -147,12 +149,45 @@ impl Machine {
     /// cycles, and [`SimError::HostBudget`] when the optional wall-clock
     /// budget runs out.
     pub fn run(config: &SimConfig, spec: &KernelSpec) -> Result<RunResult, SimError> {
-        let mut m = Machine::new(config, spec);
+        let threads = config
+            .threads
+            .unwrap_or_else(crate::parallel::default_threads);
+        Self::run_with_threads(config, spec, threads)
+    }
+
+    /// [`run`](Self::run) with an explicit intra-run thread count:
+    /// `threads <= 1` is the serial reference engine; more shards the
+    /// machine's WPUs across a worker pool with per-cycle ordered commits,
+    /// bit-identical to serial (see [`crate::parallel`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_with_threads(
+        config: &SimConfig,
+        spec: &KernelSpec,
+        threads: usize,
+    ) -> Result<RunResult, SimError> {
+        let m = Machine::new(config, spec);
+        let t = threads.clamp(1, m.wpus.len().max(1));
+        if t <= 1 {
+            m.run_serial(config)
+        } else {
+            crate::parallel::run_parallel(m, config, t)
+        }
+    }
+
+    fn run_serial(self, config: &SimConfig) -> Result<RunResult, SimError> {
+        let mut m = self;
         let n = m.wpus.len();
-        let lockstep = config.policy.is_adaptive();
         // The next cycle each WPU must tick; `None` once it is done (or,
         // transiently, when only a fill completion can wake it).
         let mut wake: Vec<Option<Cycle>> = vec![Some(Cycle::ZERO); n];
+        // Each WPU's next adaptation boundary (`None` for non-adaptive
+        // policies): an extra tick-due condition and a bound on how far the
+        // event scan may sleep, refreshed after every tick.
+        let mut adapt_at: Vec<Option<Cycle>> =
+            m.wpus.iter().map(Wpu::next_adapt_boundary).collect();
         // The cycle up to which each WPU's stall time has been accounted.
         let mut charged: Vec<Cycle> = vec![Cycle::ZERO; n];
         // Forward-progress watchdog: consecutive *processed* cycles with no
@@ -178,7 +213,9 @@ impl Machine {
             }
             let mut any_busy = false;
             for i in 0..n {
-                if wake[i].is_none_or(|w| w > now) {
+                let due =
+                    wake[i].is_some_and(|w| w <= now) || adapt_at[i].is_some_and(|a| a <= now);
+                if !due {
                     continue;
                 }
                 let lag = now - charged[i];
@@ -196,6 +233,7 @@ impl Machine {
                     TickClass::Done => None,
                     TickClass::StallMem | TickClass::Idle => m.wpus[i].cached_next_wake(),
                 };
+                adapt_at[i] = m.wpus[i].next_adapt_boundary();
             }
             // Global barrier: release once every live thread has arrived.
             // Arrival counts only change when a WPU ticks, so checking on
@@ -251,18 +289,14 @@ impl Machine {
             // cycle land in the future — so the event scan below would
             // return exactly `m.now`. Skip it.
             if any_busy {
-                if lockstep {
-                    let at = m.now;
-                    for (i, w) in m.wpus.iter().enumerate() {
-                        if !w.done() {
-                            wake[i] = Some(at);
-                        }
-                    }
-                }
                 continue;
             }
             // Sleep until the earliest per-WPU event: a cached group wake
-            // or a fill bound for that WPU's L1.
+            // or a fill bound for that WPU's L1. Adaptation boundaries only
+            // clamp the sleep — they are deliberately *not* progress
+            // events: an adapt tick alone never wakes a group, so a machine
+            // whose only future cycles are adapt boundaries is just as
+            // deadlocked as one with none.
             let mut next: Option<Cycle> = None;
             for (i, &w) in wake.iter().enumerate() {
                 for c in [w, m.mem.next_completion_at_l1(i)].into_iter().flatten() {
@@ -275,15 +309,8 @@ impl Machine {
                     diagnostics: m.diagnostics(),
                 });
             };
-            let at = next.max(m.now);
-            if lockstep {
-                for (i, w) in m.wpus.iter().enumerate() {
-                    if !w.done() {
-                        wake[i] = Some(at);
-                    }
-                }
-            }
-            m.now = at;
+            let next = adapt_at.iter().flatten().fold(next, |n, &a| n.min(a));
+            m.now = next.max(m.now);
         }
         Ok(RunResult::collect(&m.wpus, &m.mem, m.now.raw(), m.data))
     }

@@ -39,7 +39,15 @@ impl RunResult {
         for s in &per_wpu {
             agg.merge(s);
         }
-        let mem_stats = mem.stats();
+        let mut mem_stats = mem.stats();
+        // The L1-I arrays live inside the WPUs (so the parallel compute
+        // phase can probe them locally); fold their counters back into the
+        // memory-system view the energy model and reports consume.
+        for w in wpus {
+            let (fetches, misses) = w.icache_counters();
+            mem_stats.l1i_fetches.add(fetches);
+            mem_stats.l1i_misses.add(misses);
+        }
         let energy = dws_energy::compute(
             &EnergyModel::paper_65nm(),
             &agg,

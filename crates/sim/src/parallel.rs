@@ -1,0 +1,436 @@
+//! Deterministic intra-run parallelism: shard one machine's WPUs across a
+//! persistent worker pool.
+//!
+//! # Execution model
+//!
+//! Each processed cycle splits into two phases, following the
+//! [`Component`](dws_engine::Component) discipline:
+//!
+//! 1. **Compute** (parallel): every due WPU runs
+//!    [`Wpu::tick_compute`], which touches only WPU-local state — the
+//!    scheduler, the warp-split table, the register file, and the WPU's
+//!    private L1-I. A tick that reaches a shared-memory-system interaction
+//!    suspends with [`Phase::NeedsCommit`] instead of touching the
+//!    hierarchy.
+//! 2. **Commit** (serial, ordered): the coordinator resumes every
+//!    suspended WPU with [`Wpu::tick_commit`] in ascending WPU-index
+//!    order against the shared [`MemorySystem`](dws_mem::MemorySystem).
+//!
+//! # Why this is bit-identical to the serial engine
+//!
+//! The serial loop ticks due WPUs in index order, so WPU *j*'s tick
+//! observes the memory system after WPU *i*'s (*i < j*). In the parallel
+//! loop, compute phases read no shared mutable state — a WPU's compute
+//! result cannot depend on what any other WPU did this cycle — and the
+//! commit pass replays the shared-state interactions in exactly the
+//! serial order. Every crossbar slot, MSHR allocation, DRAM-queue entry,
+//! and fault-RNG draw therefore happens at the same (cycle, WPU) point as
+//! in the serial engine, at any thread count. The serial engine is kept
+//! as the differential oracle (`parallel_equivalence` tests).
+//!
+//! # Pool mechanics
+//!
+//! Workers are spawned once per run in a [`std::thread::scope`] and
+//! rendezvous with the coordinator through an epoch counter: the
+//! coordinator publishes a [`Job`] (raw shard pointers + the cycle to
+//! process), bumps the epoch, processes shard 0 itself, then waits for
+//! the workers' done-count. Both waits spin briefly and then *park*, so
+//! an oversubscribed host (more shards than cores — the extreme being a
+//! single-core machine) degrades to ordinary blocking handoffs instead of
+//! burning whole scheduler quanta in spin loops. Worker panics are caught
+//! by a drop guard that poisons the pool instead of hanging the
+//! coordinator; coordinator exits (including unwinds) raise a shutdown
+//! flag so workers always terminate.
+
+use crate::config::{SimConfig, SimError};
+use crate::machine::Machine;
+use crate::metrics::RunResult;
+use dws_core::{TickClass, Wpu};
+use dws_engine::{Cycle, Phase};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Intra-run thread count: `DWS_THREADS` if set and >= 1, else 1 (serial).
+/// Unlike `DWS_JOBS` this does *not* auto-detect host parallelism — sweeps
+/// already saturate the host with one run per worker, so intra-run
+/// sharding is opt-in.
+#[must_use]
+pub fn default_threads() -> usize {
+    crate::sweep::env_worker_count("DWS_THREADS").unwrap_or(1)
+}
+
+/// One cycle's work order, published by the coordinator to the pool.
+///
+/// Raw pointers into the coordinator's per-WPU arrays; shard `s` of `t`
+/// owns the contiguous index range `[s*ceil(n/t), (s+1)*ceil(n/t)) ∩
+/// [0, n)` and touches nothing outside it.
+#[derive(Clone, Copy)]
+struct Job {
+    wpus: *mut Wpu,
+    wake: *mut Option<Cycle>,
+    adapt_at: *mut Option<Cycle>,
+    charged: *mut Cycle,
+    last_class: *mut TickClass,
+    needs_commit: *mut bool,
+    n: usize,
+    threads: usize,
+    now: Cycle,
+}
+
+// SAFETY: the pointers are only dereferenced for the shard's own disjoint
+// index range, and only between the epoch bump that publishes the job and
+// the done-count increment that retires it (both fenced by
+// acquire/release ordering on `PoolShared`).
+unsafe impl Send for Job {}
+
+/// Coordinator/worker rendezvous state.
+struct PoolShared {
+    /// Bumped (release) after a fresh [`Job`] is written; workers spin on
+    /// it (acquire).
+    epoch: AtomicU64,
+    /// Workers that have finished the current epoch.
+    done: AtomicUsize,
+    /// The current work order; written by the coordinator while all
+    /// workers are quiescent (between their done-increment and the next
+    /// epoch bump).
+    job: UnsafeCell<Job>,
+    /// Raised when the run ends (normally or by unwind); workers exit.
+    shutdown: AtomicBool,
+    /// Raised by a worker's drop guard if its shard panicked.
+    poisoned: AtomicBool,
+    /// Any shard observed a `Busy` tick this cycle (serial loop's
+    /// `any_busy`).
+    any_busy: AtomicBool,
+    /// The coordinator thread, unparked by each worker's done-increment.
+    coordinator: std::thread::Thread,
+}
+
+// SAFETY: `job` is the only non-Sync field; the epoch/done protocol above
+// guarantees exclusive coordinator access while writing and shared
+// read-only access while workers run.
+unsafe impl Sync for PoolShared {}
+
+/// Increments `done` even if the shard panics, so the coordinator never
+/// hangs; a panicking shard poisons the pool first.
+struct DoneGuard<'a> {
+    shared: &'a PoolShared,
+    panicked: bool,
+}
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        if self.panicked {
+            self.shared.poisoned.store(true, Ordering::Release);
+        }
+        self.shared.done.fetch_add(1, Ordering::Release);
+        self.shared.coordinator.unpark();
+    }
+}
+
+/// Unblocks and retires the workers when the coordinator leaves the run
+/// loop for any reason, including an unwind.
+struct ShutdownGuard<'a> {
+    shared: &'a PoolShared,
+    workers: &'a [std::thread::Thread],
+}
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for w in self.workers {
+            w.unpark();
+        }
+    }
+}
+
+/// Spin briefly, yield a few times, then park until `pred` holds.
+///
+/// `unpark` tokens are sticky and the condition is re-checked around
+/// every park, so stale tokens from a previous cycle and spurious wakes
+/// both just cost one extra loop iteration.
+fn wait_until(pred: impl Fn() -> bool) {
+    for _ in 0..128 {
+        if pred() {
+            return;
+        }
+        std::hint::spin_loop();
+    }
+    for _ in 0..4 {
+        if pred() {
+            return;
+        }
+        std::thread::yield_now();
+    }
+    while !pred() {
+        std::thread::park();
+    }
+}
+
+/// Processes one shard of the published job: due-check, lazy stall
+/// charge, and the compute phase for every WPU in the shard's range.
+/// Completed ticks update their wake/adapt/class slots; suspended ticks
+/// only mark `needs_commit` and leave bookkeeping to the commit pass.
+///
+/// # Safety
+///
+/// The job's pointers must be live, and no other thread may touch this
+/// shard's index range for the duration of the call.
+unsafe fn run_shard(job: &Job, shard: usize, any_busy: &AtomicBool) {
+    let chunk = job.n.div_ceil(job.threads);
+    let lo = (shard * chunk).min(job.n);
+    let hi = ((shard + 1) * chunk).min(job.n);
+    let now = job.now;
+    for i in lo..hi {
+        let wake = &mut *job.wake.add(i);
+        let adapt = &mut *job.adapt_at.add(i);
+        let due = wake.is_some_and(|w| w <= now) || adapt.is_some_and(|a| a <= now);
+        if !due {
+            continue;
+        }
+        let wpu = &mut *job.wpus.add(i);
+        let charged = &mut *job.charged.add(i);
+        let last_class = &mut *job.last_class.add(i);
+        let lag = now - *charged;
+        if lag > 0 {
+            wpu.account_skipped_stall(lag, *last_class);
+        }
+        *charged = now + 1;
+        match wpu.tick_compute(now) {
+            Phase::Complete(t) => {
+                *last_class = t;
+                *wake = match t {
+                    TickClass::Busy => {
+                        any_busy.store(true, Ordering::Relaxed);
+                        Some(now + 1)
+                    }
+                    TickClass::Done => None,
+                    TickClass::StallMem | TickClass::Idle => wpu.cached_next_wake(),
+                };
+                *adapt = wpu.next_adapt_boundary();
+            }
+            Phase::NeedsCommit => *job.needs_commit.add(i) = true,
+        }
+    }
+}
+
+/// Worker body: wait for an epoch bump, process the published job's
+/// shard, report done. Exits on shutdown.
+fn worker_loop(shared: &PoolShared, shard: usize) {
+    // Baseline at the epoch's initial value, NOT a load: the coordinator
+    // may have published epoch 1 before this thread ran its first
+    // instruction, and adopting that as the baseline would skip the job
+    // (and deadlock the coordinator's done-wait).
+    let mut seen = 0u64;
+    loop {
+        wait_until(|| shared.epoch.load(Ordering::Acquire) != seen);
+        seen = shared.epoch.load(Ordering::Acquire);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // SAFETY: the acquire-load of the bumped epoch synchronizes with
+        // the coordinator's release-store after writing the job.
+        let job = unsafe { *shared.job.get() };
+        let mut guard = DoneGuard {
+            shared,
+            panicked: true,
+        };
+        // SAFETY: shard indices are disjoint per worker; the job is live
+        // until every worker increments `done`.
+        unsafe { run_shard(&job, shard, &shared.any_busy) };
+        guard.panicked = false;
+    }
+}
+
+/// The parallel twin of `Machine::run_serial`: identical control flow
+/// (completion prologue, global barrier, watchdogs, event-driven sleep),
+/// with the per-WPU tick loop replaced by the sharded
+/// compute-then-ordered-commit protocol described in the module docs.
+/// Keep the two loops in sync when editing either.
+pub(crate) fn run_parallel(
+    machine: Machine,
+    config: &SimConfig,
+    threads: usize,
+) -> Result<RunResult, SimError> {
+    let mut m = machine;
+    let n = m.wpus.len();
+    let t = threads;
+    debug_assert!(t >= 2 && t <= n);
+    let mut wake: Vec<Option<Cycle>> = vec![Some(Cycle::ZERO); n];
+    let mut adapt_at: Vec<Option<Cycle>> = m.wpus.iter().map(Wpu::next_adapt_boundary).collect();
+    let mut charged: Vec<Cycle> = vec![Cycle::ZERO; n];
+    let mut needs_commit: Vec<bool> = vec![false; n];
+    let livelock_window = config.livelock_window.max(1);
+    let mut last_insts = 0u64;
+    let mut quiet_iters = 0u64;
+    let host_deadline = config
+        .host_budget
+        .map(|b| (std::time::Instant::now() + b, b));
+    let mut iters = 0u64;
+    let shared = PoolShared {
+        epoch: AtomicU64::new(0),
+        done: AtomicUsize::new(0),
+        job: UnsafeCell::new(Job {
+            wpus: std::ptr::null_mut(),
+            wake: std::ptr::null_mut(),
+            adapt_at: std::ptr::null_mut(),
+            charged: std::ptr::null_mut(),
+            last_class: std::ptr::null_mut(),
+            needs_commit: std::ptr::null_mut(),
+            n,
+            threads: t,
+            now: Cycle::ZERO,
+        }),
+        shutdown: AtomicBool::new(false),
+        poisoned: AtomicBool::new(false),
+        any_busy: AtomicBool::new(false),
+        coordinator: std::thread::current(),
+    };
+    let outcome = std::thread::scope(|s| -> Result<(), SimError> {
+        let mut workers: Vec<std::thread::Thread> = Vec::with_capacity(t - 1);
+        for shard in 1..t {
+            let shared = &shared;
+            let handle = std::thread::Builder::new()
+                .name(format!("dws-wpu-shard{shard}"))
+                .spawn_scoped(s, move || worker_loop(shared, shard))
+                .expect("spawn worker thread");
+            workers.push(handle.thread().clone());
+        }
+        let workers = workers;
+        let _shutdown = ShutdownGuard {
+            shared: &shared,
+            workers: &workers,
+        };
+        loop {
+            let now = m.now;
+            m.mem.drain_completions_into(now, &mut m.completions);
+            for c in &m.completions {
+                m.wpus[c.l1].on_completion(c.request, c.at);
+                wake[c.l1] = Some(wake[c.l1].map_or(now, |w| w.min(now)));
+            }
+            // Compute phase: publish the job, bump the epoch, take shard 0
+            // ourselves, then wait for the pool. Cycles on which every due
+            // WPU lives in shard 0 skip the rendezvous — the due-check the
+            // workers would run is a scan the coordinator can do itself.
+            shared.any_busy.store(false, Ordering::Relaxed);
+            let job = Job {
+                wpus: m.wpus.as_mut_ptr(),
+                wake: wake.as_mut_ptr(),
+                adapt_at: adapt_at.as_mut_ptr(),
+                charged: charged.as_mut_ptr(),
+                last_class: m.last_class.as_mut_ptr(),
+                needs_commit: needs_commit.as_mut_ptr(),
+                n,
+                threads: t,
+                now,
+            };
+            let chunk = n.div_ceil(t);
+            let worker_work_due = wake[chunk..]
+                .iter()
+                .zip(&adapt_at[chunk..])
+                .any(|(w, a)| w.is_some_and(|w| w <= now) || a.is_some_and(|a| a <= now));
+            if worker_work_due {
+                // SAFETY: all workers are quiescent (done-count drained
+                // last epoch), so the coordinator has exclusive access.
+                unsafe { *shared.job.get() = job };
+                shared.epoch.fetch_add(1, Ordering::Release);
+                for w in &workers {
+                    w.unpark();
+                }
+            }
+            // SAFETY: shard 0 is disjoint from every worker's shard.
+            unsafe { run_shard(&job, 0, &shared.any_busy) };
+            if worker_work_due {
+                wait_until(|| shared.done.load(Ordering::Acquire) >= t - 1);
+                shared.done.store(0, Ordering::Relaxed);
+            }
+            assert!(
+                !shared.poisoned.load(Ordering::Acquire),
+                "parallel worker panicked; machine state at cycle {now} is unrecoverable"
+            );
+            // Commit phase: resume suspended ticks in WPU-index order —
+            // this serial order is what makes the run bit-identical.
+            let mut any_busy = shared.any_busy.load(Ordering::Relaxed);
+            for i in 0..n {
+                if !needs_commit[i] {
+                    continue;
+                }
+                needs_commit[i] = false;
+                let t = m.wpus[i].tick_commit(now, &mut m.mem, &mut m.data);
+                m.last_class[i] = t;
+                wake[i] = match t {
+                    TickClass::Busy => {
+                        any_busy = true;
+                        Some(now + 1)
+                    }
+                    TickClass::Done => None,
+                    TickClass::StallMem | TickClass::Idle => m.wpus[i].cached_next_wake(),
+                };
+                adapt_at[i] = m.wpus[i].next_adapt_boundary();
+            }
+            // From here on: identical to the serial loop.
+            let live: u64 = m.wpus.iter().map(Wpu::live_threads).sum();
+            let waiting: u64 = m.wpus.iter().map(Wpu::barrier_waiting).sum();
+            if live > 0 && waiting == live {
+                for (i, w) in m.wpus.iter_mut().enumerate() {
+                    w.release_barrier(now);
+                    if !w.done() {
+                        wake[i] = Some(now + 1);
+                    }
+                }
+            }
+            m.now += 1;
+            if m.done() {
+                return Ok(());
+            }
+            let insts: u64 = m.wpus.iter().map(|w| w.stats.warp_insts.get()).sum();
+            if insts != last_insts {
+                last_insts = insts;
+                quiet_iters = 0;
+            } else {
+                quiet_iters += 1;
+                if quiet_iters >= livelock_window {
+                    return Err(SimError::Livelock {
+                        cycles: m.now.raw(),
+                        stalled_for: quiet_iters,
+                        diagnostics: m.diagnostics(),
+                    });
+                }
+            }
+            if m.now.raw() >= config.max_cycles {
+                return Err(SimError::Timeout {
+                    cycles: m.now.raw(),
+                    diagnostics: m.diagnostics(),
+                });
+            }
+            iters += 1;
+            if let Some((deadline, budget)) = host_deadline {
+                if iters & 0xFFF == 0 && std::time::Instant::now() >= deadline {
+                    return Err(SimError::HostBudget {
+                        cycles: m.now.raw(),
+                        budget,
+                    });
+                }
+            }
+            if any_busy {
+                continue;
+            }
+            let mut next: Option<Cycle> = None;
+            for (i, &w) in wake.iter().enumerate() {
+                for c in [w, m.mem.next_completion_at_l1(i)].into_iter().flatten() {
+                    next = Some(next.map_or(c, |x: Cycle| x.min(c)));
+                }
+            }
+            let Some(next) = next else {
+                return Err(SimError::Deadlock {
+                    cycles: m.now.raw(),
+                    diagnostics: m.diagnostics(),
+                });
+            };
+            let next = adapt_at.iter().flatten().fold(next, |n, &a| n.min(a));
+            m.now = next.max(m.now);
+        }
+    });
+    outcome?;
+    Ok(RunResult::collect(&m.wpus, &m.mem, m.now.raw(), m.data))
+}

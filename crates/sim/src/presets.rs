@@ -52,6 +52,21 @@ pub fn figure13_policies() -> Vec<(&'static str, Policy)> {
     ]
 }
 
+/// A machine scaled to `n_wpus` WPUs (paper per-WPU organization, one L1
+/// per WPU). The WPU counts in [`scaling_wpu_counts`] are the simspeed
+/// scaling-study presets; intra-run threading (`DWS_THREADS` /
+/// [`SimConfig::with_threads`]) is what makes the larger ones tractable.
+pub fn scaled(policy: Policy, n_wpus: usize) -> SimConfig {
+    SimConfig::paper(policy).with_wpus(n_wpus)
+}
+
+/// The WPU counts of the scaling study (8x, 16x, and 32x the paper's
+/// 4-WPU machine).
+#[must_use]
+pub fn scaling_wpu_counts() -> [usize; 3] {
+    [32, 64, 128]
+}
+
 /// The three systems compared in the sensitivity studies (Figures 18/19/21).
 pub fn sensitivity_policies() -> Vec<(&'static str, Policy)> {
     vec![
@@ -72,6 +87,16 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn scaled_presets_size_the_hierarchy() {
+        for n in scaling_wpu_counts() {
+            let c = scaled(Policy::dws_revive(), n);
+            assert_eq!(c.n_wpus, n);
+            assert_eq!(c.mem.n_l1s, n);
+            assert_eq!(c.total_threads(), (n * 16 * 4) as u64);
+        }
     }
 
     #[test]

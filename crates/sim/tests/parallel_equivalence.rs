@@ -1,0 +1,159 @@
+//! Parallel-stepping differential oracle: sharding one machine's WPUs
+//! across worker threads ([`SimConfig::with_threads`]) must be *invisible*.
+//! The coordinator runs every WPU's compute phase in parallel, then commits
+//! buffered memory interactions at the cycle barrier in WPU-index order —
+//! exactly the interleaving the serial loop produces — so every run must be
+//! bit-identical to the serial oracle at any thread count: same end cycle,
+//! same memory image, same per-WPU statistics, same memory-system counters,
+//! same warp-split-table peaks, even under a chaotic fault-injection plan.
+
+#[path = "../../core/tests/common/mod.rs"]
+mod common;
+
+use common::{all_policies, compile, gen_block, MEM_WORDS};
+use dws_core::Policy;
+use dws_engine::fault::FaultPlan;
+use dws_engine::rng::Rng64;
+use dws_isa::VecMemory;
+use dws_kernels::{Benchmark, KernelSpec, Scale};
+use dws_sim::{presets, Machine, RunResult, SimConfig};
+use std::sync::Arc;
+
+/// Full bit-identity: everything a run observes must match the oracle.
+fn assert_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.memory.words(), b.memory.words(), "{what}: memory image");
+    assert_eq!(a.wst_peaks, b.wst_peaks, "{what}: WST peaks");
+    assert_eq!(
+        a.per_thread_misses, b.per_thread_misses,
+        "{what}: per-thread misses"
+    );
+    assert_eq!(a.mem, b.mem, "{what}: memory-system stats");
+    assert_eq!(a.per_wpu, b.per_wpu, "{what}: per-WPU stats");
+}
+
+fn run_threads(cfg: &SimConfig, spec: &KernelSpec, threads: usize) -> RunResult {
+    Machine::run(&cfg.with_threads(threads), spec)
+        .unwrap_or_else(|e| panic!("{threads}-thread run failed: {e}"))
+}
+
+/// Every scheduling policy on the 4-WPU paper machine: 2- and 4-thread
+/// sharding (4 = one WPU per worker) against the serial oracle.
+#[test]
+fn all_policies_bit_identical_on_paper_machine() {
+    let spec = Benchmark::Merge.build(Scale::Test, 11);
+    for policy in all_policies() {
+        let cfg = SimConfig::paper(policy);
+        let serial = run_threads(&cfg, &spec, 1);
+        spec.verify(&serial.memory).unwrap();
+        for threads in [2, 4] {
+            let parallel = run_threads(&cfg, &spec, threads);
+            assert_identical(
+                &serial,
+                &parallel,
+                &format!("{} x{threads}", policy.paper_name()),
+            );
+        }
+    }
+}
+
+/// The 32-WPU scaled preset across the full thread ladder (the scaling
+/// study's configurations): 1, 2, 4, and 8 workers must all reproduce the
+/// serial result exactly.
+#[test]
+fn thread_counts_bit_identical_at_32_wpus() {
+    for policy in [Policy::dws_revive(), Policy::slip_branch_bypass()] {
+        let cfg = presets::scaled(policy, 32);
+        let spec = Benchmark::Filter.build(Scale::Test, 7);
+        let serial = run_threads(&cfg, &spec, 1);
+        spec.verify(&serial.memory).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = run_threads(&cfg, &spec, threads);
+            assert_identical(
+                &serial,
+                &parallel,
+                &format!("{} 32-WPU x{threads}", policy.paper_name()),
+            );
+        }
+    }
+}
+
+/// Randomly generated divergent kernels, every policy: small machines where
+/// each worker owns exactly one WPU, so the compute/commit split is
+/// exercised with maximum interleaving pressure.
+#[test]
+fn random_kernels_bit_identical_under_threading() {
+    for seed in 0..6u64 {
+        let mut rng = Rng64::new(0x9A8A_11E1 ^ seed);
+        let mut budget = 24usize;
+        let top_len = 1 + rng.range_usize(7);
+        let stmts = gen_block(&mut rng, 3, top_len, &mut budget);
+        let program = Arc::new(compile(&stmts));
+        let mem0 = VecMemory::new(MEM_WORDS as u64 * 8);
+        for policy in all_policies() {
+            let cfg = SimConfig::paper(policy)
+                .with_wpus(2)
+                .with_width(8)
+                .with_warps(1);
+            let spec = KernelSpec::new("random", Arc::clone(&program), mem0.clone(), |_| Ok(()));
+            let serial = run_threads(&cfg, &spec, 1);
+            let parallel = run_threads(&cfg, &spec, 2);
+            assert_identical(
+                &serial,
+                &parallel,
+                &format!("seed {seed} {} ({stmts:?})", policy.paper_name()),
+            );
+        }
+    }
+}
+
+/// Fault injection under threading: a chaotic plan perturbs timing through
+/// per-WPU RNG streams drawn mid-tick, so this pins that the parallel
+/// compute phases replay the exact per-(cycle, WPU) draw sequence — the
+/// chaos plan must be thread-count-invariant and reproducible.
+#[test]
+fn chaos_plans_bit_identical_under_threading() {
+    let mut perturbed = 0u32;
+    for seed in [3u64, 17] {
+        for policy in [Policy::dws_revive(), Policy::slip()] {
+            let spec = Benchmark::Merge.build(Scale::Test, seed);
+            let base = SimConfig::paper(policy);
+            let baseline = run_threads(&base, &spec, 1);
+            for (name, plan) in [
+                ("mem_jitter", FaultPlan::mem_jitter(seed)),
+                ("full_chaos", FaultPlan::full_chaos(seed)),
+            ] {
+                assert!(!plan.is_nop());
+                let cfg = base.with_fault(plan);
+                let serial = run_threads(&cfg, &spec, 1);
+                spec.verify(&serial.memory).unwrap();
+                for threads in [2, 4] {
+                    let parallel = run_threads(&cfg, &spec, threads);
+                    assert_identical(
+                        &serial,
+                        &parallel,
+                        &format!("seed {seed} {} {name} x{threads}", policy.paper_name()),
+                    );
+                }
+                if serial.cycles != baseline.cycles {
+                    perturbed += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        perturbed > 0,
+        "no chaotic run shifted timing — the plans were nonzero in name only"
+    );
+}
+
+/// Thread counts beyond the WPU count clamp down to one WPU per worker
+/// rather than spawning idle shards.
+#[test]
+fn oversubscribed_thread_count_clamps() {
+    let spec = Benchmark::Short.build(Scale::Test, 5);
+    let cfg = SimConfig::paper(Policy::dws_revive()).with_wpus(2);
+    let serial = run_threads(&cfg, &spec, 1);
+    let parallel = run_threads(&cfg, &spec, 16);
+    assert_identical(&serial, &parallel, "2-WPU machine at 16 threads");
+}

@@ -20,6 +20,19 @@ for fig in table1_characterization fig13_schemes fig07_branch_dws fig11_branchli
     "$fig" "$dt" "${DWS_JOBS:-auto}" "${DWS_SCALE:-bench}" "$status" \
     >> bench_timings.jsonl
 done
+echo "=== bench: scaling_wpus ===" | tee -a bench_output.txt
+# The scaling study runs 32/64/128-WPU machines, each three times (Conv,
+# DWS serial, DWS threaded) — restrict the benchmark set to keep its wall
+# clock in line with the single-figure sweeps. DWS_THREADS picks the
+# intra-run thread count (default: min(cores, 4)).
+t0=$(date +%s.%N)
+DWS_BENCHMARKS="${DWS_SCALING_BENCHMARKS:-Merge,FFT}" \
+  cargo bench -p dws-bench --bench scaling_wpus 2>>bench_progress.log | tee -a bench_output.txt
+status=${PIPESTATUS[0]}
+t1=$(date +%s.%N)
+dt=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f", b - a }')
+printf '{"sweep": "scaling_wpus", "host_seconds": %s, "threads": "%s", "scale": "%s", "status": %d}\n' \
+  "$dt" "${DWS_THREADS:-auto}" "${DWS_SCALE:-bench}" "$status" >> bench_timings.jsonl
 echo "=== bench: simspeed ===" | tee -a bench_output.txt
 # Keep the previous throughput report so perf-diff can show the trend.
 [ -f BENCH_simspeed.json ] && cp BENCH_simspeed.json BENCH_simspeed.prev.json

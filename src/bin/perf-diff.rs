@@ -35,6 +35,8 @@ struct Report {
     rows: Vec<Row>,
     serial_seconds: Option<f64>,
     parallel_seconds: Option<f64>,
+    intra_serial_seconds: Option<f64>,
+    intra_speedup: Option<f64>,
 }
 
 /// Extracts `"key": "value"` from one JSON object body.
@@ -106,10 +108,13 @@ fn parse_report(json: &str) -> Report {
         })
         .collect();
     let sweep = json.find("\"fig13_sweep\":").map(|i| &json[i..]);
+    let intra = json.find("\"intra_run\":").map(|i| &json[i..]);
     Report {
         rows,
         serial_seconds: sweep.and_then(|s| num_field(s, "serial_seconds")),
         parallel_seconds: sweep.and_then(|s| num_field(s, "parallel_seconds")),
+        intra_serial_seconds: intra.and_then(|s| num_field(s, "serial_seconds")),
+        intra_speedup: intra.and_then(|s| num_field(s, "parallel_speedup")),
     }
 }
 
@@ -202,10 +207,15 @@ fn main() -> ExitCode {
             );
         }
     }
-    // Sweep wall clock: lower is better, so a regression is time growing.
+    // Wall clock: lower is better, so a regression is time growing.
     for (name, ov, nv) in [
         ("fig13 serial", old.serial_seconds, new.serial_seconds),
         ("fig13 parallel", old.parallel_seconds, new.parallel_seconds),
+        (
+            "intra-run serial",
+            old.intra_serial_seconds,
+            new.intra_serial_seconds,
+        ),
     ] {
         if let (Some(ov), Some(nv)) = (ov, nv) {
             let pct = (nv / ov - 1.0) * 100.0;
@@ -213,6 +223,18 @@ fn main() -> ExitCode {
             if pct > max_regress {
                 regressions.push(format!("{name}: {pct:+.1}% wall clock"));
             }
+        }
+    }
+    // Intra-run speedup: higher is better, so a regression is it dropping.
+    if let (Some(ov), Some(nv)) = (old.intra_speedup, new.intra_speedup) {
+        let pct = (nv / ov - 1.0) * 100.0;
+        let _ = writeln!(
+            table,
+            "{:25} {ov:>8.2}x {nv:>8.2}x {pct:>+7.1}%",
+            "intra-run speedup"
+        );
+        if pct < -max_regress {
+            regressions.push(format!("intra-run speedup: {pct:+.1}%"));
         }
     }
     print!("{table}");
