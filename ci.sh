@@ -53,6 +53,24 @@ echo "== tier-1 robustness guards (named, release) =="
 # hang or take sibling jobs down with it.
 cargo test -q --release --offline -p dws-sim --test chaos_invariants
 cargo test -q --release --offline -p dws-sim --test sweep_panic_isolation
+cargo test -q --release --offline -p dws-sim --test fuzz_harness
+cargo test -q --release --offline -p dws-sim --test corpus_replay
+
+echo "== fuzz smoke (differential oracle battery, fixed seeds) =="
+# A short verifier-guided fuzz campaign across every oracle axis (all
+# policies vs the reference interpreter, stepped vs event-driven, parallel
+# vs serial, legacy engine vs µop, chaos vs zero-fault). Must be clean
+# (exit 0; 7 = real divergence found) AND byte-identical across two runs —
+# the report embeds no wall-clock, so any diff is lost determinism. The
+# second run goes through the DWS_WATCHDOG_* env overrides to keep that
+# configuration path exercised.
+cargo run -q --release --offline --bin dws-cli -- \
+  fuzz --seeds 25 --json > fuzz_smoke_a.json
+DWS_WATCHDOG_LIVELOCK=200000 DWS_WATCHDOG_HOST_MS=60000 \
+  cargo run -q --release --offline --bin dws-cli -- \
+  fuzz --seeds 25 --json > fuzz_smoke_b.json
+cmp fuzz_smoke_a.json fuzz_smoke_b.json
+rm -f fuzz_smoke_a.json fuzz_smoke_b.json
 
 echo "== DWS_SANITIZE=1 release smoke run =="
 # One paper-scale simulation with the debug-only scheduler-sync and

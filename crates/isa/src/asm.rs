@@ -5,7 +5,8 @@
 //! `;` starts a comment; labels end with `:` and may share a line with an
 //! instruction. Registers are `r0`..`rN` (`r0` = thread id, `r1` = thread
 //! count). Memory operands are `[rB]` or `[rB+off]`/`[rB-off]` (bytes).
-//! Float immediates need a decimal point or exponent: `1.0`, `2.5e-3`.
+//! Float immediates need a decimal point or exponent: `1.0`, `2.5e-3`;
+//! `inf`, `-inf` and `nan` are reserved words for the non-finite values.
 //!
 //! ```text
 //! ; out[tid] = sum of 0..tid
@@ -107,6 +108,14 @@ fn parse_tok(s: &str, line: usize) -> Result<Tok, AsmError> {
         if let Ok(f) = s.parse::<f64>() {
             return Ok(Tok::Op(Operand::ImmF(f)));
         }
+    }
+    // Non-finite float immediates (reduction seeds use them). These win
+    // over label interpretation, so `inf`/`nan` are reserved words.
+    match s.to_ascii_lowercase().as_str() {
+        "inf" | "+inf" => return Ok(Tok::Op(Operand::ImmF(f64::INFINITY))),
+        "-inf" => return Ok(Tok::Op(Operand::ImmF(f64::NEG_INFINITY))),
+        "nan" => return Ok(Tok::Op(Operand::ImmF(f64::NAN))),
+        _ => {}
     }
     if let Ok(i) = s.parse::<i64>() {
         return Ok(Tok::Op(Operand::Imm(i)));
@@ -336,6 +345,156 @@ pub fn parse_asm(text: &str) -> Result<Program, AsmError> {
     })
 }
 
+fn render_operand(o: Operand) -> String {
+    match o {
+        Operand::Reg(Reg(i)) => format!("r{i}"),
+        Operand::Imm(v) => v.to_string(),
+        Operand::ImmF(f) if f.is_nan() => "nan".to_string(),
+        Operand::ImmF(f) if f == f64::INFINITY => "inf".to_string(),
+        Operand::ImmF(f) if f == f64::NEG_INFINITY => "-inf".to_string(),
+        Operand::ImmF(f) => {
+            // parse_asm needs a '.' or exponent to classify the token as a
+            // float; Rust's shortest-roundtrip Debug guarantees one for
+            // every finite value ("4.0", "2.5e-3").
+            format!("{f:?}")
+        }
+    }
+}
+
+fn render_mem(base: Reg, offset: i64) -> String {
+    match offset {
+        0 => format!("[r{}]", base.0),
+        o if o > 0 => format!("[r{}+{o}]", base.0),
+        o => format!("[r{}{o}]", base.0),
+    }
+}
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Min => "min",
+        AluOp::Max => "max",
+        AluOp::FAdd => "fadd",
+        AluOp::FSub => "fsub",
+        AluOp::FMul => "fmul",
+        AluOp::FDiv => "fdiv",
+        AluOp::FMin => "fmin",
+        AluOp::FMax => "fmax",
+    }
+}
+
+fn cond_mnemonic(cond: CondOp) -> &'static str {
+    match cond {
+        CondOp::Eq => "eq",
+        CondOp::Ne => "ne",
+        CondOp::Lt => "lt",
+        CondOp::Le => "le",
+        CondOp::Gt => "gt",
+        CondOp::Ge => "ge",
+        CondOp::FEq => "feq",
+        CondOp::FNe => "fne",
+        CondOp::FLt => "flt",
+        CondOp::FLe => "fle",
+        CondOp::FGt => "fgt",
+        CondOp::FGe => "fge",
+    }
+}
+
+fn un_mnemonic(op: UnOp, a: Operand) -> &'static str {
+    match op {
+        UnOp::Mov => match a {
+            Operand::Imm(_) => "li",
+            Operand::ImmF(_) => "lif",
+            Operand::Reg(_) => "mov",
+        },
+        UnOp::Not => "not",
+        UnOp::Neg => "neg",
+        UnOp::FNeg => "fneg",
+        UnOp::FAbs => "fabs",
+        UnOp::FSqrt => "fsqrt",
+        UnOp::I2F => "i2f",
+        UnOp::F2I => "f2i",
+    }
+}
+
+/// Renders a program back to [`parse_asm`]-compatible text.
+///
+/// Branch and jump targets become `L{pc}` labels; reparsing the output
+/// yields the identical instruction stream (see the round-trip test), so
+/// this is the canonical on-disk form for generated kernels — the fuzzer's
+/// reproducer corpus is written with it.
+///
+/// `NaN` immediates render as `nan` and reparse to the canonical quiet
+/// NaN; a program whose immediate is a different NaN bit pattern does not
+/// round-trip bit-exactly (nothing in the builder DSL or generator can
+/// produce one).
+#[must_use]
+pub fn render_asm(program: &Program) -> String {
+    use std::collections::BTreeSet;
+    let mut targets: BTreeSet<usize> = BTreeSet::new();
+    for inst in program.insts() {
+        match inst {
+            Inst::Branch { target, .. } | Inst::Jump { target } => {
+                targets.insert(*target);
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    for (pc, inst) in program.insts().iter().enumerate() {
+        if targets.contains(&pc) {
+            out.push_str(&format!("L{pc}:"));
+        }
+        out.push('\t');
+        let text = match *inst {
+            Inst::Alu { op, dst, a, b } => format!(
+                "{} r{}, {}, {}",
+                alu_mnemonic(op),
+                dst.0,
+                render_operand(a),
+                render_operand(b)
+            ),
+            Inst::Un { op, dst, a } => {
+                format!("{} r{}, {}", un_mnemonic(op, a), dst.0, render_operand(a))
+            }
+            Inst::Set { cond, dst, a, b } => format!(
+                "set{} r{}, {}, {}",
+                cond_mnemonic(cond),
+                dst.0,
+                render_operand(a),
+                render_operand(b)
+            ),
+            Inst::Branch { cond, a, b, target } => format!(
+                "b{} {}, {}, L{target}",
+                cond_mnemonic(cond),
+                render_operand(a),
+                render_operand(b)
+            ),
+            Inst::Jump { target } => format!("jmp L{target}"),
+            Inst::Load { dst, base, offset } => {
+                format!("ld r{}, {}", dst.0, render_mem(base, offset))
+            }
+            Inst::Store { src, base, offset } => {
+                format!("st {}, {}", render_operand(src), render_mem(base, offset))
+            }
+            Inst::Barrier => "bar".to_string(),
+            Inst::Halt => "halt".to_string(),
+        };
+        out.push_str(&text);
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,5 +611,39 @@ mod tests {
     fn comments_and_blank_lines_ignored() {
         let p = parse_asm("; nothing\n\n   halt   ; done\n").unwrap();
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn render_round_trips_handwritten_programs() {
+        let src = "
+                li   r2, 0
+                lif  r5, 2.5
+                fmul r5, r5, 4.0
+        loop:   bge  r2, r0, end
+                add  r2, r2, 1
+                jmp  loop
+        end:    mul  r4, r0, 8
+                setge r3, r2, 1
+                st   r3, [r4-0]
+                ld   r3, [r4]
+                bar
+                halt
+        ";
+        let p = parse_asm(src).unwrap();
+        let rendered = render_asm(&p);
+        let p2 = parse_asm(&rendered).unwrap_or_else(|e| panic!("{e}\n{rendered}"));
+        assert_eq!(p.insts(), p2.insts(), "\n{rendered}");
+    }
+
+    #[test]
+    fn render_round_trips_generated_kernels() {
+        let cfg = crate::gen::GenConfig::default();
+        for seed in 0..32 {
+            let p = crate::gen::generate(seed, &cfg).compile().unwrap();
+            let rendered = render_asm(&p);
+            let p2 =
+                parse_asm(&rendered).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{rendered}"));
+            assert_eq!(p.insts(), p2.insts(), "seed {seed}");
+        }
     }
 }

@@ -1,0 +1,629 @@
+//! Verifier-guided random kernel generation for differential fuzzing.
+//!
+//! The simulator's input space was eight hand-written kernels; this module
+//! turns [`crate::verify`] from a gate into a generator. A seeded
+//! [`generate`] call grows a structured program AST ([`KernelAst`]) —
+//! divergent diamonds, uniform counted loops, nested combinations,
+//! barriers in provably-uniform context — over a fixed three-region
+//! memory layout, then compiles it through [`KernelBuilder`], whose
+//! [`build`](KernelBuilder::build) step runs the five-pass verifier.
+//! Anything the verifier rejects is discarded and regenerated from a
+//! derived seed, so every emitted kernel is safe to execute by
+//! construction.
+//!
+//! Memory layout (8-byte words), shared with the differential harness in
+//! `dws-sim` via [`layout`]:
+//!
+//! | region  | words                                  | access pattern   |
+//! |---------|----------------------------------------|------------------|
+//! | `input` | `[0, IN_WORDS)`                        | shared, read-only gathers masked to the region |
+//! | `priv`  | `[IN_WORDS, IN_WORDS + n*PRIV_WORDS)`  | per-thread window, data-dependent slot |
+//! | `out`   | one word per thread after `priv`       | epilogue result store |
+//!
+//! Races are impossible by construction (threads write only their own
+//! `priv` window and `out` word), so a generated kernel's final memory is
+//! a pure function of the program and input — exactly the property the
+//! differential oracle needs.
+//!
+//! Determinism contract: `generate(seed, cfg)` is a pure function of its
+//! arguments. All randomness comes from one [`Rng64`] stream.
+
+use crate::builder::{BuildError, KernelBuilder};
+use crate::inst::{AluOp, CondOp, Operand, Reg};
+use crate::program::Program;
+use dws_engine::rng::Rng64;
+
+/// Words in the shared read-only input region (power of two so gathers
+/// can be masked into range with a single `and`).
+pub const IN_WORDS: i64 = 64;
+
+/// Private scratch words per thread.
+pub const PRIV_WORDS: i64 = 4;
+
+/// Value slots the generated program computes in (registers `r2..`).
+pub const SLOTS: usize = 6;
+
+/// Knobs for one generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Thread count the kernel will be launched with (sizes the private
+    /// and output regions).
+    pub nthreads: u64,
+    /// Maximum nesting depth of diamonds/loops.
+    pub max_depth: u32,
+    /// Soft cap on total generated statements.
+    pub max_stmts: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            nthreads: 32,
+            max_depth: 3,
+            max_stmts: 24,
+        }
+    }
+}
+
+/// Total memory words a generated kernel addresses for `nthreads`.
+#[must_use]
+pub fn mem_words(nthreads: u64) -> u64 {
+    IN_WORDS as u64 + nthreads * (PRIV_WORDS as u64 + 1)
+}
+
+/// The declared memory map as `(name, word_offset, words)` triples —
+/// the same shape `dws_kernels::BufferLayout::of` consumes, kept as plain
+/// tuples here so the ISA crate stays free of a kernels dependency.
+#[must_use]
+pub fn layout(nthreads: u64) -> [(&'static str, u64, u64); 3] {
+    let in_w = IN_WORDS as u64;
+    let priv_w = nthreads * PRIV_WORDS as u64;
+    [
+        ("input", 0, in_w),
+        ("priv", in_w, priv_w),
+        ("out", in_w + priv_w, nthreads),
+    ]
+}
+
+/// Integer ALU operations the generator draws from (all total: wrapping
+/// semantics, no traps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+}
+
+impl GenOp {
+    fn alu(self) -> AluOp {
+        match self {
+            GenOp::Add => AluOp::Add,
+            GenOp::Sub => AluOp::Sub,
+            GenOp::Mul => AluOp::Mul,
+            GenOp::Xor => AluOp::Xor,
+            GenOp::And => AluOp::And,
+            GenOp::Or => AluOp::Or,
+            GenOp::Min => AluOp::Min,
+            GenOp::Max => AluOp::Max,
+        }
+    }
+
+    const ALL: [GenOp; 8] = [
+        GenOp::Add,
+        GenOp::Sub,
+        GenOp::Mul,
+        GenOp::Xor,
+        GenOp::And,
+        GenOp::Or,
+        GenOp::Min,
+        GenOp::Max,
+    ];
+}
+
+/// A value operand: one of the [`SLOTS`] slots or a small immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenVal {
+    /// Read value slot `i % SLOTS`.
+    Slot(u8),
+    /// A signed immediate.
+    Imm(i64),
+}
+
+/// One statement of the generated structured program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenStmt {
+    /// `slot[dst] = a <op> b`.
+    Arith {
+        /// Destination slot.
+        dst: u8,
+        /// Operation.
+        op: GenOp,
+        /// Left operand.
+        a: GenVal,
+        /// Right operand.
+        b: GenVal,
+    },
+    /// `slot[dst] = input[slot[idx] & (IN_WORDS-1)]` — a data-dependent
+    /// gather masked into the shared input region.
+    Gather {
+        /// Destination slot.
+        dst: u8,
+        /// Slot providing the (pre-mask) index.
+        idx: u8,
+    },
+    /// `slot[dst] = priv[tid][word]` from the thread's private window.
+    LoadPriv {
+        /// Destination slot.
+        dst: u8,
+        /// Window word, `0..PRIV_WORDS`.
+        word: u8,
+    },
+    /// `priv[tid][word] = slot[src]` into the thread's private window.
+    StorePriv {
+        /// Source slot.
+        src: u8,
+        /// Window word, `0..PRIV_WORDS`.
+        word: u8,
+    },
+    /// `if (slot[lhs] cond rhs) { then_b } else { else_b }` — divergent,
+    /// because slots are seeded from the thread id.
+    Diamond {
+        /// Comparison (integer conditions only).
+        cond: CondOp,
+        /// Slot on the left of the comparison.
+        lhs: u8,
+        /// Immediate on the right.
+        rhs: i64,
+        /// Taken body.
+        then_b: Vec<GenStmt>,
+        /// Fall-through body.
+        else_b: Vec<GenStmt>,
+    },
+    /// A counted loop with a uniform (compile-time) trip count, so
+    /// barriers inside it stay collective.
+    Loop {
+        /// Trip count, `1..=4`.
+        trips: u8,
+        /// Loop body.
+        body: Vec<GenStmt>,
+    },
+    /// Global barrier. Generated only in provably-uniform context (never
+    /// under a diamond), so every live thread reaches it.
+    Barrier,
+}
+
+/// A generated kernel: the structured AST plus the launch geometry it was
+/// generated for. The delta-debugging minimizer edits `stmts` and
+/// recompiles; [`compile`](KernelAst::compile) re-verifies every time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelAst {
+    /// Thread count the memory layout is sized for.
+    pub nthreads: u64,
+    /// Top-level statements.
+    pub stmts: Vec<GenStmt>,
+}
+
+impl KernelAst {
+    /// Total statement count, including nested bodies.
+    #[must_use]
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[GenStmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    GenStmt::Diamond { then_b, else_b, .. } => 1 + count(then_b) + count(else_b),
+                    GenStmt::Loop { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+
+    /// Compiles the AST to a verified [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the builder's [`BuildError`] when the five-pass verifier
+    /// rejects the program (minimizer candidates re-verify through here;
+    /// generator output is retried on a derived seed until accepted).
+    pub fn compile(&self) -> Result<Program, BuildError> {
+        let in_base = 0i64;
+        let priv_base = IN_WORDS;
+        let out_base = IN_WORDS + self.nthreads as i64 * PRIV_WORDS;
+
+        let mut b = KernelBuilder::new();
+        let tid = b.tid();
+        let slots: Vec<Reg> = (0..SLOTS).map(|_| b.reg()).collect();
+        let addr = b.reg();
+        let tmp = b.reg();
+        // Write-once immediate registers for the region geometry: the
+        // bounds pass resolves them through its write-once constant table,
+        // so masked gathers stay provable without immediate operands.
+        let rmask = b.reg();
+        b.li(rmask, IN_WORDS - 1);
+
+        // Seed the slots from the thread id so control and data diverge
+        // per-thread, with one initial gather for input dependence.
+        for (i, &s) in slots.iter().enumerate() {
+            let i = i as i64;
+            b.mul(tmp, tid, Operand::Imm(2 * i + 1));
+            b.add(s, Operand::Reg(tmp), Operand::Imm(i * 7 + 1));
+        }
+        b.and(addr, Operand::Reg(slots[0]), Operand::Reg(rmask));
+        b.mul(addr, Operand::Reg(addr), Operand::Imm(8));
+        b.load(slots[1], addr, in_base * 8);
+
+        emit(&mut b, &self.stmts, &slots, addr, rmask, tid, priv_base);
+
+        // Epilogue: fold every slot into out[tid] so any computational
+        // divergence is visible in the final memory image.
+        b.mov(tmp, Operand::Reg(slots[0]));
+        for &s in &slots[1..] {
+            b.xor(tmp, Operand::Reg(tmp), Operand::Reg(s));
+        }
+        b.add(addr, Operand::Reg(tid), Operand::Imm(out_base));
+        b.mul(addr, Operand::Reg(addr), Operand::Imm(8));
+        b.store(Operand::Reg(tmp), addr, 0);
+        b.halt();
+        b.build()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    b: &mut KernelBuilder,
+    stmts: &[GenStmt],
+    slots: &[Reg],
+    addr: Reg,
+    rmask: Reg,
+    tid: Reg,
+    priv_base: i64,
+) {
+    let slot = |i: u8| slots[i as usize % slots.len()];
+    let val = |v: GenVal| match v {
+        GenVal::Slot(i) => Operand::Reg(slot(i)),
+        GenVal::Imm(x) => Operand::Imm(x),
+    };
+    for s in stmts {
+        match s {
+            GenStmt::Arith { dst, op, a, b: rhs } => {
+                b.alu(op.alu(), slot(*dst), val(*a), val(*rhs));
+            }
+            GenStmt::Gather { dst, idx } => {
+                b.and(addr, Operand::Reg(slot(*idx)), Operand::Reg(rmask));
+                b.mul(addr, Operand::Reg(addr), Operand::Imm(8));
+                b.load(slot(*dst), addr, 0);
+            }
+            GenStmt::LoadPriv { dst, word } => {
+                let w = i64::from(*word) % PRIV_WORDS;
+                b.mul(addr, tid, Operand::Imm(PRIV_WORDS));
+                b.add(addr, Operand::Reg(addr), Operand::Imm(priv_base + w));
+                b.mul(addr, Operand::Reg(addr), Operand::Imm(8));
+                b.load(slot(*dst), addr, 0);
+            }
+            GenStmt::StorePriv { src, word } => {
+                let w = i64::from(*word) % PRIV_WORDS;
+                b.mul(addr, tid, Operand::Imm(PRIV_WORDS));
+                b.add(addr, Operand::Reg(addr), Operand::Imm(priv_base + w));
+                b.mul(addr, Operand::Reg(addr), Operand::Imm(8));
+                b.store(Operand::Reg(slot(*src)), addr, 0);
+            }
+            GenStmt::Diamond {
+                cond,
+                lhs,
+                rhs,
+                then_b,
+                else_b,
+            } => {
+                b.if_then_else(
+                    *cond,
+                    Operand::Reg(slot(*lhs)),
+                    Operand::Imm(*rhs),
+                    |b| emit(b, then_b, slots, addr, rmask, tid, priv_base),
+                    |b| emit(b, else_b, slots, addr, rmask, tid, priv_base),
+                );
+            }
+            GenStmt::Loop { trips, body } => {
+                let i = b.reg();
+                b.for_range(
+                    i,
+                    Operand::Imm(0),
+                    Operand::Imm(i64::from(*trips)),
+                    Operand::Imm(1),
+                    |b| emit(b, body, slots, addr, rmask, tid, priv_base),
+                );
+            }
+            GenStmt::Barrier => b.barrier(),
+        }
+    }
+}
+
+const INT_CONDS: [CondOp; 6] = [
+    CondOp::Eq,
+    CondOp::Ne,
+    CondOp::Lt,
+    CondOp::Le,
+    CondOp::Gt,
+    CondOp::Ge,
+];
+
+/// Generates one random statement. `uniform` tracks whether every thread
+/// is guaranteed to execute this context (false under a diamond), which
+/// gates barrier emission.
+fn gen_stmt(rng: &mut Rng64, depth: u32, budget: &mut usize, uniform: bool) -> GenStmt {
+    *budget = budget.saturating_sub(1);
+    if depth > 0 && *budget > 0 && rng.chance(0.35) {
+        if rng.chance(0.5) {
+            let cond = INT_CONDS[rng.range_usize(INT_CONDS.len())];
+            let lhs = rng.range_i64(0, SLOTS as i64 - 1) as u8;
+            let rhs = rng.range_i64(-8, 64);
+            let then_len = 1 + rng.range_usize(3);
+            let then_b = gen_block(rng, depth - 1, then_len, budget, false);
+            let else_len = rng.range_usize(3);
+            let else_b = gen_block(rng, depth - 1, else_len, budget, false);
+            return GenStmt::Diamond {
+                cond,
+                lhs,
+                rhs,
+                then_b,
+                else_b,
+            };
+        }
+        let trips = rng.range_i64(1, 4) as u8;
+        let body_len = 1 + rng.range_usize(3);
+        let body = gen_block(rng, depth - 1, body_len, budget, uniform);
+        return GenStmt::Loop { trips, body };
+    }
+    let pick = rng.range_usize(8);
+    match pick {
+        0..=2 => GenStmt::Arith {
+            dst: rng.range_i64(0, SLOTS as i64 - 1) as u8,
+            op: GenOp::ALL[rng.range_usize(GenOp::ALL.len())],
+            a: GenVal::Slot(rng.range_i64(0, SLOTS as i64 - 1) as u8),
+            b: if rng.chance(0.5) {
+                GenVal::Slot(rng.range_i64(0, SLOTS as i64 - 1) as u8)
+            } else {
+                GenVal::Imm(rng.range_i64(-17, 17))
+            },
+        },
+        3 | 4 => GenStmt::Gather {
+            dst: rng.range_i64(0, SLOTS as i64 - 1) as u8,
+            idx: rng.range_i64(0, SLOTS as i64 - 1) as u8,
+        },
+        5 => GenStmt::LoadPriv {
+            dst: rng.range_i64(0, SLOTS as i64 - 1) as u8,
+            word: rng.range_i64(0, PRIV_WORDS - 1) as u8,
+        },
+        6 => GenStmt::StorePriv {
+            src: rng.range_i64(0, SLOTS as i64 - 1) as u8,
+            word: rng.range_i64(0, PRIV_WORDS - 1) as u8,
+        },
+        _ if uniform => GenStmt::Barrier,
+        _ => GenStmt::Arith {
+            dst: rng.range_i64(0, SLOTS as i64 - 1) as u8,
+            op: GenOp::Xor,
+            a: GenVal::Slot(0),
+            b: GenVal::Imm(rng.range_i64(-17, 17)),
+        },
+    }
+}
+
+fn gen_block(
+    rng: &mut Rng64,
+    depth: u32,
+    len: usize,
+    budget: &mut usize,
+    uniform: bool,
+) -> Vec<GenStmt> {
+    (0..len)
+        .map_while(|_| {
+            if *budget == 0 {
+                None
+            } else {
+                Some(gen_stmt(rng, depth, budget, uniform))
+            }
+        })
+        .collect()
+}
+
+/// Generates a verifier-accepted kernel for `seed`.
+///
+/// Deterministic: the same `(seed, cfg)` always yields the same AST. If a
+/// draw produces a program the five-pass verifier rejects (not observed
+/// in practice — the AST is safe by construction — but the contract does
+/// not rely on that), the draw is retried on a seed derived from the
+/// attempt number, keeping the result a pure function of the inputs.
+///
+/// # Panics
+///
+/// Panics if 16 consecutive attempts are rejected, which would indicate a
+/// generator/verifier contract bug rather than bad luck.
+#[must_use]
+pub fn generate(seed: u64, cfg: &GenConfig) -> KernelAst {
+    for attempt in 0..16u64 {
+        let mut rng = Rng64::new(seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut budget = cfg.max_stmts;
+        let top_len = 2 + rng.range_usize(6);
+        let stmts = gen_block(&mut rng, cfg.max_depth, top_len, &mut budget, true);
+        let ast = KernelAst {
+            nthreads: cfg.nthreads,
+            stmts,
+        };
+        if ast.compile().is_ok() {
+            return ast;
+        }
+    }
+    unreachable!("generator emitted 16 consecutive verifier-rejected kernels for seed {seed}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ReferenceRunner, VecMemory};
+    use crate::verify::{DwsLintCode, VerifyOptions};
+
+    fn full_opts(nthreads: u64) -> VerifyOptions {
+        VerifyOptions::default()
+            .with_nthreads(nthreads)
+            .with_mem_bytes(mem_words(nthreads) * 8)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in 0..20 {
+            let a = generate(seed, &cfg);
+            let b = generate(seed, &cfg);
+            assert_eq!(a, b, "seed {seed}");
+            let pa = a.compile().unwrap();
+            let pb = b.compile().unwrap();
+            assert_eq!(pa.insts(), pb.insts(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_seed_passes_the_verifier_in_context() {
+        let cfg = GenConfig::default();
+        for seed in 0..64 {
+            let ast = generate(seed, &cfg);
+            let p = ast.compile().unwrap();
+            let report = p.lint(&full_opts(cfg.nthreads));
+            assert!(!report.has_errors(), "seed {seed}: {}", report.rendered());
+            // Dead-write warnings (DWS0303) are inevitable in random
+            // straight-line code and harmless; a barrier under divergence
+            // would deadlock the simulator and must never be generated.
+            assert!(
+                report
+                    .diagnostics
+                    .iter()
+                    .all(|d| d.code != DwsLintCode::BarrierUnderDivergence),
+                "seed {seed}: {}",
+                report.rendered()
+            );
+        }
+    }
+
+    #[test]
+    fn generated_kernels_run_on_the_reference_interpreter() {
+        let cfg = GenConfig::default();
+        for seed in 0..16 {
+            let ast = generate(seed, &cfg);
+            let p = ast.compile().unwrap();
+            let mut mem = VecMemory::new(mem_words(cfg.nthreads) * 8);
+            ReferenceRunner::new(&p, cfg.nthreads)
+                .run(&mut mem)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn layout_covers_the_allocation_exactly() {
+        let n = 32;
+        let l = layout(n);
+        assert_eq!(l[0].1, 0);
+        assert_eq!(l[1].1, l[0].1 + l[0].2);
+        assert_eq!(l[2].1, l[1].1 + l[1].2);
+        assert_eq!(l[2].1 + l[2].2, mem_words(n));
+    }
+
+    #[test]
+    fn diverse_seeds_cover_every_statement_kind() {
+        let cfg = GenConfig::default();
+        let (mut diamonds, mut loops, mut barriers, mut gathers, mut privs) = (0, 0, 0, 0, 0);
+        fn walk(stmts: &[GenStmt], f: &mut impl FnMut(&GenStmt)) {
+            for s in stmts {
+                f(s);
+                match s {
+                    GenStmt::Diamond { then_b, else_b, .. } => {
+                        walk(then_b, f);
+                        walk(else_b, f);
+                    }
+                    GenStmt::Loop { body, .. } => walk(body, f),
+                    _ => {}
+                }
+            }
+        }
+        for seed in 0..200 {
+            let ast = generate(seed, &cfg);
+            walk(&ast.stmts, &mut |s| match s {
+                GenStmt::Diamond { .. } => diamonds += 1,
+                GenStmt::Loop { .. } => loops += 1,
+                GenStmt::Barrier => barriers += 1,
+                GenStmt::Gather { .. } => gathers += 1,
+                GenStmt::LoadPriv { .. } | GenStmt::StorePriv { .. } => privs += 1,
+                GenStmt::Arith { .. } => {}
+            });
+        }
+        assert!(diamonds > 0, "no divergent diamonds generated");
+        assert!(loops > 0, "no loops generated");
+        assert!(barriers > 0, "no barriers generated");
+        assert!(gathers > 0, "no gathers generated");
+        assert!(privs > 0, "no private-window traffic generated");
+    }
+
+    #[test]
+    fn barriers_never_appear_under_divergence() {
+        // Structural check on the AST (the verifier's DWS0502 would also
+        // catch it, but this pins the generator-side invariant directly).
+        fn no_barrier(stmts: &[GenStmt]) -> bool {
+            stmts.iter().all(|s| match s {
+                GenStmt::Barrier => false,
+                GenStmt::Diamond { then_b, else_b, .. } => no_barrier(then_b) && no_barrier(else_b),
+                GenStmt::Loop { body, .. } => no_barrier(body),
+                _ => true,
+            })
+        }
+        fn check(stmts: &[GenStmt]) {
+            for s in stmts {
+                match s {
+                    GenStmt::Diamond { then_b, else_b, .. } => {
+                        assert!(no_barrier(then_b) && no_barrier(else_b));
+                        check(then_b);
+                        check(else_b);
+                    }
+                    GenStmt::Loop { body, .. } => check(body),
+                    _ => {}
+                }
+            }
+        }
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            check(&generate(seed, &cfg).stmts);
+        }
+    }
+
+    #[test]
+    fn stmt_count_counts_nested_bodies() {
+        let ast = KernelAst {
+            nthreads: 4,
+            stmts: vec![
+                GenStmt::Barrier,
+                GenStmt::Loop {
+                    trips: 2,
+                    body: vec![GenStmt::Diamond {
+                        cond: CondOp::Gt,
+                        lhs: 0,
+                        rhs: 1,
+                        then_b: vec![GenStmt::Barrier],
+                        else_b: vec![],
+                    }],
+                },
+            ],
+        };
+        assert_eq!(ast.stmt_count(), 4);
+    }
+}

@@ -48,15 +48,17 @@
 pub mod asm;
 pub mod builder;
 pub mod cfg;
+pub mod gen;
 pub mod inst;
 pub mod interp;
 pub mod predecode;
 pub mod program;
 pub mod verify;
 
-pub use asm::{parse_asm, AsmError};
+pub use asm::{parse_asm, render_asm, AsmError};
 pub use builder::{BuildError, KernelBuilder, Label};
 pub use cfg::{BranchInfo, Cfg};
+pub use gen::{generate, GenConfig, GenOp, GenStmt, GenVal, KernelAst};
 pub use inst::{AluOp, CondOp, Inst, Operand, Reg, UnOp};
 pub use interp::{
     eval_alu, eval_un, execute_lane, LaneRegs, MemoryAccess, ReferenceRunner, StepOutcome,

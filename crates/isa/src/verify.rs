@@ -1509,6 +1509,317 @@ impl Itv {
     }
 }
 
+/// A symbolic fact about a register's *current* value in terms of another
+/// register's current value: `dst = scale*src + offset`, `dst = src / d`,
+/// or `dst = src % d` (both with a positive constant `d`).
+///
+/// Facts are flow-sensitive and killed the moment either side is
+/// redefined, so holding one at a program point is a genuine equality
+/// there. They are what lets branch narrowing act *relationally*: a guard
+/// on `r = i / n` narrows `i` too, and a guard on `i` re-narrows values
+/// derived from it (`a = i*8 + base`) that were computed before the
+/// branch. Constant operands are resolved through write-once immediate
+/// registers ([`write_once_imm_consts`]), so `li rk, 8; mul a, i, rk`
+/// carries the same fact as `mul a, i, 8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SymExpr {
+    /// `dst = scale*src + offset` with `scale != 0`.
+    Affine { src: Reg, scale: i128, offset: i128 },
+    /// `dst = src / d` (truncating), `d > 0`.
+    DivBy { src: Reg, d: i128 },
+    /// `dst = src % d` (sign follows `src`), `d > 0`.
+    RemBy { src: Reg, d: i128 },
+}
+
+impl SymExpr {
+    fn src(self) -> Reg {
+        match self {
+            SymExpr::Affine { src, .. }
+            | SymExpr::DivBy { src, .. }
+            | SymExpr::RemBy { src, .. } => src,
+        }
+    }
+}
+
+/// The bounds pass's per-point abstract state: an interval per register
+/// plus at most one symbolic fact per register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BState {
+    itv: Vec<Itv>,
+    sym: Vec<Option<SymExpr>>,
+}
+
+/// Constant propagation through write-once immediate registers: a register
+/// (other than the preloaded `r0`/`r1`) whose *only* static definition in
+/// the whole program is `mov rK, imm` can be treated as that constant
+/// wherever it is read after the definition. This is what lets kernels
+/// hold scales, masks, and divisors in registers without the bounds pass
+/// losing the exactness it needs for [`SymExpr`] extraction.
+fn write_once_imm_consts(insts: &[Inst], num_regs: u16) -> Vec<Option<i128>> {
+    let nr = num_regs as usize;
+    let mut defs = vec![0u32; nr];
+    let mut value: Vec<Option<i128>> = vec![None; nr];
+    for inst in insts {
+        if let Some(r) = inst_def(inst) {
+            let r = r.0 as usize;
+            defs[r] += 1;
+            value[r] = match inst {
+                Inst::Un {
+                    op: UnOp::Mov,
+                    a: Operand::Imm(v),
+                    ..
+                } => Some(*v as i128),
+                _ => None,
+            };
+        }
+    }
+    for r in 0..nr {
+        if r < 2 || defs[r] != 1 {
+            value[r] = None;
+        }
+    }
+    value
+}
+
+/// Symbolic-fact transfer for one instruction: establishes, composes, or
+/// kills [`SymExpr`] facts. Must be applied in instruction order alongside
+/// [`itv_transfer`].
+fn sym_transfer(sym: &mut [Option<SymExpr>], inst: &Inst, consts: &[Option<i128>]) {
+    let cval = |o: &Operand| -> Option<i128> {
+        match o {
+            Operand::Imm(v) => Some(*v as i128),
+            Operand::Reg(r) => consts.get(r.0 as usize).copied().flatten(),
+            Operand::ImmF(_) => None,
+        }
+    };
+    let Some(dst) = inst_def(inst) else { return };
+    let d = dst.0 as usize;
+    // The affine fact for `s op k` (register `s`, constant `k`), composed
+    // with the existing fact of `s` when `s` is the destination itself
+    // (e.g. `add a, a, 4` extends `a = 8*i` to `a = 8*i + 4`).
+    let compose = |sym: &[Option<SymExpr>], s: Reg, scale: i128, offset: i128| {
+        if s == dst {
+            match sym[d] {
+                Some(SymExpr::Affine {
+                    src,
+                    scale: s0,
+                    offset: o0,
+                }) => {
+                    let sc = s0.checked_mul(scale)?;
+                    let of = o0.checked_mul(scale)?.checked_add(offset)?;
+                    (sc != 0).then_some(SymExpr::Affine {
+                        src,
+                        scale: sc,
+                        offset: of,
+                    })
+                }
+                _ => None,
+            }
+        } else {
+            (scale != 0).then_some(SymExpr::Affine {
+                src: s,
+                scale,
+                offset,
+            })
+        }
+    };
+    let new: Option<SymExpr> = match inst {
+        Inst::Un {
+            op: UnOp::Mov,
+            a: Operand::Reg(s),
+            ..
+        } => {
+            if *s == dst {
+                sym[d] // `mov r, r` is the identity
+            } else {
+                compose(sym, *s, 1, 0)
+            }
+        }
+        Inst::Un {
+            op: UnOp::Neg,
+            a: Operand::Reg(s),
+            ..
+        } => compose(sym, *s, -1, 0),
+        Inst::Alu { op, a, b, .. } => {
+            let (ca, cb) = (cval(a), cval(b));
+            match (op, a, b) {
+                (AluOp::Add, Operand::Reg(s), _) if cb.is_some() => {
+                    compose(sym, *s, 1, cb.unwrap())
+                }
+                (AluOp::Add, _, Operand::Reg(s)) if ca.is_some() => {
+                    compose(sym, *s, 1, ca.unwrap())
+                }
+                (AluOp::Sub, Operand::Reg(s), _) if cb.is_some() => {
+                    compose(sym, *s, 1, -cb.unwrap())
+                }
+                (AluOp::Sub, _, Operand::Reg(s)) if ca.is_some() => {
+                    compose(sym, *s, -1, ca.unwrap())
+                }
+                (AluOp::Mul, Operand::Reg(s), _) if cb.is_some() => {
+                    compose(sym, *s, cb.unwrap(), 0)
+                }
+                (AluOp::Mul, _, Operand::Reg(s)) if ca.is_some() => {
+                    compose(sym, *s, ca.unwrap(), 0)
+                }
+                (AluOp::Shl, Operand::Reg(s), _) if matches!(cb, Some(k) if (0..64).contains(&k)) => {
+                    compose(sym, *s, 1i128 << cb.unwrap(), 0)
+                }
+                (AluOp::Div, Operand::Reg(s), _) if *s != dst && matches!(cb, Some(k) if k > 0) => {
+                    Some(SymExpr::DivBy {
+                        src: *s,
+                        d: cb.unwrap(),
+                    })
+                }
+                (AluOp::Rem, Operand::Reg(s), _) if *s != dst && matches!(cb, Some(k) if k > 0) => {
+                    Some(SymExpr::RemBy {
+                        src: *s,
+                        d: cb.unwrap(),
+                    })
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    };
+    sym[d] = new;
+    // Every other fact that read the destination referred to its *old*
+    // value; those equalities no longer hold.
+    for (q, f) in sym.iter_mut().enumerate() {
+        if q != d && f.is_some_and(|f| f.src() == dst) {
+            *f = None;
+        }
+    }
+}
+
+/// `floor(a / b)` for any nonzero `b`.
+fn dfloor(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// `ceil(a / b)` for any nonzero `b`.
+fn dceil(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Interval of `f(src)` given an interval for `src` (forward evaluation of
+/// a symbolic fact).
+fn fact_forward(f: SymExpr, src: Itv) -> Itv {
+    match f {
+        SymExpr::Affine { scale, offset, .. } => src.mul(Itv::exact(scale)).add(Itv::exact(offset)),
+        // Truncating division by a positive constant is monotone.
+        SymExpr::DivBy { d, .. } => Itv::new(src.lo / d, src.hi / d),
+        SymExpr::RemBy { d, .. } => {
+            if src.lo >= 0 {
+                Itv::new(0, src.hi.min(d - 1))
+            } else {
+                Itv::new(1 - d, d - 1)
+            }
+        }
+    }
+}
+
+/// The constraint a fact's *source* must satisfy for `f(src)` to land in
+/// `dst` — the backward direction of [`fact_forward`]. `src_cur` is the
+/// source's current interval (the `Rem` rule is only sound for
+/// known-non-negative sources). Returns `Itv::TOP` when nothing can be
+/// inferred.
+fn fact_backward(f: SymExpr, dst: Itv, src_cur: Itv) -> Itv {
+    match f {
+        SymExpr::Affine {
+            scale: s,
+            offset: o,
+            ..
+        } => {
+            // s*src + o in [lo, hi]  =>  src in the integer solutions.
+            let (lo, hi) = (dst.lo.saturating_sub(o), dst.hi.saturating_sub(o));
+            if s > 0 {
+                Itv::new(dceil(lo, s), dfloor(hi, s))
+            } else {
+                Itv::new(dceil(hi, s), dfloor(lo, s))
+            }
+        }
+        SymExpr::DivBy { d, .. } => {
+            // Truncating `src / d` in [lo, hi] with d > 0.
+            let (lo, hi) = (dst.lo, dst.hi);
+            let slo = if lo > 0 {
+                lo.saturating_mul(d)
+            } else {
+                lo.saturating_mul(d).saturating_sub(d - 1)
+            };
+            let shi = if hi >= 0 {
+                hi.saturating_mul(d).saturating_add(d - 1)
+            } else {
+                hi.saturating_mul(d)
+            };
+            Itv::new(slo, shi)
+        }
+        SymExpr::RemBy { .. } => {
+            // For src >= 0: src % d >= L >= 1 implies src >= L (a smaller
+            // non-negative src has src % d = src < L).
+            if dst.lo >= 1 && src_cur.lo >= 0 {
+                Itv::new(dst.lo, INF_POS)
+            } else {
+                Itv::TOP
+            }
+        }
+    }
+}
+
+/// Relational propagation after register `r`'s interval was narrowed:
+/// tightens the fact source `r` was computed from (backward) and
+/// re-derives every register whose fact reads `r` (forward), recursing a
+/// few levels so chains like `guard on i/n` → `i` → `a = 8*i` resolve.
+/// Returns `false` when a propagated interval became empty (the edge is
+/// infeasible).
+fn relate(st: &mut BState, r: usize, depth: u8) -> bool {
+    if depth == 0 {
+        return true;
+    }
+    if let Some(f) = st.sym[r] {
+        let s = f.src().0 as usize;
+        let met = st.itv[s].meet(fact_backward(f, st.itv[r], st.itv[s]));
+        if met != st.itv[s] {
+            st.itv[s] = met;
+            if met.is_empty() {
+                return false;
+            }
+            if !relate(st, s, depth - 1) {
+                return false;
+            }
+        }
+    }
+    for q in 0..st.sym.len() {
+        if q == r {
+            continue;
+        }
+        let Some(f) = st.sym[q] else { continue };
+        if f.src().0 as usize != r {
+            continue;
+        }
+        let met = st.itv[q].meet(fact_forward(f, st.itv[r]));
+        if met != st.itv[q] {
+            st.itv[q] = met;
+            if met.is_empty() {
+                return false;
+            }
+            if !relate(st, q, depth - 1) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 /// Abstract transfer for one instruction over a register state.
 fn itv_transfer(st: &mut [Itv], inst: &Inst) {
     let op_itv = |st: &[Itv], o: &Operand| match o {
@@ -1569,21 +1880,23 @@ fn itv_transfer(st: &mut [Itv], inst: &Inst) {
 }
 
 /// Narrows `st` under the assumption "`a cond b` holds", for integer
-/// conditions where one side is a register. Returns `false` when the
-/// narrowed state is infeasible (the edge is dead).
-fn itv_narrow(st: &mut [Itv], cond: CondOp, a: &Operand, b: &Operand) -> bool {
+/// conditions where one side is a register. After a register tightens, the
+/// constraint is propagated relationally through any live [`SymExpr`]
+/// facts (see [`relate`]). Returns `false` when the narrowed state is
+/// infeasible (the edge is dead).
+fn itv_narrow(st: &mut BState, cond: CondOp, a: &Operand, b: &Operand) -> bool {
     use CondOp::*;
     if matches!(cond, FEq | FNe | FLt | FLe | FGt | FGe) {
         return true;
     }
-    let val = |st: &[Itv], o: &Operand| match o {
-        Operand::Reg(r) => st[r.0 as usize],
+    let val = |st: &BState, o: &Operand| match o {
+        Operand::Reg(r) => st.itv[r.0 as usize],
         Operand::Imm(v) => Itv::exact(*v as i128),
         Operand::ImmF(_) => Itv::TOP,
     };
     // Narrow a register `r` under "r cond rhs".
-    let narrow_one = |st: &mut [Itv], r: Reg, cond: CondOp, rhs: Itv| {
-        let cur = st[r.0 as usize];
+    let narrow_one = |st: &mut BState, r: Reg, cond: CondOp, rhs: Itv| {
+        let cur = st.itv[r.0 as usize];
         let new = match cond {
             Eq => cur.meet(rhs),
             Ne if rhs.lo == rhs.hi && cur.lo == cur.hi && cur.lo == rhs.lo => {
@@ -1603,8 +1916,11 @@ fn itv_narrow(st: &mut [Itv], cond: CondOp, a: &Operand, b: &Operand) -> bool {
             Ge => cur.meet(Itv::new(rhs.lo, INF_POS)),
             _ => cur,
         };
-        st[r.0 as usize] = new;
-        !new.is_empty()
+        st.itv[r.0 as usize] = new;
+        if new.is_empty() {
+            return false;
+        }
+        new == cur || relate(st, r.0 as usize, 4)
     };
     // "a cond b" seen from b's side: swap the comparison.
     let swapped = match cond {
@@ -1624,8 +1940,9 @@ fn itv_narrow(st: &mut [Itv], cond: CondOp, a: &Operand, b: &Operand) -> bool {
     feasible
 }
 
-/// After this many joins into a block, changed bounds are widened straight
-/// to the sentinels so loop-carried arithmetic terminates quickly.
+/// After a register's bounds have changed this many times at a loop head,
+/// further changes are widened straight to the sentinels so loop-carried
+/// arithmetic terminates quickly.
 const WIDEN_AFTER: u32 = 3;
 
 /// Interval analysis over the address arithmetic, with per-edge
@@ -1634,6 +1951,13 @@ const WIDEN_AFTER: u32 = 3;
 /// warning, an unbounded address is a note. With no `mem_bytes` in the
 /// options (the build-time path, where the functional memory is not yet
 /// attached) only provably-negative addresses are reported.
+///
+/// The interval domain is augmented with per-register [`SymExpr`] facts
+/// (with constant operands resolved through write-once immediate
+/// registers), so a guard on a derived value — `i % n != 0`, `i / n > 0` —
+/// narrows the value it was derived from and everything recomputed from
+/// it. This is what lets kernels index `buf[i - n]` under an `i / n > 0`
+/// guard without a runtime clamp purely for the prover's benefit.
 fn pass_bounds(
     insts: &[Inst],
     cfg: &Cfg,
@@ -1643,6 +1967,7 @@ fn pass_bounds(
 ) {
     let nr = num_regs as usize;
     let nb = cfg.blocks().len();
+    let consts = write_once_imm_consts(insts, num_regs);
     let mut entry = vec![Itv::TOP; nr];
     entry[0] = match opts.nthreads {
         Some(n) => Itv::new(0, n as i128 - 1),
@@ -1654,8 +1979,46 @@ fn pass_bounds(
             None => Itv::new(1, INF_POS),
         };
     }
-    let mut in_state: Vec<Option<Vec<Itv>>> = vec![None; nb];
-    let mut joins = vec![0u32; nb];
+    let entry = BState {
+        itv: entry,
+        sym: vec![None; nr],
+    };
+    let mut in_state: Vec<Option<BState>> = vec![None; nb];
+    // Per-block, per-register join-change counters: a register is widened
+    // (at a loop head) only once ITS OWN bounds have changed WIDEN_AFTER
+    // times there. A per-block counter would let one churning induction
+    // variable trigger widening of an unrelated register that changed
+    // once (e.g. ping-pong buffer bases swapped by an outer loop).
+    let mut chg: Vec<Vec<u32>> = vec![vec![0; nr]; nb];
+    // Widening is only ever needed where a cycle can feed a value back
+    // into itself — the targets of back edges. Widening anywhere else
+    // (straight-line blocks, diamond reconvergence joins) would throw
+    // away edge-narrowed bounds (the loop guard's `i < n`, a relational
+    // narrow from a divergent arm) for no termination benefit: with loop
+    // heads capped, every other block's inputs eventually stabilize.
+    let mut loop_head = vec![false; nb];
+    {
+        let (white, grey, black) = (0u8, 1u8, 2u8);
+        let mut color = vec![white; nb];
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        color[0] = grey;
+        while let Some(top) = stack.last_mut() {
+            let (u, ei) = *top;
+            if ei < cfg.blocks()[u].succs.len() {
+                top.1 += 1;
+                let v = cfg.blocks()[u].succs[ei];
+                if color[v] == white {
+                    color[v] = grey;
+                    stack.push((v, 0));
+                } else if color[v] == grey {
+                    loop_head[v] = true;
+                }
+            } else {
+                color[u] = black;
+                stack.pop();
+            }
+        }
+    }
     in_state[0] = Some(entry);
     let mut work = vec![0usize];
     while let Some(bi) = work.pop() {
@@ -1665,23 +2028,22 @@ fn pass_bounds(
         let b = &cfg.blocks()[bi];
         let mut st = st0;
         for inst in &insts[b.start..b.end] {
-            itv_transfer(&mut st, inst);
+            itv_transfer(&mut st.itv, inst);
+            sym_transfer(&mut st.sym, inst, &consts);
         }
         // Propagate along each out-edge, narrowing on branch conditions.
         let last = b.end - 1;
-        let mut push = |succ: usize, st: Vec<Itv>, in_state: &mut Vec<Option<Vec<Itv>>>| {
-            let widen = joins[succ] >= WIDEN_AFTER;
+        let mut push = |succ: usize, st: BState, in_state: &mut Vec<Option<BState>>| {
             match &mut in_state[succ] {
                 None => {
                     in_state[succ] = Some(st);
-                    joins[succ] += 1;
                     work.push(succ);
                 }
                 Some(cur) => {
-                    let mut changed = false;
-                    for (c, n) in cur.iter_mut().zip(&st) {
+                    let mut itv_changed = false;
+                    for (ri, (c, n)) in cur.itv.iter_mut().zip(&st.itv).enumerate() {
                         let mut j = c.join(*n);
-                        if j != *c && widen {
+                        if j != *c && loop_head[succ] && chg[succ][ri] >= WIDEN_AFTER {
                             if j.lo < c.lo {
                                 j.lo = INF_NEG;
                             }
@@ -1691,11 +2053,22 @@ fn pass_bounds(
                         }
                         if j != *c {
                             *c = j;
-                            changed = true;
+                            chg[succ][ri] += 1;
+                            itv_changed = true;
                         }
                     }
-                    if changed {
-                        joins[succ] += 1;
+                    // A fact survives a join only if both paths agree on
+                    // it. Dropped facts re-queue the block but do not feed
+                    // the widening counters (facts only ever disappear, so
+                    // this terminates on its own).
+                    let mut sym_changed = false;
+                    for (c, n) in cur.sym.iter_mut().zip(&st.sym) {
+                        if c.is_some() && *c != *n {
+                            *c = None;
+                            sym_changed = true;
+                        }
+                    }
+                    if itv_changed || sym_changed {
                         work.push(succ);
                     }
                 }
@@ -1729,7 +2102,7 @@ fn pass_bounds(
     // Classify every memory access against the buffer space.
     for (bi, b) in cfg.blocks().iter().enumerate() {
         let Some(st0) = &in_state[bi] else { continue };
-        let mut st = st0.clone();
+        let mut st = st0.itv.clone();
         for pc in b.start..b.end {
             let inst = &insts[pc];
             if let Inst::Load { base, offset, .. } | Inst::Store { base, offset, .. } = inst {
@@ -2021,6 +2394,330 @@ mod tests {
                 && report.find(DwsLintCode::OobAccessPossible).is_none()
                 && report.find(DwsLintCode::UnprovenBounds).is_none(),
             "{report}"
+        );
+    }
+
+    #[test]
+    fn directed_rounding_division() {
+        assert_eq!(dfloor(7, 2), 3);
+        assert_eq!(dfloor(-7, 2), -4);
+        assert_eq!(dfloor(7, -2), -4);
+        assert_eq!(dceil(7, 2), 4);
+        assert_eq!(dceil(-7, 2), -3);
+        assert_eq!(dceil(-7, -2), 4);
+    }
+
+    #[test]
+    fn fact_backward_inverts_transfers() {
+        let r = Reg(0);
+        // -src in [2, 5]  =>  src in [-5, -2]
+        let f = SymExpr::Affine {
+            src: r,
+            scale: -1,
+            offset: 0,
+        };
+        assert_eq!(fact_backward(f, Itv::new(2, 5), Itv::TOP), Itv::new(-5, -2));
+        // trunc(src/4) in [1, 3]  =>  src in [4, 15]
+        let f = SymExpr::DivBy { src: r, d: 4 };
+        assert_eq!(fact_backward(f, Itv::new(1, 3), Itv::TOP), Itv::new(4, 15));
+        // trunc(src/4) in [-2, -1]  =>  src in [-11, -4]
+        assert_eq!(
+            fact_backward(f, Itv::new(-2, -1), Itv::TOP),
+            Itv::new(-11, -4)
+        );
+        // src % 8 >= 2 with src >= 0  =>  src >= 2
+        let f = SymExpr::RemBy { src: r, d: 8 };
+        assert_eq!(fact_backward(f, Itv::new(2, 7), Itv::new(0, 100)).lo, 2);
+        // ... but nothing without the sign premise.
+        assert_eq!(fact_backward(f, Itv::new(2, 7), Itv::TOP), Itv::TOP);
+    }
+
+    #[test]
+    fn write_once_const_table() {
+        let insts = vec![
+            Inst::Un {
+                op: UnOp::Mov,
+                dst: Reg(2),
+                a: Operand::Imm(8),
+            },
+            Inst::Un {
+                op: UnOp::Mov,
+                dst: Reg(3),
+                a: Operand::Imm(1),
+            },
+            Inst::Un {
+                op: UnOp::Mov,
+                dst: Reg(3),
+                a: Operand::Imm(2),
+            },
+            Inst::Halt,
+        ];
+        let consts = write_once_imm_consts(&insts, 4);
+        assert_eq!(consts[0], None, "tid is preloaded, never a constant");
+        assert_eq!(consts[2], Some(8));
+        assert_eq!(consts[3], None, "multiply-defined");
+    }
+
+    /// A guard on `tid / 4` must narrow `tid` itself, so an address
+    /// recomputed from `tid` inside the branch proves in-bounds with no
+    /// runtime clamp (the HotSpot "up neighbor" shape).
+    #[test]
+    fn div_guard_narrows_source_relationally() {
+        let tid = Operand::Reg(Reg(0));
+        let insts = vec![
+            Inst::Alu {
+                op: AluOp::Div,
+                dst: Reg(2),
+                a: tid,
+                b: Operand::Imm(4),
+            },
+            Inst::Branch {
+                cond: CondOp::Le,
+                a: Operand::Reg(Reg(2)),
+                b: Operand::Imm(0),
+                target: 5,
+            },
+            // r2 = tid/4 >= 1 here, so tid >= 4 and (tid-4)*8 in [0, 88].
+            Inst::Alu {
+                op: AluOp::Sub,
+                dst: Reg(3),
+                a: tid,
+                b: Operand::Imm(4),
+            },
+            Inst::Alu {
+                op: AluOp::Mul,
+                dst: Reg(3),
+                a: Operand::Reg(Reg(3)),
+                b: Operand::Imm(8),
+            },
+            Inst::Store {
+                src: tid,
+                base: Reg(3),
+                offset: 0,
+            },
+            Inst::Halt,
+        ];
+        let opts = VerifyOptions::default()
+            .with_mem_bytes(128)
+            .with_nthreads(16);
+        let (report, _) = verify(&insts, &opts);
+        assert!(
+            report.find(DwsLintCode::OobAccess).is_none()
+                && report.find(DwsLintCode::OobAccessPossible).is_none()
+                && report.find(DwsLintCode::UnprovenBounds).is_none(),
+            "{report}"
+        );
+    }
+
+    /// A guard on `tid % 4` proves `tid >= 1` (the HotSpot "left
+    /// neighbor" shape).
+    #[test]
+    fn rem_guard_narrows_source_relationally() {
+        let tid = Operand::Reg(Reg(0));
+        let insts = vec![
+            Inst::Alu {
+                op: AluOp::Rem,
+                dst: Reg(2),
+                a: tid,
+                b: Operand::Imm(4),
+            },
+            Inst::Branch {
+                cond: CondOp::Le,
+                a: Operand::Reg(Reg(2)),
+                b: Operand::Imm(0),
+                target: 5,
+            },
+            // tid % 4 >= 1 and tid >= 0, so tid >= 1 and (tid-1)*8 >= 0.
+            Inst::Alu {
+                op: AluOp::Sub,
+                dst: Reg(3),
+                a: tid,
+                b: Operand::Imm(1),
+            },
+            Inst::Alu {
+                op: AluOp::Mul,
+                dst: Reg(3),
+                a: Operand::Reg(Reg(3)),
+                b: Operand::Imm(8),
+            },
+            Inst::Store {
+                src: tid,
+                base: Reg(3),
+                offset: 0,
+            },
+            Inst::Halt,
+        ];
+        let opts = VerifyOptions::default()
+            .with_mem_bytes(128)
+            .with_nthreads(16);
+        let (report, _) = verify(&insts, &opts);
+        assert!(
+            report.find(DwsLintCode::OobAccess).is_none()
+                && report.find(DwsLintCode::OobAccessPossible).is_none()
+                && report.find(DwsLintCode::UnprovenBounds).is_none(),
+            "{report}"
+        );
+    }
+
+    /// A scale held in a write-once immediate register carries the same
+    /// affine fact as a literal, and a later guard on the *source*
+    /// re-narrows the already-computed derived value (forward direction).
+    #[test]
+    fn write_once_scale_renarrowed_forward() {
+        let tid = Operand::Reg(Reg(0));
+        let insts = vec![
+            Inst::Un {
+                op: UnOp::Mov,
+                dst: Reg(2),
+                a: Operand::Imm(8),
+            },
+            Inst::Alu {
+                op: AluOp::Mul,
+                dst: Reg(3),
+                a: tid,
+                b: Operand::Reg(Reg(2)),
+            },
+            Inst::Branch {
+                cond: CondOp::Ge,
+                a: tid,
+                b: Operand::Imm(4),
+                target: 4,
+            },
+            // tid < 4 here, so r3 = 8*tid re-narrows to [0, 24].
+            Inst::Store {
+                src: tid,
+                base: Reg(3),
+                offset: 0,
+            },
+            Inst::Halt,
+        ];
+        let opts = VerifyOptions::default()
+            .with_mem_bytes(32)
+            .with_nthreads(16);
+        let (report, _) = verify(&insts, &opts);
+        assert!(
+            report.find(DwsLintCode::OobAccess).is_none()
+                && report.find(DwsLintCode::OobAccessPossible).is_none()
+                && report.find(DwsLintCode::UnprovenBounds).is_none(),
+            "{report}"
+        );
+    }
+
+    /// Redefining a fact's source kills the fact: the guard must NOT
+    /// narrow the stale source, so the straddling access stays reported.
+    #[test]
+    fn fact_killed_on_source_redefinition() {
+        let tid = Operand::Reg(Reg(0));
+        let insts = vec![
+            // r4 = tid; r3 = r4/4; r4 = 99 (kills the DivBy fact).
+            Inst::Un {
+                op: UnOp::Mov,
+                dst: Reg(4),
+                a: tid,
+            },
+            Inst::Alu {
+                op: AluOp::Div,
+                dst: Reg(3),
+                a: Operand::Reg(Reg(4)),
+                b: Operand::Imm(4),
+            },
+            Inst::Un {
+                op: UnOp::Mov,
+                dst: Reg(4),
+                a: Operand::Imm(99),
+            },
+            Inst::Branch {
+                cond: CondOp::Le,
+                a: Operand::Reg(Reg(3)),
+                b: Operand::Imm(0),
+                target: 7,
+            },
+            Inst::Alu {
+                op: AluOp::Sub,
+                dst: Reg(5),
+                a: tid,
+                b: Operand::Imm(4),
+            },
+            Inst::Alu {
+                op: AluOp::Mul,
+                dst: Reg(5),
+                a: Operand::Reg(Reg(5)),
+                b: Operand::Imm(8),
+            },
+            Inst::Store {
+                src: tid,
+                base: Reg(5),
+                offset: 0,
+            },
+            Inst::Halt,
+        ];
+        let opts = VerifyOptions::default()
+            .with_mem_bytes(128)
+            .with_nthreads(16);
+        let (report, _) = verify(&insts, &opts);
+        assert!(
+            report.find(DwsLintCode::OobAccessPossible).is_some(),
+            "the stale fact must not prove this access: {report}"
+        );
+    }
+
+    /// A fact only survives a CFG join when both incoming paths agree on
+    /// it; mismatched facts must not narrow after the join.
+    #[test]
+    fn join_drops_mismatched_facts() {
+        let tid = Operand::Reg(Reg(0));
+        let insts = vec![
+            Inst::Branch {
+                cond: CondOp::Ge,
+                a: tid,
+                b: Operand::Imm(8),
+                target: 3,
+            },
+            Inst::Alu {
+                op: AluOp::Div,
+                dst: Reg(2),
+                a: tid,
+                b: Operand::Imm(8),
+            },
+            Inst::Jump { target: 4 },
+            Inst::Alu {
+                op: AluOp::Div,
+                dst: Reg(2),
+                a: tid,
+                b: Operand::Imm(2),
+            },
+            Inst::Branch {
+                cond: CondOp::Le,
+                a: Operand::Reg(Reg(2)),
+                b: Operand::Imm(0),
+                target: 8,
+            },
+            Inst::Alu {
+                op: AluOp::Sub,
+                dst: Reg(3),
+                a: tid,
+                b: Operand::Imm(2),
+            },
+            Inst::Alu {
+                op: AluOp::Mul,
+                dst: Reg(3),
+                a: Operand::Reg(Reg(3)),
+                b: Operand::Imm(8),
+            },
+            Inst::Store {
+                src: tid,
+                base: Reg(3),
+                offset: 0,
+            },
+            Inst::Halt,
+        ];
+        let opts = VerifyOptions::default()
+            .with_mem_bytes(128)
+            .with_nthreads(16);
+        let (report, _) = verify(&insts, &opts);
+        assert!(
+            report.find(DwsLintCode::OobAccessPossible).is_some(),
+            "divergent facts must die at the join: {report}"
         );
     }
 

@@ -1,0 +1,18 @@
+//! Disassembler round-trip over the real benchmark kernels: every
+//! hand-built program must render to text that reparses to the identical
+//! instruction stream. (Generated-kernel round-trips live in the `asm`
+//! unit tests; this covers the production kernels, which exercise float
+//! immediates, negative offsets, and deep branch nests.)
+
+use dws_isa::{parse_asm, render_asm};
+use dws_kernels::{Benchmark, Scale};
+
+#[test]
+fn render_round_trips_every_benchmark_kernel() {
+    for bench in Benchmark::ALL {
+        let spec = bench.build(Scale::Test, 7);
+        let rendered = render_asm(&spec.program);
+        let p2 = parse_asm(&rendered).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(spec.program.insts(), p2.insts(), "{}", spec.name);
+    }
+}

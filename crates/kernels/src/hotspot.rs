@@ -131,11 +131,12 @@ pub fn program(n: usize, iters: usize) -> Program {
                     Operand::Reg(r),
                     Operand::Imm(0),
                     |b| {
-                        // Runtime no-op clamp (r > 0 implies a - n*8 >= src),
-                        // but lets the static verifier prove the gather
-                        // in-bounds without relational reasoning.
-                        b.add(na, Operand::Reg(a), Operand::Imm(-(ni * 8)));
-                        b.imax(na, Operand::Reg(na), Operand::Reg(src));
+                        // r = i/n > 0 narrows i >= n relationally, so the
+                        // address recomputed from i proves in-bounds with
+                        // no clamp.
+                        b.sub(na, Operand::Reg(i), Operand::Imm(ni));
+                        b.mul(na, Operand::Reg(na), Operand::Imm(8));
+                        b.add(na, Operand::Reg(na), Operand::Reg(src));
                         b.load(nb, na, 0);
                     },
                     |b| {
@@ -162,9 +163,10 @@ pub fn program(n: usize, iters: usize) -> Program {
                     Operand::Reg(c),
                     Operand::Imm(0),
                     |b| {
-                        // Same provability clamp: c > 0 implies a - 8 >= src.
-                        b.add(na, Operand::Reg(a), Operand::Imm(-8));
-                        b.imax(na, Operand::Reg(na), Operand::Reg(src));
+                        // c = i%n > 0 plus i >= 0 narrows i >= 1.
+                        b.sub(na, Operand::Reg(i), Operand::Imm(1));
+                        b.mul(na, Operand::Reg(na), Operand::Imm(8));
+                        b.add(na, Operand::Reg(na), Operand::Reg(src));
                         b.load(nb, na, 0);
                     },
                     |b| {

@@ -1,0 +1,193 @@
+//! One-shot generator for `crates/sim/tests/corpus/` (output is checked
+//! in; this example exists so the corpus can be regenerated after a
+//! generator or ISA change). Scans seeds for kernels exercising the
+//! generator's hairiest shapes, plus minimizes one injected failure per
+//! perturbation so the corpus pins the minimizer's output format too.
+//!
+//! Usage: `cargo run -p dws-sim --example gen_corpus -- <out-dir>`
+
+use dws_isa::gen::{self, GenConfig, GenStmt, KernelAst};
+use dws_isa::render_asm;
+use dws_sim::fuzz::{minimize, FuzzConfig, Perturbation, FUZZ_THREADS};
+
+fn any_stmt(stmts: &[GenStmt], pred: &dyn Fn(&GenStmt) -> bool) -> bool {
+    stmts.iter().any(|s| {
+        pred(s)
+            || match s {
+                GenStmt::Diamond { then_b, else_b, .. } => {
+                    any_stmt(then_b, pred) || any_stmt(else_b, pred)
+                }
+                GenStmt::Loop { body, .. } => any_stmt(body, pred),
+                _ => false,
+            }
+    })
+}
+
+fn count_stmts(stmts: &[GenStmt], pred: &dyn Fn(&GenStmt) -> bool) -> usize {
+    stmts
+        .iter()
+        .map(|s| {
+            usize::from(pred(s))
+                + match s {
+                    GenStmt::Diamond { then_b, else_b, .. } => {
+                        count_stmts(then_b, pred) + count_stmts(else_b, pred)
+                    }
+                    GenStmt::Loop { body, .. } => count_stmts(body, pred),
+                    _ => 0,
+                }
+        })
+        .sum()
+}
+
+fn nested_diamond(s: &GenStmt) -> bool {
+    match s {
+        GenStmt::Diamond { then_b, else_b, .. } => {
+            any_stmt(then_b, &|x| matches!(x, GenStmt::Diamond { .. }))
+                || any_stmt(else_b, &|x| matches!(x, GenStmt::Diamond { .. }))
+        }
+        _ => false,
+    }
+}
+
+fn loop_with_diamond(s: &GenStmt) -> bool {
+    match s {
+        GenStmt::Loop { body, .. } => any_stmt(body, &|x| matches!(x, GenStmt::Diamond { .. })),
+        _ => false,
+    }
+}
+
+fn is_mem(s: &GenStmt) -> bool {
+    matches!(
+        s,
+        GenStmt::Gather { .. } | GenStmt::LoadPriv { .. } | GenStmt::StorePriv { .. }
+    )
+}
+
+/// First seed matching `want` that hasn't been claimed by an earlier
+/// profile, so the corpus holds distinct kernels.
+fn first_seed(
+    cfg: &GenConfig,
+    used: &mut Vec<u64>,
+    want: &dyn Fn(&KernelAst) -> bool,
+) -> (u64, KernelAst) {
+    for seed in 0..10_000 {
+        if used.contains(&seed) {
+            continue;
+        }
+        let ast = gen::generate(seed, cfg);
+        if want(&ast) {
+            used.push(seed);
+            return (seed, ast);
+        }
+    }
+    panic!("no seed under 10000 matches the requested shape");
+}
+
+fn write_kernel(dir: &str, seed: u64, tag: &str, why: &str, ast: &KernelAst) {
+    let program = ast.compile().expect("corpus kernels compile");
+    let path = format!("{dir}/seed-{seed:05}-{tag}.asm");
+    let header = format!(
+        "; fuzz corpus reproducer: {why}\n\
+         ; generator seed {seed}, {} threads, {} statements, {} instructions\n\
+         ; replay: dws-cli fuzz --seed-start {seed} --seeds 1 --minimize\n",
+        ast.nthreads,
+        ast.stmt_count(),
+        program.len(),
+    );
+    std::fs::write(&path, format!("{header}{}", render_asm(&program))).expect("write corpus file");
+    println!("{path}: {} insts", program.len());
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .expect("usage: gen_corpus <out-dir>");
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    let gcfg = GenConfig::default();
+    let mut used: Vec<u64> = Vec::new();
+    assert_eq!(gcfg.nthreads, FUZZ_THREADS);
+
+    let (seed, ast) = first_seed(&gcfg, &mut used, &|a| any_stmt(&a.stmts, &nested_diamond));
+    write_kernel(
+        &dir,
+        seed,
+        "nested-diamond",
+        "diamond inside a diamond arm",
+        &ast,
+    );
+
+    let (seed, ast) = first_seed(&gcfg, &mut used, &|a| {
+        any_stmt(&a.stmts, &loop_with_diamond)
+    });
+    write_kernel(
+        &dir,
+        seed,
+        "loop-diamond",
+        "divergent diamond inside a uniform loop",
+        &ast,
+    );
+
+    let (seed, ast) = first_seed(&gcfg, &mut used, &|a| {
+        any_stmt(&a.stmts, &|s| matches!(s, GenStmt::Barrier))
+            && any_stmt(&a.stmts, &|s| matches!(s, GenStmt::Loop { .. }))
+    });
+    write_kernel(
+        &dir,
+        seed,
+        "barrier-loop",
+        "global barrier alongside uniform loops",
+        &ast,
+    );
+
+    let (seed, ast) = first_seed(&gcfg, &mut used, &|a| count_stmts(&a.stmts, &is_mem) >= 6);
+    write_kernel(
+        &dir,
+        seed,
+        "memory-heavy",
+        "6+ gather/private memory operations",
+        &ast,
+    );
+
+    let (seed, ast) = first_seed(&gcfg, &mut used, &|a| {
+        any_stmt(&a.stmts, &|s| match s {
+            GenStmt::Diamond { then_b, else_b, .. } => {
+                any_stmt(then_b, &is_mem) || any_stmt(else_b, &is_mem)
+            }
+            _ => false,
+        })
+    });
+    write_kernel(
+        &dir,
+        seed,
+        "divergent-gather",
+        "memory operations under divergence",
+        &ast,
+    );
+
+    // Minimized reproducers: inject each test-only perturbation, minimize
+    // the resulting failure, and pin the shrunk kernel. These replay clean
+    // (the perturbation lives in the harness, not the kernel); they pin
+    // the minimizer's fixed point and output format.
+    for (perturb, tag, why) in [
+        (
+            Perturbation::SkewStepped,
+            "min-stepped-skew",
+            "minimized from an injected stepped-axis cycle skew",
+        ),
+        (
+            Perturbation::CorruptChaos,
+            "min-chaos-corrupt",
+            "minimized from an injected chaos-axis memory corruption",
+        ),
+    ] {
+        let cfg = FuzzConfig {
+            perturb,
+            ..FuzzConfig::default()
+        };
+        let seed = 0;
+        let ast = gen::generate(seed, &cfg.gen);
+        let (small, finding) = minimize(&ast, seed, &cfg).expect("perturbed kernel fails");
+        println!("{tag}: class {}", finding.class.label());
+        write_kernel(&dir, seed, tag, why, &small);
+    }
+}

@@ -110,6 +110,53 @@ impl SimConfig {
     pub fn total_threads(&self) -> u64 {
         (self.n_wpus * self.width * self.n_warps) as u64
     }
+
+    /// The livelock window actually enforced by a run: the
+    /// `DWS_WATCHDOG_LIVELOCK` environment variable (processed cycles, at
+    /// least 1) when set and valid, else
+    /// [`livelock_window`](SimConfig::livelock_window). Malformed or zero
+    /// values warn once and fall back, mirroring `DWS_JOBS` handling.
+    pub fn effective_livelock_window(&self) -> u64 {
+        env_watchdog_u64("DWS_WATCHDOG_LIVELOCK")
+            .unwrap_or(self.livelock_window)
+            .max(1)
+    }
+
+    /// The host wall-clock budget actually enforced by a run:
+    /// `DWS_WATCHDOG_HOST_MS` (milliseconds, >= 1) when set and valid,
+    /// else [`host_budget`](SimConfig::host_budget). The override can
+    /// impose a budget on a config that has none; it cannot remove one.
+    pub fn effective_host_budget(&self) -> Option<Duration> {
+        env_watchdog_u64("DWS_WATCHDOG_HOST_MS")
+            .map(Duration::from_millis)
+            .or(self.host_budget)
+    }
+}
+
+/// Reads a watchdog override variable: `Some(n)` for a valid `n >= 1`,
+/// `None` (after a once-only warning for malformed input) otherwise.
+fn env_watchdog_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    match parse_watchdog_value(&raw) {
+        Ok(n) => Some(n),
+        Err(why) => {
+            crate::sweep::warn_once(&format!(
+                "{var}={raw:?} {why}; using the configured watchdog value"
+            ));
+            None
+        }
+    }
+}
+
+/// Pure watchdog-value parser (split out so tests need not mutate the
+/// process environment): accepts a positive integer, rejects zero and
+/// non-numeric input with a human-readable reason.
+pub(crate) fn parse_watchdog_value(raw: &str) -> Result<u64, &'static str> {
+    match raw.trim().parse::<u64>() {
+        Ok(0) => Err("is zero (need >= 1)"),
+        Ok(n) => Ok(n),
+        Err(_) => Err("is not a positive integer"),
+    }
 }
 
 /// Why a simulation failed.
@@ -230,6 +277,32 @@ mod tests {
         assert_eq!(c.mem.l1d.banks, 8);
         assert_eq!(c.sched_slots, 12);
         assert_eq!(c.total_threads(), 2 * 8 * 6);
+    }
+
+    #[test]
+    fn watchdog_value_parsing() {
+        assert_eq!(parse_watchdog_value("500"), Ok(500));
+        assert_eq!(parse_watchdog_value("  42\n"), Ok(42));
+        assert!(parse_watchdog_value("0").is_err());
+        assert!(parse_watchdog_value("-3").is_err());
+        assert!(parse_watchdog_value("fast").is_err());
+        assert!(parse_watchdog_value("1.5").is_err());
+        assert!(parse_watchdog_value("").is_err());
+    }
+
+    #[test]
+    fn effective_watchdogs_fall_back_to_config() {
+        // The DWS_WATCHDOG_* variables are unset under `cargo test`; the
+        // env-override path itself is covered by the CLI fuzz smoke run,
+        // which sets them explicitly.
+        let mut c = SimConfig::paper(Policy::conventional());
+        c.livelock_window = 1234;
+        assert_eq!(c.effective_livelock_window(), 1234);
+        assert_eq!(c.effective_host_budget(), None);
+        c.host_budget = Some(Duration::from_millis(250));
+        assert_eq!(c.effective_host_budget(), Some(Duration::from_millis(250)));
+        c.livelock_window = 0; // still clamped to >= 1
+        assert_eq!(c.effective_livelock_window(), 1);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 pub mod config;
 pub mod diag;
+pub mod fuzz;
 pub mod lint;
 pub mod machine;
 pub mod metrics;
@@ -28,6 +29,10 @@ pub mod sweep;
 
 pub use config::{SimConfig, SimError};
 pub use diag::{DiagnosticReport, WpuDiag};
+pub use fuzz::{
+    check_program, run_campaign, Axis, FailureClass, FuzzConfig, FuzzFailure, FuzzFinding,
+    FuzzReport, Perturbation, WatchdogKind,
+};
 pub use lint::lint_spec;
 pub use machine::Machine;
 pub use metrics::RunResult;

@@ -177,7 +177,7 @@ impl Machine {
         }
     }
 
-    fn run_serial(self, config: &SimConfig) -> Result<RunResult, SimError> {
+    pub(crate) fn run_serial(self, config: &SimConfig) -> Result<RunResult, SimError> {
         let mut m = self;
         let n = m.wpus.len();
         // The next cycle each WPU must tick; `None` once it is done (or,
@@ -194,11 +194,11 @@ impl Machine {
         // retired instruction. Sleeping across an event gap is one
         // iteration, so a legitimately long memory stall cannot trip it —
         // only a dense retire-free spin (livelock) can.
-        let livelock_window = config.livelock_window.max(1);
+        let livelock_window = config.effective_livelock_window();
         let mut last_insts = 0u64;
         let mut quiet_iters = 0u64;
         let host_deadline = config
-            .host_budget
+            .effective_host_budget()
             .map(|b| (std::time::Instant::now() + b, b));
         let mut iters = 0u64;
         loop {

@@ -260,11 +260,11 @@ pub(crate) fn run_parallel(
     let mut adapt_at: Vec<Option<Cycle>> = m.wpus.iter().map(Wpu::next_adapt_boundary).collect();
     let mut charged: Vec<Cycle> = vec![Cycle::ZERO; n];
     let mut needs_commit: Vec<bool> = vec![false; n];
-    let livelock_window = config.livelock_window.max(1);
+    let livelock_window = config.effective_livelock_window();
     let mut last_insts = 0u64;
     let mut quiet_iters = 0u64;
     let host_deadline = config
-        .host_budget
+        .effective_host_budget()
         .map(|b| (std::time::Instant::now() + b, b));
     let mut iters = 0u64;
     let shared = PoolShared {

@@ -102,7 +102,7 @@ pub(crate) fn env_worker_count(var: &str) -> Option<usize> {
 }
 
 /// Prints one warning to stderr, at most once per process.
-fn warn_once(msg: &str) {
+pub(crate) fn warn_once(msg: &str) {
     static WARNED: std::sync::Once = std::sync::Once::new();
     WARNED.call_once(|| eprintln!("warning: {msg}"));
 }
@@ -128,7 +128,7 @@ pub fn failure_summary(outcomes: &[SweepOutcome]) -> Option<String> {
 
 /// Renders a `catch_unwind` payload: panics carry a `&str` or `String`
 /// message in practice; anything else gets a placeholder.
-fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = p.downcast_ref::<String>() {

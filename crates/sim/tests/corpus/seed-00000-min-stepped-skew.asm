@@ -1,0 +1,29 @@
+; fuzz corpus reproducer: minimized from an injected stepped-axis cycle skew
+; generator seed 0, 32 threads, 0 statements, 26 instructions
+; replay: dws-cli fuzz --seed-start 0 --seeds 1 --minimize
+	li r10, 63
+	mul r9, r0, 1
+	add r2, r9, 1
+	mul r9, r0, 3
+	add r3, r9, 8
+	mul r9, r0, 5
+	add r4, r9, 15
+	mul r9, r0, 7
+	add r5, r9, 22
+	mul r9, r0, 9
+	add r6, r9, 29
+	mul r9, r0, 11
+	add r7, r9, 36
+	and r8, r2, r10
+	mul r8, r8, 8
+	ld r3, [r8]
+	mov r9, r2
+	xor r9, r9, r3
+	xor r9, r9, r4
+	xor r9, r9, r5
+	xor r9, r9, r6
+	xor r9, r9, r7
+	add r8, r0, 192
+	mul r8, r8, 8
+	st r9, [r8]
+	halt

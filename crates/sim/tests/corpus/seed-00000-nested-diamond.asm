@@ -1,0 +1,89 @@
+; fuzz corpus reproducer: diamond inside a diamond arm
+; generator seed 0, 32 threads, 24 statements, 86 instructions
+; replay: dws-cli fuzz --seed-start 0 --seeds 1 --minimize
+	li r10, 63
+	mul r9, r0, 1
+	add r2, r9, 1
+	mul r9, r0, 3
+	add r3, r9, 8
+	mul r9, r0, 5
+	add r4, r9, 15
+	mul r9, r0, 7
+	add r5, r9, 22
+	mul r9, r0, 9
+	add r6, r9, 29
+	mul r9, r0, 11
+	add r7, r9, 36
+	and r8, r2, r10
+	mul r8, r8, 8
+	ld r3, [r8]
+	add r6, r3, r5
+	li r11, 0
+L18:	bge r11, 2, L32
+	and r8, r4, r10
+	mul r8, r8, 8
+	ld r5, [r8]
+	mul r8, r0, 4
+	add r8, r8, 66
+	mul r8, r8, 8
+	st r3, [r8]
+	mul r8, r0, 4
+	add r8, r8, 64
+	mul r8, r8, 8
+	ld r6, [r8]
+	add r11, r11, 1
+	jmp L18
+L32:	and r8, r3, r10
+	mul r8, r8, 8
+	ld r4, [r8]
+	bar
+	add r2, r6, r3
+	beq r4, -3, L46
+	li r12, 0
+L39:	bge r12, 3, L45
+	and r8, r6, r10
+	mul r8, r8, 8
+	ld r2, [r8]
+	add r12, r12, 1
+	jmp L39
+L45:	jmp L62
+L46:	ble r5, 5, L58
+	mul r8, r0, 4
+	add r8, r8, 65
+	mul r8, r8, 8
+	ld r6, [r8]
+	li r13, 0
+L52:	bge r13, 1, L56
+	sub r4, r5, 12
+	add r13, r13, 1
+	jmp L52
+L56:	xor r6, r2, 12
+	jmp L58
+L58:	mul r8, r0, 4
+	add r8, r8, 65
+	mul r8, r8, 8
+	st r4, [r8]
+L62:	beq r3, 26, L76
+	sub r4, r6, -2
+	bge r6, 53, L69
+	and r8, r5, r10
+	mul r8, r8, 8
+	ld r2, [r8]
+	jmp L74
+L69:	li r14, 0
+L70:	bge r14, 1, L74
+	add r4, r3, 9
+	add r14, r14, 1
+	jmp L70
+L74:	xor r6, r2, -1
+	jmp L76
+L76:	mov r9, r2
+	xor r9, r9, r3
+	xor r9, r9, r4
+	xor r9, r9, r5
+	xor r9, r9, r6
+	xor r9, r9, r7
+	add r8, r0, 192
+	mul r8, r8, 8
+	st r9, [r8]
+	halt

@@ -1,0 +1,70 @@
+; fuzz corpus reproducer: global barrier alongside uniform loops
+; generator seed 1, 32 threads, 18 statements, 67 instructions
+; replay: dws-cli fuzz --seed-start 1 --seeds 1 --minimize
+	li r10, 63
+	mul r9, r0, 1
+	add r2, r9, 1
+	mul r9, r0, 3
+	add r3, r9, 8
+	mul r9, r0, 5
+	add r4, r9, 15
+	mul r9, r0, 7
+	add r5, r9, 22
+	mul r9, r0, 9
+	add r6, r9, 29
+	mul r9, r0, 11
+	add r7, r9, 36
+	and r8, r2, r10
+	mul r8, r8, 8
+	ld r3, [r8]
+	bar
+	and r8, r6, r10
+	mul r8, r8, 8
+	ld r5, [r8]
+	xor r5, r5, r4
+	min r5, r5, -15
+	bne r3, -5, L52
+	and r6, r4, r4
+	li r11, 0
+L25:	bge r11, 2, L51
+	mul r8, r0, 4
+	add r8, r8, 66
+	mul r8, r8, 8
+	ld r6, [r8]
+	li r12, 0
+L31:	bge r12, 3, L37
+	max r2, r6, r2
+	xor r6, r2, -12
+	xor r6, r2, 0
+	add r12, r12, 1
+	jmp L31
+L37:	li r13, 0
+L38:	bge r13, 2, L49
+	add r2, r4, r2
+	mul r8, r0, 4
+	add r8, r8, 66
+	mul r8, r8, 8
+	st r6, [r8]
+	and r8, r5, r10
+	mul r8, r8, 8
+	ld r4, [r8]
+	add r13, r13, 1
+	jmp L38
+L49:	add r11, r11, 1
+	jmp L25
+L51:	jmp L57
+L52:	sub r5, r4, 6
+	mul r8, r0, 4
+	add r8, r8, 64
+	mul r8, r8, 8
+	st r2, [r8]
+L57:	mov r9, r2
+	xor r9, r9, r3
+	xor r9, r9, r4
+	xor r9, r9, r5
+	xor r9, r9, r6
+	xor r9, r9, r7
+	add r8, r0, 192
+	mul r8, r8, 8
+	st r9, [r8]
+	halt

@@ -1,0 +1,86 @@
+; fuzz corpus reproducer: divergent diamond inside a uniform loop
+; generator seed 2, 32 threads, 23 statements, 83 instructions
+; replay: dws-cli fuzz --seed-start 2 --seeds 1 --minimize
+	li r10, 63
+	mul r9, r0, 1
+	add r2, r9, 1
+	mul r9, r0, 3
+	add r3, r9, 8
+	mul r9, r0, 5
+	add r4, r9, 15
+	mul r9, r0, 7
+	add r5, r9, 22
+	mul r9, r0, 9
+	add r6, r9, 29
+	mul r9, r0, 11
+	add r7, r9, 36
+	and r8, r2, r10
+	mul r8, r8, 8
+	ld r3, [r8]
+	and r8, r3, r10
+	mul r8, r8, 8
+	ld r5, [r8]
+	li r11, 0
+L20:	bge r11, 3, L24
+	and r4, r3, -11
+	add r11, r11, 1
+	jmp L20
+L24:	bge r3, -5, L36
+	or r6, r4, -17
+	li r12, 0
+L27:	bge r12, 2, L35
+	li r13, 0
+L29:	bge r13, 2, L33
+	sub r6, r5, r2
+	add r13, r13, 1
+	jmp L29
+L33:	add r12, r12, 1
+	jmp L27
+L35:	jmp L68
+L36:	and r8, r6, r10
+	mul r8, r8, 8
+	ld r6, [r8]
+	li r14, 0
+L40:	bge r14, 2, L68
+	li r15, 0
+L42:	bge r15, 2, L48
+	and r8, r4, r10
+	mul r8, r8, 8
+	ld r3, [r8]
+	add r15, r15, 1
+	jmp L42
+L48:	li r16, 0
+L49:	bge r16, 2, L60
+	and r2, r4, r4
+	mul r8, r0, 4
+	add r8, r8, 64
+	mul r8, r8, 8
+	st r3, [r8]
+	and r8, r5, r10
+	mul r8, r8, 8
+	ld r6, [r8]
+	add r16, r16, 1
+	jmp L49
+L60:	bge r4, 46, L65
+	add r2, r3, r6
+	xor r5, r2, 14
+	xor r6, r3, r3
+	jmp L66
+L65:	xor r2, r2, 1
+L66:	add r14, r14, 1
+	jmp L40
+L68:	bar
+	mul r8, r0, 4
+	add r8, r8, 65
+	mul r8, r8, 8
+	st r3, [r8]
+	mov r9, r2
+	xor r9, r9, r3
+	xor r9, r9, r4
+	xor r9, r9, r5
+	xor r9, r9, r6
+	xor r9, r9, r7
+	add r8, r0, 192
+	mul r8, r8, 8
+	st r9, [r8]
+	halt

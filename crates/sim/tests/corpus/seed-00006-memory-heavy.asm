@@ -1,0 +1,92 @@
+; fuzz corpus reproducer: 6+ gather/private memory operations
+; generator seed 6, 32 threads, 24 statements, 89 instructions
+; replay: dws-cli fuzz --seed-start 6 --seeds 1 --minimize
+	li r10, 63
+	mul r9, r0, 1
+	add r2, r9, 1
+	mul r9, r0, 3
+	add r3, r9, 8
+	mul r9, r0, 5
+	add r4, r9, 15
+	mul r9, r0, 7
+	add r5, r9, 22
+	mul r9, r0, 9
+	add r6, r9, 29
+	mul r9, r0, 11
+	add r7, r9, 36
+	and r8, r2, r10
+	mul r8, r8, 8
+	ld r3, [r8]
+	and r2, r6, r3
+	li r11, 0
+L18:	bge r11, 1, L32
+	li r12, 0
+L20:	bge r12, 2, L26
+	and r8, r3, r10
+	mul r8, r8, 8
+	ld r6, [r8]
+	add r12, r12, 1
+	jmp L20
+L26:	mul r8, r0, 4
+	add r8, r8, 64
+	mul r8, r8, 8
+	ld r5, [r8]
+	add r11, r11, 1
+	jmp L18
+L32:	bgt r5, 57, L38
+	mul r8, r0, 4
+	add r8, r8, 66
+	mul r8, r8, 8
+	st r6, [r8]
+	jmp L64
+L38:	bgt r6, 28, L51
+	li r13, 0
+L40:	bge r13, 3, L47
+	mul r8, r0, 4
+	add r8, r8, 64
+	mul r8, r8, 8
+	st r6, [r8]
+	add r13, r13, 1
+	jmp L40
+L47:	and r8, r2, r10
+	mul r8, r8, 8
+	ld r3, [r8]
+	jmp L64
+L51:	li r14, 0
+L52:	bge r14, 3, L56
+	xor r6, r2, r3
+	add r14, r14, 1
+	jmp L52
+L56:	bne r6, 9, L62
+	or r3, r6, r5
+	and r8, r5, r10
+	mul r8, r8, 8
+	ld r6, [r8]
+	jmp L64
+L62:	min r2, r3, 2
+	min r5, r5, -9
+L64:	li r15, 0
+L65:	bge r15, 2, L75
+	bne r4, 25, L71
+	and r8, r3, r10
+	mul r8, r8, 8
+	ld r4, [r8]
+	jmp L72
+L71:	mul r4, r3, r5
+L72:	add r5, r5, r6
+	add r15, r15, 1
+	jmp L65
+L75:	mul r8, r0, 4
+	add r8, r8, 64
+	mul r8, r8, 8
+	ld r6, [r8]
+	mov r9, r2
+	xor r9, r9, r3
+	xor r9, r9, r4
+	xor r9, r9, r5
+	xor r9, r9, r6
+	xor r9, r9, r7
+	add r8, r0, 192
+	mul r8, r8, 8
+	st r9, [r8]
+	halt

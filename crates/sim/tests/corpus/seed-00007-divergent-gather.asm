@@ -1,0 +1,83 @@
+; fuzz corpus reproducer: memory operations under divergence
+; generator seed 7, 32 threads, 22 statements, 80 instructions
+; replay: dws-cli fuzz --seed-start 7 --seeds 1 --minimize
+	li r10, 63
+	mul r9, r0, 1
+	add r2, r9, 1
+	mul r9, r0, 3
+	add r3, r9, 8
+	mul r9, r0, 5
+	add r4, r9, 15
+	mul r9, r0, 7
+	add r5, r9, 22
+	mul r9, r0, 9
+	add r6, r9, 29
+	mul r9, r0, 11
+	add r7, r9, 36
+	and r8, r2, r10
+	mul r8, r8, 8
+	ld r3, [r8]
+	li r11, 0
+L17:	bge r11, 2, L25
+	beq r2, 21, L21
+	xor r6, r2, 12
+	jmp L22
+L21:	min r5, r5, r3
+L22:	bar
+	add r11, r11, 1
+	jmp L17
+L25:	max r4, r4, -16
+	and r4, r2, -10
+	li r12, 0
+L28:	bge r12, 3, L70
+	beq r4, 51, L47
+	mul r8, r0, 4
+	add r8, r8, 64
+	mul r8, r8, 8
+	ld r3, [r8]
+	li r13, 0
+L35:	bge r13, 1, L42
+	and r4, r3, r6
+	and r8, r3, r10
+	mul r8, r8, 8
+	ld r4, [r8]
+	add r13, r13, 1
+	jmp L35
+L42:	mul r8, r0, 4
+	add r8, r8, 66
+	mul r8, r8, 8
+	st r6, [r8]
+	jmp L55
+L47:	li r14, 0
+L48:	bge r14, 2, L55
+	xor r3, r2, -5
+	and r8, r5, r10
+	mul r8, r8, 8
+	ld r5, [r8]
+	add r14, r14, 1
+	jmp L48
+L55:	li r15, 0
+L56:	bge r15, 1, L68
+	li r16, 0
+L58:	bge r16, 1, L66
+	add r6, r4, 6
+	and r8, r6, r10
+	mul r8, r8, 8
+	ld r2, [r8]
+	bar
+	add r16, r16, 1
+	jmp L58
+L66:	add r15, r15, 1
+	jmp L56
+L68:	add r12, r12, 1
+	jmp L28
+L70:	mov r9, r2
+	xor r9, r9, r3
+	xor r9, r9, r4
+	xor r9, r9, r5
+	xor r9, r9, r6
+	xor r9, r9, r7
+	add r8, r0, 192
+	mul r8, r8, 8
+	st r9, [r8]
+	halt

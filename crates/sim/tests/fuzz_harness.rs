@@ -1,0 +1,169 @@
+//! End-to-end tests of the differential fuzzing harness: clean campaigns,
+//! deterministic reports, injected-failure detection and classification,
+//! and the delta-debugging minimizer's contract (monotonic shrink, class
+//! preservation, termination, rejection of passing kernels).
+
+use dws_core::Policy;
+use dws_isa::gen::{self, GenConfig};
+use dws_sim::fuzz::{
+    ast_weight, minimize, reductions, run_campaign, Axis, FailureClass, FuzzConfig, MinimizeError,
+    Perturbation,
+};
+
+#[test]
+fn a_fixed_seed_campaign_is_clean_on_every_axis() {
+    let cfg = FuzzConfig {
+        seeds: 12,
+        ..FuzzConfig::default()
+    };
+    let report = run_campaign(&cfg);
+    assert!(
+        report.clean(),
+        "real oracle divergence found: {:?}",
+        report.failures
+    );
+    assert_eq!(report.seeds, 12);
+    assert_eq!(report.policy, None);
+}
+
+#[test]
+fn campaign_reports_are_byte_identical_across_runs() {
+    let cfg = FuzzConfig {
+        seeds: 6,
+        minimize: true,
+        ..FuzzConfig::default()
+    };
+    assert_eq!(run_campaign(&cfg).to_json(), run_campaign(&cfg).to_json());
+}
+
+#[test]
+fn config_hash_distinguishes_campaign_shapes() {
+    let a = FuzzConfig::default();
+    let b = FuzzConfig {
+        policy: Some(Policy::dws_aggress()),
+        ..FuzzConfig::default()
+    };
+    let c = FuzzConfig {
+        max_cycles: 1_000,
+        ..FuzzConfig::default()
+    };
+    assert_ne!(a.config_hash(), b.config_hash());
+    assert_ne!(a.config_hash(), c.config_hash());
+}
+
+#[test]
+fn an_injected_stepped_skew_is_caught_classified_and_minimized() {
+    let cfg = FuzzConfig {
+        seeds: 2,
+        minimize: true,
+        perturb: Perturbation::SkewStepped,
+        ..FuzzConfig::default()
+    };
+    let report = run_campaign(&cfg);
+    assert_eq!(report.failures.len(), 2, "every seed must trip the skew");
+    for f in &report.failures {
+        assert_eq!(f.class, FailureClass::CycleMismatch(Axis::Stepped));
+        assert!(f.replay.contains(&format!("--seed-start {}", f.seed)));
+        let m = f.minimized.as_ref().expect("campaign ran with minimize");
+        assert!(m.insts < f.insts, "minimized {} of {}", m.insts, f.insts);
+        assert!(m.asm.contains("halt"), "reproducer renders as full asm");
+    }
+    let json = report.to_json();
+    assert!(json.contains("cycle-mismatch@stepped"));
+    assert!(json.contains("\"minimized_insts\""));
+    assert!(json.contains("\"minimized_asm\""));
+}
+
+#[test]
+fn an_injected_chaos_corruption_is_caught_and_classified() {
+    let cfg = FuzzConfig {
+        seeds: 1,
+        perturb: Perturbation::CorruptChaos,
+        ..FuzzConfig::default()
+    };
+    let report = run_campaign(&cfg);
+    assert_eq!(report.failures.len(), 1);
+    assert_eq!(
+        report.failures[0].class,
+        FailureClass::MemoryMismatch(Axis::Chaos)
+    );
+    assert!(report.failures[0].minimized.is_none(), "minimize was off");
+}
+
+#[test]
+fn every_reduction_strictly_shrinks_the_weight() {
+    // Termination of the greedy minimization loop rests on this invariant:
+    // any accepted candidate has strictly smaller weight, and weights are
+    // non-negative integers.
+    let gcfg = GenConfig::default();
+    for seed in 0..24 {
+        let ast = gen::generate(seed, &gcfg);
+        let w = ast_weight(&ast);
+        for cand in reductions(&ast) {
+            assert!(
+                ast_weight(&cand) < w,
+                "seed {seed}: a reduction failed to shrink ({} -> {})",
+                w,
+                ast_weight(&cand)
+            );
+        }
+    }
+}
+
+#[test]
+fn minimization_preserves_the_failure_class_and_shrinks() {
+    let cfg = FuzzConfig {
+        perturb: Perturbation::CorruptChaos,
+        // One policy keeps each differential check cheap; the perturbed
+        // chaos axis still runs.
+        policy: Some(Policy::dws_revive()),
+        ..FuzzConfig::default()
+    };
+    let ast = gen::generate(1, &cfg.gen);
+    let (small, finding) = minimize(&ast, 1, &cfg).expect("perturbed kernel fails");
+    assert_eq!(finding.class, FailureClass::MemoryMismatch(Axis::Chaos));
+    assert!(ast_weight(&small) <= ast_weight(&ast));
+    assert!(small.compile().is_ok(), "reproducer still verifies");
+}
+
+#[test]
+fn minimizing_a_passing_kernel_is_rejected() {
+    let cfg = FuzzConfig::default();
+    let ast = gen::generate(3, &cfg.gen);
+    assert_eq!(
+        minimize(&ast, 3, &cfg).unwrap_err(),
+        MinimizeError::KernelPasses
+    );
+}
+
+#[test]
+fn a_large_failing_kernel_minimizes_to_a_quarter_or_less() {
+    // Acceptance criterion: the minimizer must reach <= 25% of the
+    // original instruction count. The compiled floor (prologue + epilogue
+    // with empty statement list) is 26 instructions, so pick a seed whose
+    // kernel is at least 104 instructions.
+    let gcfg = GenConfig {
+        max_stmts: 60,
+        ..GenConfig::default()
+    };
+    let cfg = FuzzConfig {
+        gen: gcfg,
+        perturb: Perturbation::SkewStepped,
+        policy: Some(Policy::dws_revive()),
+        ..FuzzConfig::default()
+    };
+    let (seed, insts) = (0..64u64)
+        .find_map(|s| {
+            let p = gen::generate(s, &cfg.gen).compile().ok()?;
+            (p.len() >= 104).then_some((s, p.len()))
+        })
+        .expect("some seed under 64 compiles to >= 104 instructions");
+    let ast = gen::generate(seed, &cfg.gen);
+    let (small, finding) = minimize(&ast, seed, &cfg).expect("perturbed kernel fails");
+    assert_eq!(finding.class, FailureClass::CycleMismatch(Axis::Stepped));
+    let small_insts = small.compile().expect("still compiles").len();
+    assert!(
+        small_insts * 4 <= insts,
+        "minimized to {small_insts} of {insts} instructions (> 25%)"
+    );
+}

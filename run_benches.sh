@@ -46,4 +46,17 @@ if [ -f BENCH_simspeed.prev.json ]; then
 fi
 echo "=== bench: micro (criterion) ===" | tee -a bench_output.txt
 cargo bench -p dws-bench --bench micro 2>>bench_progress.log | tee -a bench_output.txt
+echo "=== fuzz throughput (advisory) ===" | tee -a bench_output.txt
+# Correctness fuzzing lives in ci.sh (25-seed smoke, determinism-checked);
+# here we only time a wider campaign so kernel-generation + differential-
+# battery throughput is trended alongside simulator throughput. A non-zero
+# status (7 = real oracle divergence) is recorded, not fatal.
+t0=$(date +%s.%N)
+cargo run -q --release --bin dws-cli -- fuzz --seeds 100 \
+  2>>bench_progress.log | tee -a bench_output.txt
+status=${PIPESTATUS[0]}
+t1=$(date +%s.%N)
+dt=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f", b - a }')
+printf '{"sweep": "fuzz_100", "host_seconds": %s, "status": %d}\n' \
+  "$dt" "$status" >> bench_timings.jsonl
 echo ALL_BENCHES_DONE | tee -a bench_output.txt

@@ -6,6 +6,8 @@
 //! dws-cli compare --bench Merge [options]
 //! dws-cli lint    [--kernel <name> | --all] [--deny-warnings]
 //! dws-cli asm     <kernel.asm> [--threads N] [--mem-kb K] [--policy P] [options]
+//! dws-cli fuzz    [--seeds N] [--seed-start N] [--policy P] [--budget-ms MS]
+//!                 [--max-cycles N] [--minimize] [--json] [--verbose]
 //!
 //! options:
 //!   --scale test|bench|paper   input size            (default bench)
@@ -22,9 +24,10 @@
 //! ```
 
 //! Exit codes: 0 success, 1 generic failure (usage, I/O, wrong result),
-//! 3 timeout, 4 deadlock, 5 livelock, 6 host-budget — so harnesses can
-//! triage a failed run without parsing stderr. Structured aborts also
-//! print their machine-state snapshot ([`dws::sim::DiagnosticReport`]).
+//! 3 timeout, 4 deadlock, 5 livelock, 6 host-budget, 7 fuzz-failures-found
+//! — so harnesses can triage a failed run without parsing stderr.
+//! Structured aborts also print their machine-state snapshot
+//! ([`dws::sim::DiagnosticReport`]).
 
 use dws::core::Policy;
 use dws::kernels::{Benchmark, Scale};
@@ -75,6 +78,10 @@ fn policies() -> Vec<(&'static str, Policy)> {
         ("lazy", Policy::dws_lazy()),
         ("revive", Policy::dws_revive()),
         ("throttled", Policy::dws_revive_throttled()),
+        (
+            "branch-limited",
+            Policy::dws_branch_limited(dws::core::MemSplit::Revive),
+        ),
         ("slip", Policy::slip()),
         ("slip-bypass", Policy::slip_branch_bypass()),
     ]
@@ -318,6 +325,21 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        "fuzz" => match run_fuzz(&args[1..]) {
+            Ok(clean) => {
+                if clean {
+                    ExitCode::SUCCESS
+                } else {
+                    // Distinct from generic failure: the harness ran fine
+                    // and found real oracle divergences.
+                    ExitCode::from(7)
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "asm" => {
             // dws-cli asm <file> [--threads N] [--mem-kb K] [--policy P] ...
             let Some(path) = args.get(1) else {
@@ -345,7 +367,7 @@ fn main() -> ExitCode {
             }
         }
         other => {
-            eprintln!("unknown command '{other}' (try list, run, compare, lint, asm)");
+            eprintln!("unknown command '{other}' (try list, run, compare, lint, asm, fuzz)");
             ExitCode::FAILURE
         }
     }
@@ -423,6 +445,114 @@ fn run_lint(args: &[String]) -> Result<bool, String> {
     Ok(clean)
 }
 
+/// `dws-cli fuzz [--seeds N] [--seed-start N] [--policy P] [--budget-ms MS]
+/// [--max-cycles N] [--minimize] [--json] [--verbose]`
+///
+/// Runs the verifier-guided differential fuzzing campaign: each seed grows
+/// a random verifier-accepted kernel and checks it across the oracle axes
+/// (all scheduling policies vs the reference interpreter, stepped vs
+/// event-driven, parallel vs serial, legacy engine vs µop, chaos vs
+/// zero-fault). `--policy` narrows the policy axis to one named policy;
+/// `--minimize` delta-debugs each failure down to a minimal reproducer.
+/// Returns whether the campaign was clean; failures exit with code 7.
+fn run_fuzz(args: &[String]) -> Result<bool, String> {
+    use dws::sim::{run_campaign, FuzzConfig};
+
+    let mut cfg = FuzzConfig::default();
+    let mut json = false;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => cfg.seeds = val()?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--seed-start" => {
+                cfg.seed_start = val()?.parse().map_err(|e| format!("--seed-start: {e}"))?;
+            }
+            "--policy" => {
+                let v = val()?;
+                cfg.policy = Some(
+                    policies()
+                        .into_iter()
+                        .find(|(n, _)| n.eq_ignore_ascii_case(v))
+                        .ok_or_else(|| format!("unknown policy '{v}'"))?
+                        .1,
+                );
+            }
+            "--budget-ms" => {
+                let ms: u64 = val()?.parse().map_err(|e| format!("--budget-ms: {e}"))?;
+                cfg.job_budget = Some(std::time::Duration::from_millis(ms.max(1)));
+            }
+            "--max-cycles" => {
+                cfg.max_cycles = val()?.parse().map_err(|e| format!("--max-cycles: {e}"))?;
+            }
+            "--max-stmts" => {
+                cfg.gen.max_stmts = val()?.parse().map_err(|e| format!("--max-stmts: {e}"))?;
+            }
+            "--minimize" => cfg.minimize = true,
+            "--json" => json = true,
+            "--verbose" => verbose = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if cfg.seeds == 0 {
+        return Err("--seeds must be >= 1".into());
+    }
+
+    let report = run_campaign(&cfg);
+    if json {
+        println!("{}", report.to_json());
+        return Ok(report.clean());
+    }
+
+    println!(
+        "fuzz: {} seed(s) from {} on the {} policy axis (config 0x{:016x}): {}",
+        report.seeds,
+        report.seed_start,
+        report.policy.unwrap_or("full"),
+        report.config_hash,
+        if report.clean() {
+            "clean".to_string()
+        } else {
+            format!("{} failure(s)", report.failures.len())
+        },
+    );
+    for f in &report.failures {
+        println!(
+            "  seed {:<6} {:28} {:>4} insts  {}",
+            f.seed,
+            f.class.label(),
+            f.insts,
+            f.message
+        );
+        if let Some(m) = &f.minimized {
+            println!(
+                "    minimized reproducer: {} insts, {} statement(s)",
+                m.insts,
+                m.ast.stmt_count()
+            );
+            if verbose {
+                for line in m.asm.lines() {
+                    println!("      {line}");
+                }
+                // The minimized kernel still passes verification (the
+                // minimizer re-verifies every step); show its remaining
+                // structured findings (warnings/notes) for triage.
+                if let Ok(program) = m.ast.compile() {
+                    let lint = program.lint(&dws::isa::VerifyOptions::default());
+                    for line in lint.rendered().lines() {
+                        println!("      {line}");
+                    }
+                }
+            }
+        }
+        println!("    replay: {}", f.replay);
+    }
+    Ok(report.clean())
+}
+
 /// Assembles and simulates a textual kernel on a machine sized for it.
 fn run_asm(path: &str, threads: u64, mem_kb: u64, opts: &[String]) -> Result<(), CliError> {
     use dws::isa::{parse_asm, VecMemory};
@@ -430,7 +560,20 @@ fn run_asm(path: &str, threads: u64, mem_kb: u64, opts: &[String]) -> Result<(),
 
     let text =
         std::fs::read_to_string(path).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
-    let program = parse_asm(&text).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
+    let program = parse_asm(&text).map_err(|e| {
+        if e.diagnostics.is_empty() {
+            // Pure syntax error: the one-liner carries everything.
+            CliError::Other(format!("{path}: {e}"))
+        } else {
+            // Verifier rejection: the message is the full rustc-style
+            // rendering; print it whole, then summarize on one line.
+            eprintln!("{}", e.message);
+            CliError::Other(format!(
+                "{path}: kernel rejected by the verifier ({} finding(s))",
+                e.diagnostics.len()
+            ))
+        }
+    })?;
     println!(
         "{path}: {} instructions, {} conditional branches ({} subdividable)",
         program.len(),
