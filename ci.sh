@@ -27,10 +27,19 @@ echo "== cargo build --release =="
 cargo build --release --workspace --offline
 
 echo "== kernel lint gate (static verifier, deny warnings) =="
-# Every shipped kernel at every input scale must pass the five-pass static
-# verifier (CFG shape, re-convergence, def-use, memory bounds, divergence)
-# plus the buffer-layout cross-check with zero errors and zero warnings.
+# Every shipped kernel at every input scale must pass the six-pass static
+# verifier (CFG shape, re-convergence, def-use, memory bounds, divergence,
+# melding advisory) plus the buffer-layout cross-check with zero errors and
+# zero warnings (DWS06xx meld advisories are notes and never gate).
 cargo run -q --release --offline --bin dws-cli -- lint --all --deny-warnings
+
+echo "== meld transform gate (opt --meld output must stay lint-clean) =="
+# The control-flow melding pass must fire on the checked-in fuzz
+# reproducer and its predicated straight-line output must re-verify with
+# zero errors and zero warnings.
+cargo run -q --release --offline --bin dws-cli -- \
+  opt crates/sim/tests/corpus/seed-00000-meldable-poly.asm \
+  --meld --deny-warnings --quiet > /dev/null
 
 echo "== cargo test (tier-1) =="
 cargo test -q --release --workspace --offline
@@ -55,6 +64,14 @@ cargo test -q --release --offline -p dws-sim --test chaos_invariants
 cargo test -q --release --offline -p dws-sim --test sweep_panic_isolation
 cargo test -q --release --offline -p dws-sim --test fuzz_harness
 cargo test -q --release --offline -p dws-sim --test corpus_replay
+
+echo "== tier-1 transform-equivalence guards (named, release) =="
+# Static control-flow melding must be semantics-preserving on the timed
+# machine (bit-identity across all policies + chaos plans), profitable
+# under the conventional baseline, and lint-clean; the reusable dataflow
+# framework must agree with the reference def-use fixpoint everywhere.
+cargo test -q --release --offline -p dws-sim --test meld_differential
+cargo test -q --release --offline -p dws-isa --test dataflow_differential
 
 echo "== fuzz smoke (differential oracle battery, fixed seeds) =="
 # A short verifier-guided fuzz campaign across every oracle axis (all

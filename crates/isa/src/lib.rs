@@ -45,16 +45,22 @@
 //! assert!(program.len() > 0);
 //! ```
 
+pub mod analysis;
 pub mod asm;
 pub mod builder;
 pub mod cfg;
 pub mod gen;
 pub mod inst;
 pub mod interp;
+pub mod meld;
 pub mod predecode;
 pub mod program;
 pub mod verify;
 
+pub use analysis::{
+    solve, solve_flow, BlockFacts, BlockProblem, Direction, FlowProblem, Liveness, ReachingDefs,
+    RegSet,
+};
 pub use asm::{parse_asm, render_asm, AsmError};
 pub use builder::{BuildError, KernelBuilder, Label};
 pub use cfg::{BranchInfo, Cfg};
@@ -64,6 +70,7 @@ pub use interp::{
     eval_alu, eval_un, execute_lane, LaneRegs, MemoryAccess, ReferenceRunner, StepOutcome,
     ThreadState, VecMemory,
 };
+pub use meld::{find_candidates, meld, MeldApplied, MeldCandidate, MeldOutcome, MeldVerdict};
 pub use predecode::{ExecOp, Src};
 pub use program::Program;
 pub use verify::{

@@ -36,6 +36,10 @@
 //!    pass re-derives the Section 4.3 subdividable marking and flags
 //!    barriers reachable under divergence (a deadlock risk: only a subset
 //!    of live threads may arrive).
+//! 6. **Melding advisory** (`DWS06xx`) — the [`crate::meld`] analysis
+//!    inspects every proper divergent diamond and notes whether rewriting
+//!    it into predicated straight-line code (`dws-cli opt --meld`) would
+//!    save divergent issue slots, or why not.
 //!
 //! Diagnostics are structured ([`Diagnostic`]), collected rather than
 //! fail-fast, and severity-gated: errors reject the program, warnings and
@@ -47,6 +51,10 @@
 //!   --> pc 2 (block 0): r6 = Add(r5, 1)
 //! ```
 
+use crate::analysis::{
+    fixpoint, inst_def, inst_uses, max_reg, solve, solve_flow, BlockFacts, FlowProblem, Liveness,
+    ReachingDefs, RegSet,
+};
 use crate::cfg::{BranchInfo, Cfg, RECONV_NONE, SUBDIV_MAX_BLOCK};
 use crate::inst::{AluOp, CondOp, Inst, Operand, Reg, UnOp};
 use std::fmt;
@@ -135,6 +143,14 @@ pub enum DwsLintCode {
     /// re-converged: only a subset of live threads may arrive (deadlock
     /// risk, see the divergent-barrier golden test in `dws-sim`).
     BarrierUnderDivergence,
+    /// A divergent diamond whose arms are similar enough that melding them
+    /// into predicated straight-line code (`dws-cli opt --meld`) would
+    /// save divergent issue slots. Advisory.
+    MeldableRegion,
+    /// A proper divergent diamond the melding analysis inspected and
+    /// declined (illegal content, unpairable memory ops, or unprofitable
+    /// arms). Advisory; the reason is in the message.
+    MeldRejected,
 }
 
 impl DwsLintCode {
@@ -160,6 +176,8 @@ impl DwsLintCode {
             DwsLintCode::LayoutMismatch => "DWS0404",
             DwsLintCode::SubdivMarkMismatch => "DWS0501",
             DwsLintCode::BarrierUnderDivergence => "DWS0502",
+            DwsLintCode::MeldableRegion => "DWS0601",
+            DwsLintCode::MeldRejected => "DWS0602",
         }
     }
 
@@ -185,7 +203,7 @@ impl DwsLintCode {
             | UnusedReg
             | OobAccessPossible
             | BarrierUnderDivergence => Severity::Warning,
-            UnprovenBounds => Severity::Note,
+            UnprovenBounds | MeldableRegion | MeldRejected => Severity::Note,
         }
     }
 }
@@ -407,54 +425,6 @@ impl fmt::Display for VerifyReport {
     }
 }
 
-/// Registers an instruction reads.
-fn inst_uses(inst: &Inst, out: &mut Vec<Reg>) {
-    out.clear();
-    let mut op = |o: &Operand| {
-        if let Operand::Reg(r) = o {
-            out.push(*r);
-        }
-    };
-    match inst {
-        Inst::Alu { a, b, .. } | Inst::Set { a, b, .. } | Inst::Branch { a, b, .. } => {
-            op(a);
-            op(b);
-        }
-        Inst::Un { a, .. } => op(a),
-        Inst::Load { base, .. } => out.push(*base),
-        Inst::Store { src, base, .. } => {
-            op(src);
-            out.push(*base);
-        }
-        Inst::Jump { .. } | Inst::Barrier | Inst::Halt => {}
-    }
-}
-
-/// The register an instruction writes, if any.
-fn inst_def(inst: &Inst) -> Option<Reg> {
-    match inst {
-        Inst::Alu { dst, .. }
-        | Inst::Un { dst, .. }
-        | Inst::Set { dst, .. }
-        | Inst::Load { dst, .. } => Some(*dst),
-        _ => None,
-    }
-}
-
-/// One past the highest register index referenced anywhere (min 2: the
-/// preloaded `r0`/`r1`).
-fn max_reg(insts: &[Inst]) -> u16 {
-    let mut hi = 1u16;
-    let mut uses = Vec::new();
-    for inst in insts {
-        inst_uses(inst, &mut uses);
-        for r in uses.iter().copied().chain(inst_def(inst)) {
-            hi = hi.max(r.0);
-        }
-    }
-    hi + 1
-}
-
 // ---------------------------------------------------------------------------
 // Pass 1: CFG well-formedness (structural prerequisites).
 // ---------------------------------------------------------------------------
@@ -567,18 +537,7 @@ fn pass_partition(insts: &[Inst], cfg: &Cfg, report: &mut VerifyReport) -> Vec<b
             }
         }
     }
-    let nb = cfg.blocks().len();
-    let mut reach = vec![false; nb];
-    reach[0] = true;
-    let mut stack = vec![0usize];
-    while let Some(b) = stack.pop() {
-        for &s in &cfg.blocks()[b].succs {
-            if !reach[s] {
-                reach[s] = true;
-                stack.push(s);
-            }
-        }
-    }
+    let reach = reachable_blocks(cfg);
     for (bi, b) in cfg.blocks().iter().enumerate() {
         if !reach[bi] {
             report.record(
@@ -606,15 +565,14 @@ fn pass_partition(insts: &[Inst], cfg: &Cfg, report: &mut VerifyReport) -> Vec<b
 /// varying-ness propagates through every computation that consumes a
 /// varying register. Everything else — immediates and `r1` (the thread
 /// count) — is warp-uniform.
-fn compute_varying(insts: &[Inst], num_regs: u16) -> Vec<bool> {
+pub(crate) fn compute_varying(insts: &[Inst], num_regs: u16) -> Vec<bool> {
     let mut varying = vec![false; num_regs as usize];
     if !varying.is_empty() {
         varying[0] = true; // r0 = tid
     }
     let mut uses = Vec::new();
-    let mut changed = true;
-    while changed {
-        changed = false;
+    fixpoint(|| {
+        let mut changed = false;
         for inst in insts {
             let Some(dst) = inst_def(inst) else { continue };
             let v = if matches!(inst, Inst::Load { .. }) {
@@ -628,7 +586,8 @@ fn compute_varying(insts: &[Inst], num_regs: u16) -> Vec<bool> {
                 changed = true;
             }
         }
-    }
+        changed
+    });
     varying
 }
 
@@ -698,9 +657,8 @@ pub fn branch_uniformity(insts: &[Inst]) -> BranchUniformity {
         in_region
     };
     let mut uses = Vec::new();
-    let mut changed = true;
-    while changed {
-        changed = false;
+    fixpoint(|| {
+        let mut changed = false;
         // Data dependence: loads and varying operands taint definitions.
         for inst in insts {
             let Some(dst) = inst_def(inst) else { continue };
@@ -740,7 +698,8 @@ pub fn branch_uniformity(insts: &[Inst]) -> BranchUniformity {
                 }
             }
         }
-    }
+        changed
+    });
     let uniform: Vec<bool> = insts
         .iter()
         .map(|inst| {
@@ -1159,50 +1118,137 @@ fn pass_reconv(
 // Pass 3: def-use dataflow.
 // ---------------------------------------------------------------------------
 
-/// Small dense register bitset used by the dataflow passes.
-#[derive(Clone, PartialEq, Eq)]
-struct RegSet(Vec<u64>);
-
-impl RegSet {
-    fn empty(nregs: usize) -> RegSet {
-        RegSet(vec![0u64; nregs.div_ceil(64).max(1)])
-    }
-    fn full(nregs: usize) -> RegSet {
-        RegSet(vec![!0u64; nregs.div_ceil(64).max(1)])
-    }
-    fn set(&mut self, r: u16) {
-        self.0[r as usize / 64] |= 1 << (r as usize % 64);
-    }
-    fn clear(&mut self, r: u16) {
-        self.0[r as usize / 64] &= !(1 << (r as usize % 64));
-    }
-    fn has(&self, r: u16) -> bool {
-        self.0[r as usize / 64] >> (r as usize % 64) & 1 == 1
-    }
-    fn union_with(&mut self, o: &RegSet) -> bool {
-        let mut changed = false;
-        for (w, x) in self.0.iter_mut().zip(&o.0) {
-            let n = *w | x;
-            changed |= n != *w;
-            *w = n;
-        }
-        changed
-    }
-    fn intersect_with(&mut self, o: &RegSet) {
-        for (w, x) in self.0.iter_mut().zip(&o.0) {
-            *w &= x;
-        }
-    }
-}
-
 /// Definite-assignment ("must" reach), maybe-assignment ("may" reach),
-/// liveness for dead writes, and register-file tightness.
+/// liveness for dead writes, and register-file tightness — expressed as
+/// instances of the [`crate::analysis`] framework ([`ReachingDefs`],
+/// [`Liveness`]) with the diagnostic walks on top.
 ///
 /// A read of a register with no reaching definition on *any* path is a
 /// hard error (the lanes would consume whatever the register file was
 /// reset to); a read where only *some* paths define is a warning. Entry
 /// state is `{r0, r1}`, the preloaded thread id and thread count.
+///
+/// The retained legacy fixpoint ([`defuse_diagnostics_reference`]) is the
+/// differential oracle: both implementations must emit identical
+/// diagnostics (pinned on every benchmark kernel and 200 generated seeds
+/// by `tests/dataflow_differential.rs`).
 fn pass_defuse(
+    insts: &[Inst],
+    cfg: &Cfg,
+    reach: &[bool],
+    num_regs: u16,
+    report: &mut VerifyReport,
+) {
+    let nr = num_regs as usize;
+    let must: BlockFacts<RegSet> = solve(cfg, &ReachingDefs::must(insts, cfg, num_regs));
+    let may: BlockFacts<RegSet> = solve(cfg, &ReachingDefs::may(insts, cfg, num_regs));
+    // Walk each reachable block flagging reads of unassigned registers.
+    let mut uses = Vec::new();
+    for (bi, b) in cfg.blocks().iter().enumerate() {
+        if !reach[bi] {
+            continue;
+        }
+        let mut must_here = must.on_entry[bi].clone();
+        let mut may_here = may.on_entry[bi].clone();
+        for pc in b.start..b.end {
+            inst_uses(&insts[pc], &mut uses);
+            for &r in &uses {
+                if must_here.has(r.0) {
+                    continue;
+                }
+                if may_here.has(r.0) {
+                    report.record(
+                        insts,
+                        Diagnostic::new(
+                            DwsLintCode::MaybeUseBeforeDef,
+                            Some(pc),
+                            Some(bi),
+                            format!("{r} is read but only some paths define it first"),
+                        ),
+                    );
+                } else {
+                    report.record(
+                        insts,
+                        Diagnostic::new(
+                            DwsLintCode::UseBeforeDef,
+                            Some(pc),
+                            Some(bi),
+                            format!("{r} is read but no definition reaches this point"),
+                        ),
+                    );
+                }
+            }
+            if let Some(r) = inst_def(&insts[pc]) {
+                must_here.set(r.0);
+                may_here.set(r.0);
+            }
+        }
+    }
+    // Backward liveness for dead writes: `on_entry` of a backward problem
+    // is the block's live-out set.
+    let live: BlockFacts<RegSet> = solve(cfg, &Liveness::new(insts, cfg, num_regs));
+    for (bi, b) in cfg.blocks().iter().enumerate() {
+        if !reach[bi] {
+            continue;
+        }
+        let mut live_here = live.on_entry[bi].clone();
+        for pc in (b.start..b.end).rev() {
+            if let Some(r) = inst_def(&insts[pc]) {
+                if !live_here.has(r.0) {
+                    report.record(
+                        insts,
+                        Diagnostic::new(
+                            DwsLintCode::DeadWrite,
+                            Some(pc),
+                            Some(bi),
+                            format!("{r} is written here but never read afterwards"),
+                        ),
+                    );
+                }
+                live_here.clear(r.0);
+            }
+            inst_uses(&insts[pc], &mut uses);
+            for &r in &uses {
+                live_here.set(r.0);
+            }
+        }
+    }
+    // Register-file tightness: allocated indices that are never referenced.
+    let mut referenced = RegSet::empty(nr);
+    referenced.set(0);
+    if num_regs > 1 {
+        referenced.set(1);
+    }
+    for inst in insts {
+        inst_uses(inst, &mut uses);
+        for &r in &uses {
+            referenced.set(r.0);
+        }
+        if let Some(r) = inst_def(inst) {
+            referenced.set(r.0);
+        }
+    }
+    for r in 2..num_regs {
+        if !referenced.has(r) {
+            report.record(
+                insts,
+                Diagnostic::new(
+                    DwsLintCode::UnusedReg,
+                    None,
+                    None,
+                    format!(
+                        "r{r} is never referenced but the register file is sized for \
+                         {num_regs} registers"
+                    ),
+                ),
+            );
+        }
+    }
+}
+
+/// The pre-framework hand-written fixpoint implementation of pass 3, kept
+/// verbatim as the differential oracle for [`pass_defuse`].
+fn defuse_reference(
     insts: &[Inst],
     cfg: &Cfg,
     reach: &[bool],
@@ -1413,6 +1459,49 @@ fn pass_defuse(
             );
         }
     }
+}
+
+/// Block reachability from the entry (shared by the partition pass and the
+/// differential wrappers).
+fn reachable_blocks(cfg: &Cfg) -> Vec<bool> {
+    let nb = cfg.blocks().len();
+    let mut reach = vec![false; nb];
+    if nb == 0 {
+        return reach;
+    }
+    reach[0] = true;
+    let mut stack = vec![0usize];
+    while let Some(b) = stack.pop() {
+        for &s in &cfg.blocks()[b].succs {
+            if !reach[s] {
+                reach[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    reach
+}
+
+/// Pass-3 diagnostics of the framework-based implementation, for a raw
+/// (structurally valid) instruction stream. Differential-test entry point.
+#[doc(hidden)]
+pub fn defuse_diagnostics(insts: &[Inst]) -> Vec<Diagnostic> {
+    let cfg = Cfg::build(insts);
+    let reach = reachable_blocks(&cfg);
+    let mut report = VerifyReport::default();
+    pass_defuse(insts, &cfg, &reach, max_reg(insts), &mut report);
+    report.diagnostics
+}
+
+/// Pass-3 diagnostics of the retained legacy fixpoint implementation.
+/// Differential-test entry point.
+#[doc(hidden)]
+pub fn defuse_diagnostics_reference(insts: &[Inst]) -> Vec<Diagnostic> {
+    let cfg = Cfg::build(insts);
+    let reach = reachable_blocks(&cfg);
+    let mut report = VerifyReport::default();
+    defuse_reference(insts, &cfg, &reach, max_reg(insts), &mut report);
+    report.diagnostics
 }
 
 // ---------------------------------------------------------------------------
@@ -1945,6 +2034,100 @@ fn itv_narrow(st: &mut BState, cond: CondOp, a: &Operand, b: &Operand) -> bool {
 /// arithmetic terminates quickly.
 const WIDEN_AFTER: u32 = 3;
 
+/// The bounds pass as a [`FlowProblem`] instance: per-edge transfer is
+/// branch-condition narrowing (infeasible edges are simply not emitted),
+/// and the join widens loop-head registers once their own bounds have
+/// churned [`WIDEN_AFTER`] times. The solver's LIFO discipline matches the
+/// hand-written worklist this replaced, so widening decisions — and
+/// therefore diagnostics — are unchanged.
+struct BoundsFlow<'a> {
+    insts: &'a [Inst],
+    cfg: &'a Cfg,
+    consts: &'a [Option<i128>],
+    entry: BState,
+    /// Back-edge targets: the only blocks where widening applies.
+    loop_head: Vec<bool>,
+    /// Per-block, per-register join-change counters: a register is widened
+    /// (at a loop head) only once ITS OWN bounds have changed WIDEN_AFTER
+    /// times there. A per-block counter would let one churning induction
+    /// variable trigger widening of an unrelated register that changed
+    /// once (e.g. ping-pong buffer bases swapped by an outer loop).
+    chg: Vec<Vec<u32>>,
+}
+
+impl FlowProblem for BoundsFlow<'_> {
+    type State = BState;
+
+    fn entry(&self) -> BState {
+        self.entry.clone()
+    }
+
+    fn flow(&mut self, block: usize, mut st: BState, emit: &mut dyn FnMut(usize, BState)) {
+        let b = &self.cfg.blocks()[block];
+        for inst in &self.insts[b.start..b.end] {
+            itv_transfer(&mut st.itv, inst);
+            sym_transfer(&mut st.sym, inst, self.consts);
+        }
+        // Propagate along each out-edge, narrowing on branch conditions.
+        let last = b.end - 1;
+        if let Inst::Branch {
+            cond,
+            a,
+            b: rhs,
+            target,
+        } = &self.insts[last]
+        {
+            let taken_blk = self.cfg.block_of(*target);
+            let mut taken = st.clone();
+            if itv_narrow(&mut taken, *cond, a, rhs) {
+                emit(taken_blk, taken);
+            }
+            if last + 1 < self.insts.len() {
+                let fall_blk = self.cfg.block_of(last + 1);
+                let mut fall = st;
+                if itv_narrow(&mut fall, cond.negate(), a, rhs) {
+                    emit(fall_blk, fall);
+                }
+            }
+        } else {
+            for &s in &b.succs {
+                emit(s, st.clone());
+            }
+        }
+    }
+
+    fn join(&mut self, succ: usize, cur: &mut BState, new: BState) -> bool {
+        let mut itv_changed = false;
+        for (ri, (c, n)) in cur.itv.iter_mut().zip(&new.itv).enumerate() {
+            let mut j = c.join(*n);
+            if j != *c && self.loop_head[succ] && self.chg[succ][ri] >= WIDEN_AFTER {
+                if j.lo < c.lo {
+                    j.lo = INF_NEG;
+                }
+                if j.hi > c.hi {
+                    j.hi = INF_POS;
+                }
+            }
+            if j != *c {
+                *c = j;
+                self.chg[succ][ri] += 1;
+                itv_changed = true;
+            }
+        }
+        // A fact survives a join only if both paths agree on it. Dropped
+        // facts re-queue the block but do not feed the widening counters
+        // (facts only ever disappear, so this terminates on its own).
+        let mut sym_changed = false;
+        for (c, n) in cur.sym.iter_mut().zip(&new.sym) {
+            if c.is_some() && *c != *n {
+                *c = None;
+                sym_changed = true;
+            }
+        }
+        itv_changed || sym_changed
+    }
+}
+
 /// Interval analysis over the address arithmetic, with per-edge
 /// branch-condition narrowing. Proves accesses inside `[0, mem_bytes)`
 /// where it can; a proven violation is an error, a bounded straddle is a
@@ -1983,13 +2166,6 @@ fn pass_bounds(
         itv: entry,
         sym: vec![None; nr],
     };
-    let mut in_state: Vec<Option<BState>> = vec![None; nb];
-    // Per-block, per-register join-change counters: a register is widened
-    // (at a loop head) only once ITS OWN bounds have changed WIDEN_AFTER
-    // times there. A per-block counter would let one churning induction
-    // variable trigger widening of an unrelated register that changed
-    // once (e.g. ping-pong buffer bases swapped by an outer loop).
-    let mut chg: Vec<Vec<u32>> = vec![vec![0; nr]; nb];
     // Widening is only ever needed where a cycle can feed a value back
     // into itself — the targets of back edges. Widening anywhere else
     // (straight-line blocks, diamond reconvergence joins) would throw
@@ -2019,86 +2195,15 @@ fn pass_bounds(
             }
         }
     }
-    in_state[0] = Some(entry);
-    let mut work = vec![0usize];
-    while let Some(bi) = work.pop() {
-        let Some(st0) = in_state[bi].clone() else {
-            continue;
-        };
-        let b = &cfg.blocks()[bi];
-        let mut st = st0;
-        for inst in &insts[b.start..b.end] {
-            itv_transfer(&mut st.itv, inst);
-            sym_transfer(&mut st.sym, inst, &consts);
-        }
-        // Propagate along each out-edge, narrowing on branch conditions.
-        let last = b.end - 1;
-        let mut push = |succ: usize, st: BState, in_state: &mut Vec<Option<BState>>| {
-            match &mut in_state[succ] {
-                None => {
-                    in_state[succ] = Some(st);
-                    work.push(succ);
-                }
-                Some(cur) => {
-                    let mut itv_changed = false;
-                    for (ri, (c, n)) in cur.itv.iter_mut().zip(&st.itv).enumerate() {
-                        let mut j = c.join(*n);
-                        if j != *c && loop_head[succ] && chg[succ][ri] >= WIDEN_AFTER {
-                            if j.lo < c.lo {
-                                j.lo = INF_NEG;
-                            }
-                            if j.hi > c.hi {
-                                j.hi = INF_POS;
-                            }
-                        }
-                        if j != *c {
-                            *c = j;
-                            chg[succ][ri] += 1;
-                            itv_changed = true;
-                        }
-                    }
-                    // A fact survives a join only if both paths agree on
-                    // it. Dropped facts re-queue the block but do not feed
-                    // the widening counters (facts only ever disappear, so
-                    // this terminates on its own).
-                    let mut sym_changed = false;
-                    for (c, n) in cur.sym.iter_mut().zip(&st.sym) {
-                        if c.is_some() && *c != *n {
-                            *c = None;
-                            sym_changed = true;
-                        }
-                    }
-                    if itv_changed || sym_changed {
-                        work.push(succ);
-                    }
-                }
-            }
-        };
-        if let Inst::Branch {
-            cond,
-            a,
-            b: rhs,
-            target,
-        } = &insts[last]
-        {
-            let taken_blk = cfg.block_of(*target);
-            let mut taken = st.clone();
-            if itv_narrow(&mut taken, *cond, a, rhs) {
-                push(taken_blk, taken, &mut in_state);
-            }
-            if last + 1 < insts.len() {
-                let fall_blk = cfg.block_of(last + 1);
-                let mut fall = st;
-                if itv_narrow(&mut fall, cond.negate(), a, rhs) {
-                    push(fall_blk, fall, &mut in_state);
-                }
-            }
-        } else {
-            for &s in &cfg.blocks()[bi].succs {
-                push(s, st.clone(), &mut in_state);
-            }
-        }
-    }
+    let mut flow = BoundsFlow {
+        insts,
+        cfg,
+        consts: &consts,
+        entry,
+        loop_head,
+        chg: vec![vec![0; nr]; nb],
+    };
+    let in_state = solve_flow(nb, &mut flow);
     // Classify every memory access against the buffer space.
     for (bi, b) in cfg.blocks().iter().enumerate() {
         let Some(st0) = &in_state[bi] else { continue };
@@ -2205,6 +2310,48 @@ fn run_annotated(
     report.stats = stats;
     pass_defuse(insts, cfg, &reach, num_regs, report);
     pass_bounds(insts, cfg, num_regs, opts, report);
+    pass_meld(insts, cfg, &varying, report);
+}
+
+// ---------------------------------------------------------------------------
+// Pass 6: control-flow melding advisory (DWS06xx).
+// ---------------------------------------------------------------------------
+
+/// Advisory pass: runs the meldable-region analysis ([`crate::meld`]) over
+/// every proper divergent diamond and reports each verdict as a note —
+/// `DWS0601` for regions `dws-cli opt --meld` would rewrite, `DWS0602` for
+/// diamonds it inspected and declined (with the reason).
+fn pass_meld(insts: &[Inst], cfg: &Cfg, varying: &[bool], report: &mut VerifyReport) {
+    for cand in crate::meld::find_candidates(insts, cfg, varying) {
+        let diag = match &cand.verdict {
+            crate::meld::MeldVerdict::Meldable {
+                aligned,
+                region_len,
+                melded_len,
+                est_saved,
+            } => Diagnostic::new(
+                DwsLintCode::MeldableRegion,
+                Some(cand.branch_pc),
+                Some(cand.block),
+                format!(
+                    "meldable region at pc {}: {aligned} aligned ops, melding replaces \
+                     {region_len} divergent insts with {melded_len} (est. {est_saved} saved; \
+                     join at pc {})",
+                    cand.branch_pc, cand.join_pc
+                ),
+            ),
+            crate::meld::MeldVerdict::Rejected { reason } => Diagnostic::new(
+                DwsLintCode::MeldRejected,
+                Some(cand.branch_pc),
+                Some(cand.block),
+                format!(
+                    "divergent diamond at pc {} (join at pc {}) not melded: {reason}",
+                    cand.branch_pc, cand.join_pc
+                ),
+            ),
+        };
+        report.record(insts, diag);
+    }
 }
 
 /// Verifies a raw instruction stream: the structural pass first, then — if
@@ -2285,20 +2432,6 @@ mod tests {
         // Overflowing products saturate instead of wrapping.
         let big = Itv::exact(i64::MAX as i128);
         assert!(!big.mul(big).is_bounded());
-    }
-
-    #[test]
-    fn regset_ops() {
-        let mut s = RegSet::empty(70);
-        s.set(0);
-        s.set(69);
-        assert!(s.has(0) && s.has(69) && !s.has(3));
-        let mut t = RegSet::full(70);
-        t.intersect_with(&s);
-        assert!(t.has(69) && !t.has(5));
-        s.clear(69);
-        assert!(!s.has(69));
-        assert!(t.union_with(&RegSet::full(70)));
     }
 
     #[test]

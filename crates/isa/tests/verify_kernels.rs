@@ -352,6 +352,126 @@ fn uniform_barrier_is_clean() {
     assert!(report.find(DwsLintCode::BarrierUnderDivergence).is_none());
 }
 
+// ---- pass 6: melding advisory ---------------------------------------------
+
+/// A 6-instruction polynomial arm on tid into r2 — long enough that
+/// blending its one differing immediate is profitable (see `dws_isa::meld`).
+fn meld_arm(k: i64) -> Vec<Inst> {
+    vec![
+        Inst::Alu {
+            op: AluOp::Mul,
+            dst: Reg(2),
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Imm(k),
+        },
+        add(2, Operand::Reg(Reg(2)), Operand::Imm(1)),
+        Inst::Alu {
+            op: AluOp::Xor,
+            dst: Reg(2),
+            a: Operand::Reg(Reg(2)),
+            b: Operand::Reg(Reg(0)),
+        },
+        Inst::Alu {
+            op: AluOp::Shr,
+            dst: Reg(2),
+            a: Operand::Reg(Reg(2)),
+            b: Operand::Imm(1),
+        },
+        add(2, Operand::Reg(Reg(2)), Operand::Reg(Reg(0))),
+        Inst::Alu {
+            op: AluOp::Mul,
+            dst: Reg(2),
+            a: Operand::Reg(Reg(2)),
+            b: Operand::Reg(Reg(2)),
+        },
+    ]
+}
+
+/// `if (tid < 4) r2 = polyA(tid) else r2 = polyB(tid); out[tid] = r2` —
+/// a divergent diamond the meld pass must flag as profitably meldable.
+fn meldable_diamond() -> Vec<Inst> {
+    let mut insts = vec![Inst::Branch {
+        cond: CondOp::Lt,
+        a: Operand::Reg(Reg(0)),
+        b: Operand::Imm(4),
+        target: 8,
+    }];
+    insts.extend(meld_arm(5)); // pc 1..7, fall-through arm
+    insts.push(Inst::Jump { target: 14 }); // pc 7
+    insts.extend(meld_arm(3)); // pc 8..14, taken arm
+    insts.extend([
+        Inst::Alu {
+            op: AluOp::Mul,
+            dst: Reg(3),
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Imm(8),
+        }, // pc 14, join
+        Inst::Store {
+            src: Operand::Reg(Reg(2)),
+            base: Reg(3),
+            offset: 0,
+        },
+        Inst::Halt,
+    ]);
+    insts
+}
+
+#[test]
+fn golden_meldable_region() {
+    let insts = meldable_diamond();
+    let (report, _) = verify(&insts, &VerifyOptions::default());
+    let d = report.find(DwsLintCode::MeldableRegion).expect("finding");
+    assert_eq!(d.pc, Some(0), "{report}");
+    assert_eq!(d.severity, Severity::Note);
+    assert!(d.message.contains("meldable region"), "{}", d.message);
+    assert!(report.find(DwsLintCode::MeldRejected).is_none(), "{report}");
+}
+
+#[test]
+fn golden_meld_rejected() {
+    // A barrier in one arm makes the diamond un-meldable: the advisory must
+    // downgrade to an explicit rejection, never to a meldable claim.
+    let mut insts = meldable_diamond();
+    insts.insert(2, Inst::Barrier); // into the fall-through arm
+    for inst in &mut insts {
+        match inst {
+            Inst::Branch { target, .. } | Inst::Jump { target } if *target >= 2 => {
+                *target += 1;
+            }
+            _ => {}
+        }
+    }
+    let (report, _) = verify(&insts, &VerifyOptions::default());
+    let d = report.find(DwsLintCode::MeldRejected).expect("finding");
+    assert_eq!(d.pc, Some(0), "{report}");
+    assert_eq!(d.severity, Severity::Note);
+    assert!(d.message.contains("barrier"), "{}", d.message);
+    // Negative: the barrier diamond must NOT be reported meldable.
+    assert!(
+        report.find(DwsLintCode::MeldableRegion).is_none(),
+        "{report}"
+    );
+}
+
+#[test]
+fn uniform_diamond_gets_no_meld_advisory() {
+    // Same shape, but branching on ntid: the branch can never diverge, so
+    // the meld pass stays silent — no DWS0601, no DWS0602.
+    let mut insts = meldable_diamond();
+    insts[0] = Inst::Branch {
+        cond: CondOp::Lt,
+        a: Operand::Reg(Reg(1)),
+        b: Operand::Imm(4),
+        target: 8,
+    };
+    let (report, _) = verify(&insts, &VerifyOptions::default());
+    assert!(
+        report.find(DwsLintCode::MeldableRegion).is_none(),
+        "{report}"
+    );
+    assert!(report.find(DwsLintCode::MeldRejected).is_none(), "{report}");
+}
+
 // ---- rendering ------------------------------------------------------------
 
 #[test]

@@ -42,9 +42,11 @@ pub mod filter;
 pub mod hotspot;
 pub mod kmeans;
 pub mod lu;
+pub mod meldable;
 pub mod merge;
 pub mod short;
 pub mod spec;
 pub mod svm;
 
+pub use meldable::MeldKernel;
 pub use spec::{Benchmark, BufferDesc, BufferLayout, KernelSpec, Scale};

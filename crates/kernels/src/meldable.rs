@@ -1,0 +1,312 @@
+//! Meldable benchmark variants: divergent diamonds the control-flow
+//! melding pass (`dws_isa::meld`) can rewrite into predicated
+//! straight-line code.
+//!
+//! The Table 2 benchmarks keep their divergent branches *asymmetric* (a
+//! cheap border arm vs. an expensive interior arm), which is exactly the
+//! shape melding cannot help. These two variants instead model the other
+//! common case — near-identical arms selected by a data-dependent sign
+//! test — so the static transform has something real to chew on:
+//!
+//! * [`MeldKernel::Poly`] — `out[i] = poly_k(data[i])` where the two arms
+//!   are the same 6-instruction integer polynomial differing in one
+//!   multiplier immediate. Melding blends the immediate under the branch
+//!   masks and deletes the diamond.
+//! * [`MeldKernel::Gather`] — `out[i] = f(tbl[i])` where the arms load
+//!   from two different tables (positive vs. negative coefficients) at the
+//!   same index. Melding blends the *base addresses*, exercising the
+//!   masked-gather path of the emitter.
+//!
+//! Both kernels draw sign-mixed inputs, so roughly half the lanes of every
+//! warp take each arm — maximal branch divergence for the dynamic
+//! policies, and maximal savings for the static meld. They ship as
+//! [`KernelSpec`]s like the paper benchmarks (host-reference verifier,
+//! declared memory map) but live outside [`crate::Benchmark::ALL`]: the
+//! Table 2 set stays exactly the paper's.
+
+use crate::spec::{BufferLayout, KernelSpec, Scale};
+use dws_engine::rng::Rng64;
+use dws_isa::{CondOp, KernelBuilder, MemoryAccess, Operand, Program, Reg, VecMemory};
+use std::fmt;
+
+/// Elements per scale (each kernel's buffers are `n` words long).
+pub fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 64,
+        Scale::Bench => 2048,
+        Scale::Paper => 65536,
+    }
+}
+
+/// The meldable kernel variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeldKernel {
+    /// Sign-selected polynomial, arms differ in one immediate.
+    Poly,
+    /// Sign-selected table gather, arms differ in the load base.
+    Gather,
+}
+
+impl MeldKernel {
+    /// Both variants.
+    pub const ALL: [MeldKernel; 2] = [MeldKernel::Poly, MeldKernel::Gather];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MeldKernel::Poly => "MeldPoly",
+            MeldKernel::Gather => "MeldGather",
+        }
+    }
+
+    /// Builds the variant at the given scale with a deterministic seed.
+    pub fn build(self, scale: Scale, seed: u64) -> KernelSpec {
+        match self {
+            MeldKernel::Poly => build_poly(scale, seed),
+            MeldKernel::Gather => build_gather(scale, seed),
+        }
+    }
+
+    /// Builds the variant with its diamond already melded away
+    /// ([`dws_isa::meld`]): same inputs, layout, and verifier, but the
+    /// predicated straight-line program. Panics if the transform does not
+    /// fire — these kernels exist to be melded, so a refusal is a bug.
+    pub fn build_melded(self, scale: Scale, seed: u64) -> KernelSpec {
+        let spec = self.build(scale, seed);
+        let out = dws_isa::meld(spec.program.insts())
+            .unwrap_or_else(|e| panic!("{self}: meld refused the kernel:\n{e}"));
+        assert!(out.changed(), "{self}: meld left the kernel unchanged");
+        let program = Program::from_insts(out.insts)
+            .unwrap_or_else(|e| panic!("{self}: melded output rejected: {e}"));
+        spec.with_program(program)
+    }
+}
+
+impl fmt::Display for MeldKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The shared 6-step integer polynomial (wrapping, like `eval_alu`).
+fn host_poly(x: i64, k: i64) -> i64 {
+    let mut t = x.wrapping_mul(k);
+    t = t.wrapping_add(1);
+    t ^= x;
+    t = t.wrapping_shr(1);
+    t = t.wrapping_add(x);
+    t.wrapping_mul(t)
+}
+
+/// Emits the 6-instruction polynomial arm `acc = poly_k(x)`.
+fn emit_poly(b: &mut KernelBuilder, acc: Reg, x: Reg, k: i64) {
+    b.mul(acc, Operand::Reg(x), Operand::Imm(k));
+    b.add(acc, Operand::Reg(acc), Operand::Imm(1));
+    b.xor(acc, Operand::Reg(acc), Operand::Reg(x));
+    b.shr(acc, Operand::Reg(acc), Operand::Imm(1));
+    b.add(acc, Operand::Reg(acc), Operand::Reg(x));
+    b.mul(acc, Operand::Reg(acc), Operand::Reg(acc));
+}
+
+/// `out[i] = data[i] < 0 ? poly_3(data[i]) : poly_5(data[i])` over a
+/// grid-stride loop. Layout: `data` at word 0, `out` at word `n`.
+pub fn poly_program(n: usize) -> Program {
+    let ni = n as i64;
+    let mut b = KernelBuilder::new();
+    let (tid, ntid) = (b.tid(), b.ntid());
+    let i = b.reg();
+    let a = b.reg();
+    let x = b.reg();
+    let acc = b.reg();
+    b.for_range(i, tid, Operand::Imm(ni), ntid, |b| {
+        b.addr(a, Operand::Imm(0), Operand::Reg(i), 8);
+        b.load(x, a, 0);
+        b.if_then_else(
+            CondOp::Lt,
+            Operand::Reg(x),
+            Operand::Imm(0),
+            |b| emit_poly(b, acc, x, 3),
+            |b| emit_poly(b, acc, x, 5),
+        );
+        b.addr(a, Operand::Imm(ni * 8), Operand::Reg(i), 8);
+        b.store(Operand::Reg(acc), a, 0);
+    });
+    b.halt();
+    b.build().expect("MeldPoly kernel is well-formed")
+}
+
+fn build_poly(scale: Scale, seed: u64) -> KernelSpec {
+    let n = size(scale);
+    let program = poly_program(n);
+    let mut memory = VecMemory::new((2 * n * 8) as u64);
+    let mut rng = Rng64::new(seed);
+    let data: Vec<i64> = (0..n).map(|_| rng.range_i64(-1000, 1000)).collect();
+    for (i, &v) in data.iter().enumerate() {
+        memory.store_word((i * 8) as u64, v as u64);
+    }
+    let expect: Vec<i64> = data
+        .iter()
+        .map(|&x| host_poly(x, if x < 0 { 3 } else { 5 }))
+        .collect();
+    KernelSpec::new("MeldPoly", program, memory, move |mem| {
+        for (i, &e) in expect.iter().enumerate() {
+            let got = mem.words()[n + i] as i64;
+            if got != e {
+                return Err(format!("MeldPoly out[{i}] = {got}, expected {e}"));
+            }
+        }
+        Ok(())
+    })
+    .with_layout(BufferLayout::of(&[
+        ("signed data", 0, n as u64),
+        ("out", n as u64, n as u64),
+    ]))
+}
+
+/// The shared 6-step mix applied to a gathered table word.
+fn host_mix(v: i64) -> i64 {
+    let mut t = v.wrapping_add(1);
+    t ^= v;
+    t = t.wrapping_shr(1);
+    t = t.wrapping_add(v);
+    t.wrapping_mul(t)
+}
+
+/// Emits the 6-instruction gather arm `acc = mix(load [addr])`.
+fn emit_gather(b: &mut KernelBuilder, acc: Reg, v: Reg, addr: Reg) {
+    b.load(v, addr, 0);
+    b.add(acc, Operand::Reg(v), Operand::Imm(1));
+    b.xor(acc, Operand::Reg(acc), Operand::Reg(v));
+    b.shr(acc, Operand::Reg(acc), Operand::Imm(1));
+    b.add(acc, Operand::Reg(acc), Operand::Reg(v));
+    b.mul(acc, Operand::Reg(acc), Operand::Reg(acc));
+}
+
+/// `out[i] = mix(sel[i] < 0 ? neg[i] : pos[i])` over a grid-stride loop.
+/// Layout: `pos` at word 0, `neg` at `n`, `sel` at `2n`, `out` at `3n`.
+pub fn gather_program(n: usize) -> Program {
+    let ni = n as i64;
+    let mut b = KernelBuilder::new();
+    let (tid, ntid) = (b.tid(), b.ntid());
+    let i = b.reg();
+    let a = b.reg();
+    let ap = b.reg();
+    let an = b.reg();
+    let s = b.reg();
+    let v = b.reg();
+    let acc = b.reg();
+    b.for_range(i, tid, Operand::Imm(ni), ntid, |b| {
+        b.addr(a, Operand::Imm(2 * ni * 8), Operand::Reg(i), 8);
+        b.load(s, a, 0);
+        // Both table addresses are computed before the branch so the arms
+        // differ only in which base register the load reads — the meld
+        // emitter must blend the bases, not the loaded values.
+        b.addr(ap, Operand::Imm(0), Operand::Reg(i), 8);
+        b.addr(an, Operand::Imm(ni * 8), Operand::Reg(i), 8);
+        b.if_then_else(
+            CondOp::Lt,
+            Operand::Reg(s),
+            Operand::Imm(0),
+            |b| emit_gather(b, acc, v, an),
+            |b| emit_gather(b, acc, v, ap),
+        );
+        b.addr(a, Operand::Imm(3 * ni * 8), Operand::Reg(i), 8);
+        b.store(Operand::Reg(acc), a, 0);
+    });
+    b.halt();
+    b.build().expect("MeldGather kernel is well-formed")
+}
+
+fn build_gather(scale: Scale, seed: u64) -> KernelSpec {
+    let n = size(scale);
+    let program = gather_program(n);
+    let mut memory = VecMemory::new((4 * n * 8) as u64);
+    let mut rng = Rng64::new(seed);
+    let pos: Vec<i64> = (0..n).map(|_| rng.range_i64(0, 4096)).collect();
+    let neg: Vec<i64> = (0..n).map(|_| rng.range_i64(-4096, 0)).collect();
+    let sel: Vec<i64> = (0..n).map(|_| rng.range_i64(-8, 8)).collect();
+    for i in 0..n {
+        memory.store_word((i * 8) as u64, pos[i] as u64);
+        memory.store_word(((n + i) * 8) as u64, neg[i] as u64);
+        memory.store_word(((2 * n + i) * 8) as u64, sel[i] as u64);
+    }
+    let expect: Vec<i64> = (0..n)
+        .map(|i| host_mix(if sel[i] < 0 { neg[i] } else { pos[i] }))
+        .collect();
+    KernelSpec::new("MeldGather", program, memory, move |mem| {
+        for (i, &e) in expect.iter().enumerate() {
+            let got = mem.words()[3 * n + i] as i64;
+            if got != e {
+                return Err(format!("MeldGather out[{i}] = {got}, expected {e}"));
+            }
+        }
+        Ok(())
+    })
+    .with_layout(BufferLayout::of(&[
+        ("pos table", 0, n as u64),
+        ("neg table", n as u64, n as u64),
+        ("sel", 2 * n as u64, n as u64),
+        ("out", 3 * n as u64, n as u64),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_isa::{meld, ReferenceRunner, Severity, VerifyOptions};
+
+    #[test]
+    fn both_variants_match_their_host_reference() {
+        for kernel in MeldKernel::ALL {
+            let spec = kernel.build(Scale::Test, 13);
+            let mut mem = spec.memory.clone();
+            ReferenceRunner::new(&spec.program, 16)
+                .run(&mut mem)
+                .unwrap();
+            spec.verify(&mem)
+                .unwrap_or_else(|e| panic!("{kernel}: {e}"));
+        }
+    }
+
+    #[test]
+    fn both_variants_lint_clean() {
+        for kernel in MeldKernel::ALL {
+            let spec = kernel.build(Scale::Test, 13);
+            let opts = VerifyOptions::default()
+                .with_mem_bytes(spec.memory.size_bytes())
+                .with_wst_capacity(16);
+            let report = spec.program.lint(&opts);
+            assert_eq!(report.count(Severity::Error), 0, "{kernel}:\n{report}");
+            assert_eq!(report.count(Severity::Warning), 0, "{kernel}:\n{report}");
+            assert!(spec.layout.check(spec.memory.size_bytes()).is_empty());
+        }
+    }
+
+    #[test]
+    fn both_variants_meld_and_stay_correct() {
+        for kernel in MeldKernel::ALL {
+            let spec = kernel.build(Scale::Test, 29);
+            let out = meld(spec.program.insts()).unwrap_or_else(|e| panic!("{kernel}: {e}"));
+            assert_eq!(out.applied.len(), 1, "{kernel}: one diamond rewritten");
+            assert!(out.applied[0].saved > 0, "{kernel}");
+            let melded = dws_isa::Program::from_insts(out.insts).unwrap();
+            let mut mem = spec.memory.clone();
+            ReferenceRunner::new(&melded, 16).run(&mut mem).unwrap();
+            spec.verify(&mem)
+                .unwrap_or_else(|e| panic!("{kernel} melded: {e}"));
+        }
+    }
+
+    #[test]
+    fn analysis_flags_both_variants_meldable() {
+        for kernel in MeldKernel::ALL {
+            let spec = kernel.build(Scale::Test, 3);
+            let opts = VerifyOptions::default().with_mem_bytes(spec.memory.size_bytes());
+            let report = spec.program.lint(&opts);
+            let d = report
+                .find(dws_isa::DwsLintCode::MeldableRegion)
+                .unwrap_or_else(|| panic!("{kernel}: no DWS0601 in\n{report}"));
+            assert!(d.message.contains("meldable region"), "{}", d.message);
+        }
+    }
+}

@@ -137,6 +137,16 @@ impl KernelSpec {
         self
     }
 
+    /// Swaps in a different compiled program (same inputs, layout, and
+    /// verifier) — used to compare a transformed kernel, e.g. the
+    /// control-flow-melded variant, against the original on identical
+    /// workloads.
+    #[must_use]
+    pub fn with_program(mut self, program: impl Into<Arc<Program>>) -> Self {
+        self.program = program.into();
+        self
+    }
+
     /// Verifies a final memory image against the host reference.
     ///
     /// # Errors

@@ -2,8 +2,9 @@
 //!
 //! The repo accumulated a set of pairwise equivalence oracles — µop engine
 //! vs legacy ShadowLane interpretation, event-driven vs stepped run,
-//! parallel vs serial stepping, fault-injected vs clean timing, and every
-//! scheduling policy vs the scalar reference interpreter. Each oracle was
+//! parallel vs serial stepping, fault-injected vs clean timing, every
+//! scheduling policy vs the scalar reference interpreter, and (PR 8) the
+//! control-flow-melded kernel vs its unmelded self. Each oracle was
 //! exercised only by the eight hand-written benchmarks and a handful of
 //! test kernels. This module closes the input side: [`run_campaign`]
 //! draws verifier-accepted random kernels from [`dws_isa::gen`], runs
@@ -69,6 +70,10 @@ pub enum Perturbation {
     /// Flip one bit of the chaos run's final memory — a guaranteed
     /// [`FailureClass::MemoryMismatch`] on the chaos axis.
     CorruptChaos,
+    /// Flip one bit of the melded run's final memory (and force the meld
+    /// axis to run even on kernels the transform leaves unchanged) — a
+    /// guaranteed [`FailureClass::MemoryMismatch`] on the meld axis.
+    CorruptMeld,
 }
 
 /// Which oracle axis observed a failure.
@@ -87,6 +92,10 @@ pub enum Axis {
     /// Full-chaos fault injection vs the reference memory image (faults
     /// are timing-only; results must not change).
     Chaos,
+    /// The control-flow-melded kernel ([`dws_isa::meld`]) vs the
+    /// *unmelded* reference memory image: the static transform must be
+    /// semantics-preserving on every kernel the fuzzer produces.
+    Meld,
 }
 
 impl Axis {
@@ -99,6 +108,7 @@ impl Axis {
             Axis::Parallel => "parallel".to_string(),
             Axis::Legacy => "legacy-engine".to_string(),
             Axis::Chaos => "chaos".to_string(),
+            Axis::Meld => "meld".to_string(),
         }
     }
 }
@@ -143,6 +153,10 @@ pub enum FailureClass {
     /// The scalar reference interpreter itself rejected the kernel — a
     /// generator bug, reported rather than masked.
     ReferenceError,
+    /// The melding transform itself failed on a verifier-accepted kernel
+    /// (refused the input or emitted output its own re-verification
+    /// rejects) — a transform bug, distinct from a downstream mismatch.
+    TransformError,
 }
 
 impl FailureClass {
@@ -155,6 +169,7 @@ impl FailureClass {
             FailureClass::Watchdog(k, a) => format!("watchdog-{}@{}", k.label(), a.label()),
             FailureClass::Panic(a) => format!("panic@{}", a.label()),
             FailureClass::ReferenceError => "reference-error".to_string(),
+            FailureClass::TransformError => "meld-transform-error".to_string(),
         }
     }
 }
@@ -215,6 +230,8 @@ pub struct FuzzConfig {
     pub job_budget: Option<Duration>,
     /// Delta-debug failing kernels down to minimal reproducers.
     pub minimize: bool,
+    /// Run the melded-vs-unmelded axis ([`Axis::Meld`]).
+    pub meld: bool,
     /// Test-only fault injection into the harness itself.
     pub perturb: Perturbation,
 }
@@ -229,6 +246,7 @@ impl Default for FuzzConfig {
             max_cycles: 5_000_000,
             job_budget: Some(Duration::from_secs(30)),
             minimize: false,
+            meld: true,
             perturb: Perturbation::None,
         }
     }
@@ -259,6 +277,7 @@ impl FuzzConfig {
         h.write_u64(self.max_cycles);
         h.write_u64(self.job_budget.map_or(0, |b| b.as_millis() as u64));
         h.write_u64(u64::from(self.minimize));
+        h.write_u64(u64::from(self.meld));
         h.write_u64(self.perturb as u64);
         h.write_u64(FUZZ_THREADS);
         h.finish()
@@ -378,8 +397,8 @@ fn classify_err(e: &SimError, axis: Axis) -> FuzzFinding {
 
 /// Runs one compiled kernel across every oracle axis; `None` means all
 /// axes agree. Axis order is fixed (policies in registry order, then
-/// stepped, parallel, legacy engine, chaos), and the first failure wins,
-/// so classification is deterministic.
+/// stepped, parallel, legacy engine, chaos, meld), and the first failure
+/// wins, so classification is deterministic.
 ///
 /// # Errors
 ///
@@ -587,6 +606,81 @@ pub fn check_program(
                 class: FailureClass::Panic(Axis::Chaos),
                 message: panic_payload(&*p),
             })
+        }
+    }
+
+    // Axis 6: control-flow melding. Rewrite divergent diamonds into
+    // predicated straight-line code, then require the melded kernel's
+    // event-driven AND chaos runs to reproduce the unmelded reference
+    // image exactly. Cycles may differ (melding exists to change them);
+    // memory may not.
+    if cfg.meld || cfg.perturb == Perturbation::CorruptMeld {
+        let melded = match catch_unwind(AssertUnwindSafe(|| dws_isa::meld(spec.program.insts()))) {
+            Ok(Ok(out)) => out,
+            Ok(Err(report)) => {
+                return Some(FuzzFinding {
+                    class: FailureClass::TransformError,
+                    message: format!("meld refused a verifier-accepted kernel:\n{report}"),
+                })
+            }
+            Err(p) => {
+                return Some(FuzzFinding {
+                    class: FailureClass::Panic(Axis::Meld),
+                    message: panic_payload(&*p),
+                })
+            }
+        };
+        // An unchanged kernel re-runs identically; skip the redundant
+        // simulations unless a perturbation test needs the axis to fire.
+        if melded.changed() || cfg.perturb == Perturbation::CorruptMeld {
+            let program = match dws_isa::Program::from_insts(melded.insts) {
+                Ok(p) => p,
+                Err(e) => {
+                    return Some(FuzzFinding {
+                        class: FailureClass::TransformError,
+                        message: format!("melded output fails verification: {e}"),
+                    })
+                }
+            };
+            let melded_spec = Arc::new(
+                KernelSpec::new("fuzz-kernel-melded", program, spec.memory.clone(), |_| {
+                    Ok(())
+                })
+                .with_layout(BufferLayout::of(&gen::layout(FUZZ_THREADS))),
+            );
+            for (run_config, tag) in [
+                (config, "melded"),
+                (
+                    config.with_fault(FaultPlan::full_chaos(seed)),
+                    "melded chaos",
+                ),
+            ] {
+                let run =
+                    catch_unwind(AssertUnwindSafe(|| Machine::run(&run_config, &melded_spec)));
+                match run {
+                    Ok(Ok(r)) => {
+                        let mut words = r.memory.words().to_vec();
+                        if cfg.perturb == Perturbation::CorruptMeld {
+                            if let Some(w) = words.last_mut() {
+                                *w ^= 1;
+                            }
+                        }
+                        if words != expected {
+                            return Some(FuzzFinding {
+                                class: FailureClass::MemoryMismatch(Axis::Meld),
+                                message: format!("{tag}: {}", first_diff(&words, &expected)),
+                            });
+                        }
+                    }
+                    Ok(Err(e)) => return Some(classify_err(&e, Axis::Meld)),
+                    Err(p) => {
+                        return Some(FuzzFinding {
+                            class: FailureClass::Panic(Axis::Meld),
+                            message: panic_payload(&*p),
+                        })
+                    }
+                }
+            }
         }
     }
 

@@ -1,0 +1,25 @@
+; fuzz corpus reproducer: sign-selected polynomial diamond the meld axis rewrites
+; handwritten for the melded-vs-unmelded oracle, 32 threads, 22 instructions
+; replay: dws-cli fuzz --seed-start 0 --seeds 1
+	li r10, 63
+	and r8, r0, r10
+	mul r8, r8, 8
+	ld r3, [r8]
+	blt r3, 0, L12
+	mul r4, r3, 5
+	add r4, r4, 1
+	xor r4, r4, r3
+	shr r4, r4, 1
+	add r4, r4, r3
+	mul r4, r4, r4
+	jmp L18
+L12:	mul r4, r3, 3
+	add r4, r4, 1
+	xor r4, r4, r3
+	shr r4, r4, 1
+	add r4, r4, r3
+	mul r4, r4, r4
+L18:	add r8, r0, 192
+	mul r8, r8, 8
+	st r4, [r8]
+	halt

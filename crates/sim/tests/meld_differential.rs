@@ -1,0 +1,127 @@
+//! Transform-equivalence oracle for the control-flow melding pass.
+//!
+//! [`dws_isa::meld`] rewrites a divergent diamond into predicated
+//! straight-line code. This battery proves the rewrite is semantics-
+//! preserving *on the timed machine*, not just under the reference
+//! interpreter:
+//!
+//! 1. **Bit-identity** — for every meldable kernel variant, the melded and
+//!    unmelded programs produce bit-identical final memory under all eleven
+//!    fuzz policies, with and without a chaotic fault plan.
+//! 2. **Profitability** — under the conventional baseline (no DWS, warps
+//!    serialize both diamond arms) the melded form strictly reduces the
+//!    cycle count, so the `DWS0601` advisory is honest.
+//! 3. **Lint-clean output** — the melded program re-verifies with zero
+//!    errors and zero warnings, i.e. `dws-cli opt --meld` output survives
+//!    `--deny-warnings`.
+//! 4. **Corpus coverage** — the checked-in fuzz reproducer
+//!    `corpus/seed-00000-meldable-poly.asm` actually exercises the
+//!    transform, keeping the fuzz meld axis honest on replay.
+
+use dws_core::Policy;
+use dws_engine::fault::FaultPlan;
+use dws_isa::{meld, parse_asm, Severity, VecMemory, VerifyOptions};
+use dws_kernels::{KernelSpec, MeldKernel, Scale};
+use dws_sim::fuzz::fuzz_policies;
+use dws_sim::{Machine, SimConfig};
+
+const SEED: u64 = 0x0d57;
+
+/// A small machine (2 WPUs x 8 lanes x 2 warps = 32 threads) so the full
+/// policy x plan x kernel cross-product stays fast in release mode.
+fn small(policy: Policy) -> SimConfig {
+    SimConfig::paper(policy)
+        .with_wpus(2)
+        .with_width(8)
+        .with_warps(2)
+}
+
+fn run(cfg: &SimConfig, spec: &KernelSpec, ctx: &str) -> (VecMemory, u64) {
+    let r = Machine::run(cfg, spec).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    (r.memory, r.cycles)
+}
+
+/// Melded and unmelded variants are bit-identical across every policy, with
+/// and without a chaotic fault plan, and both pass the host verifier.
+#[test]
+fn melded_bit_identical_across_policies_and_chaos() {
+    for kernel in MeldKernel::ALL {
+        let base = kernel.build(Scale::Test, SEED);
+        let melded = kernel.build_melded(Scale::Test, SEED);
+        for policy in fuzz_policies() {
+            for (tag, plan) in [
+                ("clean", FaultPlan::NONE),
+                ("chaos", FaultPlan::full_chaos(SEED)),
+            ] {
+                let cfg = small(policy).with_fault(plan);
+                let ctx = format!("{kernel}/{}/{tag}", policy.paper_name());
+                let (mem_base, _) = run(&cfg, &base, &format!("{ctx} unmelded"));
+                let (mem_meld, _) = run(&cfg, &melded, &format!("{ctx} melded"));
+                base.verify(&mem_base)
+                    .unwrap_or_else(|e| panic!("{ctx} unmelded: {e}"));
+                melded
+                    .verify(&mem_meld)
+                    .unwrap_or_else(|e| panic!("{ctx} melded: {e}"));
+                if let Some(w) = mem_base
+                    .words()
+                    .iter()
+                    .zip(mem_meld.words())
+                    .position(|(a, b)| a != b)
+                {
+                    panic!(
+                        "{ctx}: melded diverges from unmelded at word {w}: \
+                         {:#x} vs {:#x}",
+                        mem_base.words()[w],
+                        mem_meld.words()[w],
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Under the conventional baseline (the policy that pays full price for
+/// branch divergence) melding strictly reduces the cycle count — the
+/// figure-13-style comparison row rests on this.
+#[test]
+fn melding_reduces_cycles_under_conventional() {
+    let cfg = small(Policy::conventional());
+    for kernel in MeldKernel::ALL {
+        let base = kernel.build(Scale::Test, SEED);
+        let melded = kernel.build_melded(Scale::Test, SEED);
+        let (_, cycles_base) = run(&cfg, &base, &format!("{kernel} unmelded"));
+        let (_, cycles_meld) = run(&cfg, &melded, &format!("{kernel} melded"));
+        assert!(
+            cycles_meld < cycles_base,
+            "{kernel}: melding did not pay off under Conv: \
+             {cycles_meld} melded vs {cycles_base} unmelded cycles",
+        );
+    }
+}
+
+/// `dws-cli opt --meld` output survives `--deny-warnings`: the melded
+/// program re-verifies with zero errors and zero warnings.
+#[test]
+fn melded_output_lints_clean() {
+    for kernel in MeldKernel::ALL {
+        let spec = kernel.build_melded(Scale::Test, SEED);
+        let opts = VerifyOptions::default()
+            .with_nthreads(small(Policy::conventional()).total_threads())
+            .with_mem_bytes(spec.memory.size_bytes());
+        let report = spec.program.lint(&opts);
+        assert_eq!(report.count(Severity::Error), 0, "{kernel}:\n{report}");
+        assert_eq!(report.count(Severity::Warning), 0, "{kernel}:\n{report}");
+    }
+}
+
+/// The checked-in fuzz corpus reproducer really does exercise the melding
+/// transform, so the fuzz meld axis runs it end to end on every replay.
+#[test]
+fn corpus_reproducer_exercises_meld() {
+    let asm = include_str!("corpus/seed-00000-meldable-poly.asm");
+    let program = parse_asm(asm).expect("corpus reproducer must assemble");
+    let out = meld(program.insts()).expect("corpus reproducer must meld");
+    assert!(out.changed(), "reproducer no longer triggers the transform");
+    assert_eq!(out.applied.len(), 1, "exactly one diamond expected");
+    assert!(out.applied[0].saved > 0, "melding it must save issue slots");
+}

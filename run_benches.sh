@@ -7,7 +7,9 @@
 cd /root/repo
 : > bench_output.txt
 : > bench_timings.jsonl
-for fig in table1_characterization fig13_schemes fig07_branch_dws fig11_branchlimited \
+# fig13_meld is the advisory melded-cycle-delta row: static melding vs DWS
+# vs both on the meldable kernel variants, normalized to Conv.
+for fig in table1_characterization fig13_schemes fig13_meld fig07_branch_dws fig11_branchlimited \
            fig19_energy fig16_l2lat fig17_dsize fig15_assoc fig20_sched_slots \
            fig21_wst_size fig14_heatmap fig01_motivation fig18_width_depth ablation extension_throttle; do
   echo "=== bench: $fig ===" | tee -a bench_output.txt

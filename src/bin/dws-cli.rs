@@ -4,8 +4,9 @@
 //! dws-cli list
 //! dws-cli run     --bench Merge --policy revive [options]
 //! dws-cli compare --bench Merge [options]
-//! dws-cli lint    [--kernel <name> | --all] [--deny-warnings]
+//! dws-cli lint    [--kernel <name> | --all] [--deny-warnings] [--json]
 //! dws-cli asm     <kernel.asm> [--threads N] [--mem-kb K] [--policy P] [options]
+//! dws-cli opt     <kernel.asm> --meld [--out FILE] [--deny-warnings] [--quiet]
 //! dws-cli fuzz    [--seeds N] [--seed-start N] [--policy P] [--budget-ms MS]
 //!                 [--max-cycles N] [--minimize] [--json] [--verbose]
 //!
@@ -366,32 +367,63 @@ fn main() -> ExitCode {
                 Err(e) => fail(&e),
             }
         }
+        "opt" => match run_opt(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
         other => {
-            eprintln!("unknown command '{other}' (try list, run, compare, lint, asm, fuzz)");
+            eprintln!("unknown command '{other}' (try list, run, compare, lint, asm, opt, fuzz)");
             ExitCode::FAILURE
         }
     }
 }
 
-/// `dws-cli lint [--kernel <name> | --all] [--deny-warnings] [--verbose]`
+/// Minimal JSON string escaping for the `--json` outputs.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `dws-cli lint [--kernel <name> | --all] [--deny-warnings] [--verbose]
+/// [--json]`
 ///
 /// Statically verifies the selected kernels under the paper's machine
-/// configuration at every input scale: the five IR passes (CFG shape,
-/// re-convergence, def-use, memory bounds, divergence) plus the declared
-/// buffer layout against the actual allocation. Returns whether the run
-/// was clean: errors always fail; warnings fail under `--deny-warnings`.
+/// configuration at every input scale: the six IR passes (CFG shape,
+/// re-convergence, def-use, memory bounds, divergence, melding advisory)
+/// plus the declared buffer layout against the actual allocation. Returns
+/// whether the run was clean: errors always fail; warnings fail under
+/// `--deny-warnings`. `--json` renders the full structured report instead
+/// of the table — fixed field order, no wall-clock fields, and a config
+/// fingerprint, so identical lint runs are byte-identical (like the fuzz
+/// reports).
 fn run_lint(args: &[String]) -> Result<bool, String> {
+    use dws::engine::hash::FastHasher;
     use dws::kernels::Scale;
     use dws::sim::lint_spec;
+    use std::fmt::Write as _;
+    use std::hash::Hasher as _;
 
     let mut benches: Vec<Benchmark> = Vec::new();
     let mut deny_warnings = false;
     let mut verbose = false;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--all" => benches = Benchmark::ALL.to_vec(),
             "--verbose" => verbose = true,
+            "--json" => json = true,
             "--kernel" => {
                 let v = it.next().ok_or("--kernel needs a value")?;
                 benches.push(
@@ -409,8 +441,25 @@ fn run_lint(args: &[String]) -> Result<bool, String> {
         return Err("select kernels with --kernel <name> or --all".into());
     }
 
+    // Self-describing fingerprint, mirroring FuzzConfig::config_hash: two
+    // reports with equal hashes linted the same kernels the same way.
+    let mut h = FastHasher::default();
+    for b in &benches {
+        h.write(b.name().as_bytes());
+    }
+    h.write_u64(u64::from(deny_warnings));
+    let config_hash = h.finish();
+
     let cfg = SimConfig::paper(dws::core::Policy::dws_revive());
     let mut clean = true;
+    let mut out = String::new();
+    if json {
+        let _ = write!(
+            out,
+            "{{\"config_hash\":\"{config_hash:#018x}\",\"deny_warnings\":{deny_warnings},\"kernels\":["
+        );
+    }
+    let mut first = true;
     for bench in benches {
         for scale in [Scale::Test, Scale::Bench, Scale::Paper] {
             let spec = bench.build(scale, 42);
@@ -418,6 +467,41 @@ fn run_lint(args: &[String]) -> Result<bool, String> {
             let failed = report.has_errors()
                 || (deny_warnings && report.count(dws::isa::Severity::Warning) > 0);
             clean &= !failed;
+            if json {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"kernel\":\"{}\",\"scale\":\"{:?}\",\"insts\":{},\"branches\":{},\
+                     \"errors\":{},\"warnings\":{},\"notes\":{},\"clean\":{},\"diagnostics\":[",
+                    bench.name(),
+                    scale,
+                    spec.program.len(),
+                    report.stats.branches,
+                    report.count(dws::isa::Severity::Error),
+                    report.count(dws::isa::Severity::Warning),
+                    report.count(dws::isa::Severity::Note),
+                    !failed,
+                );
+                for (i, d) in report.diagnostics.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"code\":\"{}\",\"severity\":\"{}\",\"pc\":{},\"block\":{},\"message\":\"{}\"}}",
+                        d.code,
+                        d.severity,
+                        d.pc.map_or("null".to_string(), |p| p.to_string()),
+                        d.block.map_or("null".to_string(), |b| b.to_string()),
+                        json_escape(&d.message),
+                    );
+                }
+                out.push_str("]}");
+                continue;
+            }
             let stats = &report.stats;
             println!(
                 "{:8} {:6?} {:4} insts  {:3} branches ({} divergent, {} subdividable)  \
@@ -431,8 +515,9 @@ fn run_lint(args: &[String]) -> Result<bool, String> {
                 stats.reconv_stack_bound(),
                 report.summary(),
             );
-            // Notes (e.g. unproven bounds) are informational; keep the
-            // gate output to actionable findings unless asked.
+            // Notes (e.g. unproven bounds, meldable regions) are
+            // informational; keep the gate output to actionable findings
+            // unless asked.
             let actionable = report
                 .diagnostics
                 .iter()
@@ -442,7 +527,102 @@ fn run_lint(args: &[String]) -> Result<bool, String> {
             }
         }
     }
+    if json {
+        out.push_str("]}");
+        println!("{out}");
+    }
     Ok(clean)
+}
+
+/// `dws-cli opt <kernel.asm> --meld [--out FILE] [--deny-warnings]
+/// [--quiet]`
+///
+/// Runs the control-flow melding transform ([`dws::isa::meld`]) on an
+/// assembly kernel: every profitable divergent diamond is rewritten into
+/// predicated straight-line (select/masked-access) code, the six-pass
+/// verifier re-checks the output, and the result is printed as assembly
+/// (or written to `--out`). The summary lists each rewrite and the
+/// advisory diagnostics for diamonds that did *not* meld. Fails under
+/// `--deny-warnings` if the transformed kernel carries any warning.
+fn run_opt(args: &[String]) -> Result<(), CliError> {
+    use dws::isa::{parse_asm, render_asm, Severity};
+
+    let mut path: Option<&String> = None;
+    let mut do_meld = false;
+    let mut out_file: Option<&String> = None;
+    let mut deny_warnings = false;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--meld" => do_meld = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--quiet" => quiet = true,
+            "--out" => {
+                out_file = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Other("--out needs a value".into()))?,
+                );
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(arg),
+            other => return Err(CliError::Other(format!("unknown option '{other}'"))),
+        }
+    }
+    let path = path.ok_or_else(|| {
+        CliError::Other("usage: dws-cli opt <kernel.asm> --meld [--out FILE]".into())
+    })?;
+    if !do_meld {
+        return Err(CliError::Other(
+            "opt requires a transform flag (currently: --meld)".into(),
+        ));
+    }
+
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
+    let program = parse_asm(&text).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
+    let before = program.len();
+    let outcome = dws::isa::meld(program.insts())
+        .map_err(|report| CliError::Other(format!("{path}: kernel rejected:\n{report}")))?;
+
+    if !quiet {
+        eprintln!(
+            "{path}: {} -> {} instructions, {} diamond(s) melded",
+            before,
+            outcome.insts.len(),
+            outcome.applied.len(),
+        );
+        for a in &outcome.applied {
+            eprintln!(
+                "  melded diamond at pc {} (join {}): {} issue slot(s) saved",
+                a.branch_pc, a.join_pc, a.saved
+            );
+        }
+        // Surface the advisory pass on the *output*: any DWS0602 left is a
+        // diamond that stayed divergent, with the reason why.
+        for d in &outcome.report.diagnostics {
+            if matches!(
+                d.code,
+                dws::isa::DwsLintCode::MeldableRegion | dws::isa::DwsLintCode::MeldRejected
+            ) {
+                eprintln!("  {d}");
+            }
+        }
+    }
+    if deny_warnings && outcome.report.count(Severity::Warning) > 0 {
+        return Err(CliError::Other(format!(
+            "{path}: melded output carries warnings under --deny-warnings:\n{}",
+            outcome.report
+        )));
+    }
+
+    let melded = dws::isa::Program::from_insts(outcome.insts)
+        .map_err(|e| CliError::Other(format!("{path}: melded output rejected: {e}")))?;
+    let asm = render_asm(&melded);
+    match out_file {
+        Some(f) => std::fs::write(f, &asm).map_err(|e| CliError::Other(format!("{f}: {e}")))?,
+        None => print!("{asm}"),
+    }
+    Ok(())
 }
 
 /// `dws-cli fuzz [--seeds N] [--seed-start N] [--policy P] [--budget-ms MS]
